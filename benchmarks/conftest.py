@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures from the
+calibrated simulated modules and prints the same rows/series the paper
+reports (CSV plus a quick ASCII plot), then asserts the *shape* claims --
+who wins, by roughly what factor, where the crossovers fall.
+
+The sweep is kept compact (7 tAggON points, 1 trial) so the full harness
+runs in well under a minute; the CLI can regenerate any artifact at
+arbitrary resolution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import T_AGG_ON_9TREFI
+from repro.core.experiment import CharacterizationConfig
+from repro.core.runner import CharacterizationRunner
+from repro.dram.rowselect import RowSelection
+from repro.dram.topology import BankGeometry
+from repro.patterns import ALL_PATTERNS
+from repro.system import build_all_modules
+
+#: tAggON sweep used by the figure benchmarks (anchors included).
+SWEEP_T_VALUES = [36.0, 120.0, 636.0, 2_000.0, 7_800.0, 30_000.0, 70_200.0]
+
+#: Table 2 anchor points.
+ANCHOR_T_VALUES = [36.0, 7_800.0, T_AGG_ON_9TREFI]
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> CharacterizationConfig:
+    return CharacterizationConfig(
+        geometry=BankGeometry(rows=4096, cols_simulated=256),
+        selection=RowSelection(locations_per_region=24, n_regions=3, stride=8),
+        trials=1,
+    )
+
+
+@pytest.fixture(scope="session")
+def modules(bench_config):
+    """All 14 calibrated modules."""
+    return build_all_modules(bench_config)
+
+
+@pytest.fixture(scope="session")
+def runner(bench_config) -> CharacterizationRunner:
+    return CharacterizationRunner(bench_config)
+
+
+@pytest.fixture(scope="session")
+def sweep_results(modules, runner):
+    """Full sweep: all modules x 3 patterns x 7 tAggON points."""
+    return runner.characterize(modules, SWEEP_T_VALUES, ALL_PATTERNS, trials=1)
+
+
+@pytest.fixture(scope="session")
+def anchor_results(modules, runner):
+    """Anchor-point measurements with the paper's 3 trials."""
+    return runner.characterize(modules, ANCHOR_T_VALUES, ALL_PATTERNS, trials=3)
+
+

@@ -1,0 +1,68 @@
+"""Ablation A1: the Hypothesis-1 asymmetry ``alpha``.
+
+Sweeps the press-coupling asymmetry on a synthetic module and shows that
+the paper's Observations 1-2 *depend* on alpha being well below 1:
+
+* as alpha -> 0, the double-sided RowPress pattern loses its ACmin edge
+  over the combined pattern entirely (R2's press contributes nothing);
+* as alpha -> 1, the combined pattern's activation penalty vs double-
+  sided RowPress doubles, eroding (but not eliminating) its wall-clock
+  advantage.
+"""
+
+import pytest
+
+from repro.core.acmin import analyze_die
+from repro.core.stacked import build_stacked_die
+from repro.dram.datapattern import CHECKERBOARD
+from repro.dram.rowselect import RowSelection
+from repro.patterns import COMBINED, DOUBLE_SIDED
+from repro.testing import make_synthetic_chip, make_synthetic_model
+
+ALPHAS = [0.05, 0.2, 0.4, 0.7, 1.0]
+SEL = RowSelection(locations_per_region=16, n_regions=3, stride=8)
+
+
+def acmin_pair(alpha: float, t_on: float = 7_800.0):
+    model = make_synthetic_model(alpha=alpha)
+    chip = make_synthetic_chip(rows=2048, theta_scale=2_000.0, model=model)
+    stacked = build_stacked_die(chip, 0, SEL, CHECKERBOARD)
+    comb = analyze_die(stacked, COMBINED, t_on, model).acmin()
+    ds = analyze_die(stacked, DOUBLE_SIDED, t_on, model).acmin()
+    return comb, ds
+
+
+def test_ablation_alpha_sweep(benchmark):
+    benchmark(acmin_pair, 0.4)
+    print()
+    print("Ablation A1: combined-vs-double-sided ACmin ratio vs alpha")
+    print(f"{'alpha':>6s} {'ACmin comb':>11s} {'ACmin ds':>9s} {'ratio':>7s}")
+    ratios = []
+    for alpha in ALPHAS:
+        comb, ds = acmin_pair(alpha)
+        ratio = comb / ds
+        ratios.append(ratio)
+        print(f"{alpha:6.2f} {comb:11d} {ds:9d} {ratio:7.3f}")
+    # The gap grows monotonically with alpha ...
+    assert ratios == sorted(ratios)
+    # ... vanishes when one aggressor's press dominates completely ...
+    assert ratios[0] == pytest.approx(1.0, abs=0.1)
+    # ... and approaches the alpha=1 bound of ~2x.
+    assert 1.5 < ratios[-1] <= 2.3
+
+
+def test_alpha_does_not_affect_combined_wallclock_advantage(benchmark):
+    """The combined pattern's per-activation latency advantage is a pure
+    timing property: even at alpha = 1 it reaches the first bitflip
+    faster than double-sided RowPress at moderate tAggON."""
+    model = make_synthetic_model(alpha=1.0)
+    chip = make_synthetic_chip(rows=2048, theta_scale=2_000.0, model=model)
+    stacked = build_stacked_die(chip, 0, SEL, CHECKERBOARD)
+
+    def times():
+        comb = analyze_die(stacked, COMBINED, 636.0, model)
+        ds = analyze_die(stacked, DOUBLE_SIDED, 636.0, model)
+        return comb.time_to_first_bitflip_ns(), ds.time_to_first_bitflip_ns()
+
+    t_comb, t_ds = benchmark(times)
+    assert t_comb < t_ds

@@ -1,0 +1,75 @@
+"""Ablation A2: calibrated vs mechanistic disturbance backend.
+
+Fits the trap-physics (saturating + drift) mechanistic model to a
+calibrated module's press anchors and shows the two backends agree on the
+figure *shapes*: the ACmin-vs-tAggON curve of every pattern tracks within
+a factor band across the sweep.  This separates what the reproduction
+pins to the paper's numbers (the anchors) from what the physics form
+implies in between.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.acmin import analyze_die
+from repro.core.stacked import build_stacked_die
+from repro.disturb.mechanistic import MechanisticDisturbanceModel
+from repro.dram.datapattern import CHECKERBOARD
+from repro.dram.rowselect import RowSelection
+from repro.patterns import COMBINED, DOUBLE_SIDED
+
+SEL = RowSelection(locations_per_region=16, n_regions=3, stride=8)
+T_VALUES = [120.0, 636.0, 2_000.0, 7_800.0, 30_000.0, 70_200.0]
+
+
+@pytest.fixture(scope="module")
+def backends(modules):
+    s0 = next(m for m in modules if m.key == "S0")
+    calibrated = s0.model
+    mechanistic = MechanisticDisturbanceModel.fit_to_anchors(
+        calibrated.press.anchors,
+        alpha_const=calibrated.alpha(7_800.0),
+        gamma_const=calibrated.solo_press_gamma(7_800.0),
+    )
+    stacked = build_stacked_die(s0.chip(0), 0, SEL, CHECKERBOARD)
+    return stacked, calibrated, mechanistic
+
+
+def _curve(stacked, model, pattern):
+    out = []
+    for t_on in T_VALUES:
+        acmin = analyze_die(stacked, pattern, t_on, model).acmin()
+        out.append(acmin)
+    return out
+
+
+def test_backends_agree_on_acmin_shape(benchmark, backends):
+    stacked, calibrated, mechanistic = backends
+    cal_curve = benchmark(_curve, stacked, calibrated, COMBINED)
+    mech_curve = _curve(stacked, mechanistic, COMBINED)
+    print()
+    print("Ablation A2: combined-pattern ACmin, calibrated vs mechanistic")
+    print(f"{'tAggON ns':>10s} {'calibrated':>11s} {'mechanistic':>12s}")
+    for t_on, cal, mech in zip(T_VALUES, cal_curve, mech_curve):
+        print(f"{t_on:10.0f} {str(cal):>11s} {str(mech):>12s}")
+    for cal, mech in zip(cal_curve, mech_curve):
+        if cal is None or mech is None:
+            continue
+        assert 0.4 < mech / cal < 2.5, (cal, mech)
+    # Both fall monotonically through the anchored range.
+    finite = [c for c in mech_curve if c is not None]
+    assert finite == sorted(finite, reverse=True)
+
+
+def test_backends_agree_on_pattern_ordering(benchmark, backends):
+    """Observation 2's ordering (DS RowPress <= combined <= RowHammer
+    baseline in ACmin) holds under both backends."""
+    benchmark(lambda: backends[1].press_loss(7_800.0))
+    stacked, calibrated, mechanistic = backends
+    for model in (calibrated, mechanistic):
+        at_t = 7_800.0
+        comb = analyze_die(stacked, COMBINED, at_t, model).acmin()
+        ds = analyze_die(stacked, DOUBLE_SIDED, at_t, model).acmin()
+        base = analyze_die(stacked, DOUBLE_SIDED, 36.0, model).acmin()
+        assert ds <= comb <= base

@@ -1,0 +1,100 @@
+"""Extension E1: the combined pattern through a real memory controller.
+
+The paper characterizes with raw DRAM commands; real attackers only have
+memory requests.  This extension drives the same simulated chips through
+the FR-FCFS controller and quantifies:
+
+* how the row-buffer policy converts paced reads into RowPress exposure
+  (open-page: tAggON ~ pace; closed-page: tAggON = tRAS always);
+* that the combined pattern expressed as ordinary reads corrupts victims
+  end to end, while the same request stream under closed-page does not
+  (at equal request count).
+"""
+
+import numpy as np
+import pytest
+
+from repro.mc import (
+    Access,
+    ClosedPagePolicy,
+    MemRequest,
+    MemoryController,
+    OpenPagePolicy,
+)
+from repro.mc.workloads import combined_stream, press_stream
+from repro.testing import make_synthetic_chip
+
+COLS = 64
+THETA = 80.0
+
+
+def fresh_controller(policy, theta=THETA, refresh=False):
+    chip = make_synthetic_chip(theta_scale=theta, rows=64, cols=COLS)
+    mc = MemoryController(chip, policy=policy, refresh_enabled=refresh)
+    writes = [
+        MemRequest(float(i * 100), Access.WRITE, 0, row,
+                   data=np.ones(COLS, dtype=np.uint8))
+        for i, row in enumerate((9, 10, 11, 12, 13))
+    ]
+    mc.process(writes)
+    return mc
+
+
+def victim_flips(mc):
+    data = mc.process([MemRequest(mc.now + 200.0, Access.READ, 0, 11)])[0]
+    return int((data != 1).sum())
+
+
+def test_row_open_exposure_by_policy(benchmark):
+    def exposure(policy):
+        mc = fresh_controller(policy)
+        mc.process(press_stream(10, n_reads=20, pace_ns=5_000.0, start_ns=2_000.0))
+        mc.process([MemRequest(mc.now + 100.0, Access.READ, 0, 12)])  # close
+        return mc.stats.max_row_open_ns
+
+    open_exposure = benchmark(exposure, OpenPagePolicy())
+    closed_exposure = exposure(ClosedPagePolicy())
+    print()
+    print("E1: max aggressor row-open time produced by 5 us-paced reads")
+    print(f"  open-page  : {open_exposure / 1000:.1f} us")
+    print(f"  closed-page: {closed_exposure / 1000:.3f} us")
+    assert open_exposure > 4_000.0
+    assert closed_exposure < 100.0
+
+
+def test_combined_attack_needs_open_page(benchmark):
+    # Thresholds chosen so 500 pure-hammer activations stay safe while the
+    # press half (30 us of open time per iteration) crosses them.
+    def flips_under(policy):
+        mc = fresh_controller(policy, theta=1_500.0)
+        mc.process(
+            combined_stream(10, n_iterations=250, press_ns=30_000.0,
+                            start_ns=2_000.0)
+        )
+        return victim_flips(mc)
+
+    open_flips = benchmark(flips_under, OpenPagePolicy())
+    closed_flips = flips_under(ClosedPagePolicy())
+    print()
+    print("E1: victim bitflips from 250 combined-pattern request pairs")
+    print(f"  open-page  : {open_flips}")
+    print(f"  closed-page: {closed_flips}")
+    assert open_flips > 0
+    # Closed-page strips the press half; 500 activations of pure hammer
+    # stay below this chip's RowHammer ACmin.
+    assert closed_flips == 0
+
+
+def test_refresh_bounds_exposure_to_trefi(benchmark):
+    def exposure():
+        mc = fresh_controller(OpenPagePolicy(), theta=1e9, refresh=True)
+        mc.process(press_stream(10, n_reads=10, pace_ns=20_000.0,
+                                start_ns=2_000.0))
+        mc.process([MemRequest(mc.now + 100.0, Access.READ, 0, 12)])
+        return mc.stats.max_row_open_ns
+
+    bounded = benchmark(exposure)
+    print()
+    print(f"E1: with refresh on, exposure is capped near tREFI: "
+          f"{bounded / 1000:.1f} us")
+    assert bounded <= 7_800.0 + 100.0

@@ -1,0 +1,79 @@
+"""Extension E3: data-pattern sensitivity (paper future work, Section 6).
+
+The paper uses the checkerboard pattern only and proposes testing more.
+This extension characterizes the calibrated S0 module under the standard
+data-pattern set and verifies the model's data-dependence mechanics:
+
+* solid-ones victims maximize RowPress flips (every true cell charged);
+* solid-zeros victims are nearly RowPress-immune on a true-cell-majority
+  die (only the few anti-cells hold charge) -- and their ACmin under the
+  combined pattern falls back toward the hammer path;
+* the checkerboard sits in between, as the conservative default the
+  methodology picked.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.acmin import analyze_die
+from repro.core.experiment import CharacterizationConfig
+from repro.core.stacked import build_stacked_die
+from repro.dram.datapattern import DATA_PATTERNS
+from repro.patterns import COMBINED
+
+PATTERN_NAMES = ["solid-one", "checkerboard", "solid-zero", "row-stripe"]
+
+
+@pytest.fixture(scope="module")
+def s0(modules):
+    return next(m for m in modules if m.key == "S0")
+
+
+def acmin_with_data(module, bench_config, data_pattern_name):
+    stacked = build_stacked_die(
+        module.chip(0),
+        bench_config.bank,
+        bench_config.selection,
+        DATA_PATTERNS[data_pattern_name],
+    )
+    return analyze_die(stacked, COMBINED, 7_800.0, module.model).acmin()
+
+
+def test_data_pattern_sensitivity(benchmark, s0, bench_config):
+    results = {
+        name: acmin_with_data(s0, bench_config, name)
+        for name in PATTERN_NAMES
+    }
+    benchmark(acmin_with_data, s0, bench_config, "checkerboard")
+    print()
+    print("E3: combined-pattern ACmin @ 7.8 us (module S0, die 0) by data pattern")
+    for name, acmin in results.items():
+        print(f"  {name:14s}: {acmin}")
+    # More charged victim cells => more RowPress-flippable cells => lower
+    # ACmin.  True-cell-majority die: ones ~ all charged, zeros ~ none.
+    assert results["solid-one"] <= results["checkerboard"]
+    if results["solid-zero"] is not None:
+        assert results["checkerboard"] <= results["solid-zero"]
+
+
+def test_checkerboard_flips_both_directions(benchmark, s0, bench_config):
+    """The methodology's checkerboard gives both mechanisms victims to
+    flip (half the bits each way); solid patterns silence one direction."""
+    benchmark(acmin_with_data, s0, bench_config, "row-stripe")
+    stacked = build_stacked_die(
+        s0.chip(0), bench_config.bank, bench_config.selection,
+        DATA_PATTERNS["checkerboard"],
+    )
+    census = analyze_die(stacked, COMBINED, 2_000.0, s0.model).census(2.0)
+    assert census.flips_1_to_0 and census.flips_0_to_1
+    stacked_ones = build_stacked_die(
+        s0.chip(0), bench_config.bank, bench_config.selection,
+        DATA_PATTERNS["solid-one"],
+    )
+    census_ones = analyze_die(
+        stacked_ones, COMBINED, 2_000.0, s0.model
+    ).census(2.0)
+    # Solid ones: 0->1 flips are impossible (no zeros stored).
+    assert not census_ones.flips_0_to_1

@@ -1,0 +1,93 @@
+"""Extension E5: what a RowPress-aware mitigation must track.
+
+The paper's Section 6 asks how mitigations need to change.  Counting
+activations (Graphene's observable) cannot bound the combined pattern:
+at large tAggON the bitflip arrives with ~50x fewer activations, so an
+activation threshold safe for RowHammer is blind to it.  An
+open-time-aware risk estimate (activations weighted by row-open time,
+:class:`repro.mc.DisturbanceDetector`) alarms on both equally.
+
+This benchmark runs both detectors over the same command streams and
+reports detection at equal budgets.
+"""
+
+import pytest
+
+from repro.bender.softmc import SoftMCSession
+from repro.mc import DisturbanceDetector
+from repro.patterns import COMBINED, DOUBLE_SIDED
+from repro.patterns.compiler import compile_hammer_loop
+from repro.testing import make_synthetic_chip
+
+
+class ActivationCounter:
+    """Graphene's observable: per-row activation counts only."""
+
+    def __init__(self, threshold: int):
+        self.threshold = threshold
+        self.counts = {}
+        self.alarms = 0
+
+    def observe(self, event, bank, row, now):
+        if event != "ACT":
+            return
+        key = (bank, row)
+        self.counts[key] = self.counts.get(key, 0) + 1
+        if self.counts[key] >= self.threshold:
+            self.counts[key] = 0
+            self.alarms += 1
+
+
+def run_stream(observers, pattern, t_on, iterations):
+    chip = make_synthetic_chip(theta_scale=1e9, rows=64)
+    session = SoftMCSession(chip)
+    for obs in observers:
+        session.add_observer(obs.observe)
+    placement = pattern.place(10, t_on, chip.geometry.rows)
+    session.run(compile_hammer_loop(placement, iterations))
+    for obs in observers:
+        if isinstance(obs, DisturbanceDetector):
+            obs.finish(session.now)
+
+
+def test_activation_counting_is_blind_to_press(benchmark):
+    # Size both detectors so classic RowHammer at its ACmin scale alarms:
+    # a hammer threshold of 500 acts/row, and the equivalent risk
+    # threshold (500 risk units reach a victim per 500 neighbor acts).
+    hammer_iters = 600  # each aggressor row: 600 acts > 500 threshold
+    press_iters = 60  # 50x fewer activations, RowPress-scale open time
+
+    def detect(pattern, t_on, iterations):
+        counter = ActivationCounter(threshold=500)
+        risk = DisturbanceDetector(alarm_threshold=500.0, rows=64)
+        run_stream([counter, risk], pattern, t_on, iterations)
+        return counter.alarms, len(risk.alarms)
+
+    benchmark(detect, DOUBLE_SIDED, 36.0, 100)
+    hammer_counter, hammer_risk = detect(DOUBLE_SIDED, 36.0, hammer_iters)
+    press_counter, press_risk = detect(COMBINED, 70_200.0, press_iters)
+    print()
+    print("E5: alarms raised at equal budgets "
+          "(activation counter vs open-time-aware risk)")
+    print(f"  RowHammer  600 iters @ 36 ns   : counter={hammer_counter} "
+          f"risk={hammer_risk}")
+    print(f"  Combined    60 iters @ 70.2 us : counter={press_counter} "
+          f"risk={press_risk}")
+    # Both see the classic hammer ...
+    assert hammer_counter > 0
+    assert hammer_risk > 0
+    # ... but only the open-time-aware detector sees the combined pattern.
+    assert press_counter == 0
+    assert press_risk > 0
+
+
+def test_risk_detector_quiet_on_light_traffic(benchmark):
+    def quiet():
+        risk = DisturbanceDetector(alarm_threshold=500.0, rows=64)
+        run_stream([risk], DOUBLE_SIDED, 36.0, 50)
+        return len(risk.alarms)
+
+    alarms = benchmark(quiet)
+    print()
+    print(f"E5: light traffic (50 iterations): {alarms} alarms")
+    assert alarms == 0

@@ -1,0 +1,71 @@
+"""Extension E4: many-sided combined patterns vs in-DRAM TRR.
+
+TRRespass showed that patterns with more aggressors than the TRR sampler
+has counters defeat it.  This extension measures that cliff for the
+*combined* many-sided variant (first aggressor pressing, the rest
+hammering): the number of aggressor rows needed to get bitflips past a
+refresh-on TRR as a function of the sampler size.
+"""
+
+import pytest
+
+from repro.bender.program import ProgramBuilder
+from repro.bender.softmc import SoftMCSession
+from repro.dram.datapattern import CHECKERBOARD
+from repro.mitigations import TrrSampler
+from repro.patterns import ManySidedPattern
+from repro.patterns.compiler import compile_init, compile_readback
+from repro.testing import make_synthetic_chip
+
+COLS = 64
+THETA = 120.0
+
+
+def flips_past_trr(n_sides: int, n_counters: int, combined: bool = True) -> int:
+    chip = make_synthetic_chip(theta_scale=THETA, rows=64, cols=COLS)
+    session = SoftMCSession(chip)
+    trr = TrrSampler(n_counters=n_counters, trr_every=1, sample_probability=1.0)
+    trr.attach(session)
+    pattern = ManySidedPattern(n_sides, combined=combined)
+    placement = pattern.place(10, 2_000.0, chip.geometry.rows)
+    session.run(compile_init(placement, CHECKERBOARD, COLS))
+    builder = ProgramBuilder()
+    with builder.loop(600):
+        for row, t_on in placement.aggressors:
+            builder.act(0, row).wait(t_on).pre(0).wait(15.0)
+        builder.ref()
+        builder.wait(15.0)
+    session.run(builder.build())
+    result = session.run(compile_readback(placement))
+    flips = 0
+    for _bank, row, bits in result.reads:
+        expected = CHECKERBOARD.victim_bits(row, COLS)
+        flips += int((bits != expected).sum())
+    return flips
+
+
+def test_trr_cliff_vs_aggressor_count(benchmark):
+    benchmark(flips_past_trr, 2, 4)
+    print()
+    print("E4: bitflips past a 4-counter TRR vs aggressor-row count "
+          "(combined many-sided, tAggON = 2 us)")
+    flips = {}
+    for n_sides in (2, 4, 8):
+        flips[n_sides] = flips_past_trr(n_sides, n_counters=4)
+        print(f"  {n_sides}-sided: {flips[n_sides]} bitflips")
+    # Few aggressors: the sampler tracks them all and protects.
+    assert flips[2] == 0
+    assert flips[4] == 0
+    # More aggressors than counters: the sampler thrashes.
+    assert flips[8] > 0
+
+
+def test_bigger_sampler_pushes_the_cliff_out(benchmark):
+    benchmark(flips_past_trr, 8, 16)
+    defeated_small = flips_past_trr(8, n_counters=4)
+    held_large = flips_past_trr(8, n_counters=16)
+    print()
+    print("E4: 8-sided combined pattern vs sampler size: "
+          f"4 counters -> {defeated_small} flips, 16 -> {held_large}")
+    assert defeated_small > 0
+    assert held_large == 0

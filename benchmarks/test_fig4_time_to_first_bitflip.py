@@ -1,0 +1,88 @@
+"""Fig. 4 (top row): time to first bitflip vs tAggON, per manufacturer.
+
+Reproduces the paper's headline curves: the combined pattern (solid blue
+in the paper) reaches the first bitflip fastest through the mid-range of
+tAggON, and converges to the single-sided RowPress curve at large tAggON.
+"""
+
+from repro.analysis.aggregate import aggregate_time_ms, exclude_press_immune
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.analysis.figures import fig4_series, series_to_csv
+from repro.dram.profiles import MANUFACTURERS, MFR_TEXT_ANCHORS
+
+
+def _mean_time(results, mfr, pattern, t_on):
+    return aggregate_time_ms(
+        exclude_press_immune(results).where(
+            manufacturer=mfr, pattern=pattern, t_on=t_on
+        )
+    ).mean
+
+
+def test_fig4_time_series(benchmark, sweep_results):
+    series = benchmark(fig4_series, sweep_results, "time")
+    print()
+    print(series_to_csv(series))
+    for mfr in MANUFACTURERS:
+        subset = [s for s in series if s.label.startswith(f"{mfr}/")]
+        print(ascii_line_plot(
+            subset, title=f"Fig. 4 (time, ms) Mfr. {mfr}", logx=True
+        ))
+    assert len(series) == 9  # 3 manufacturers x 3 patterns
+
+
+def test_combined_beats_conventional_at_636ns(benchmark, sweep_results):
+    """Observation 1's shape at tAggON = 636 ns for every manufacturer."""
+    benchmark(_mean_time, sweep_results, "S", "combined", 636.0)
+    for mfr in MANUFACTURERS:
+        t_comb = _mean_time(sweep_results, mfr, "combined", 636.0)
+        t_ds = _mean_time(sweep_results, mfr, "double-sided", 636.0)
+        t_ss = _mean_time(sweep_results, mfr, "single-sided", 636.0)
+        assert t_comb < t_ds < t_ss, (mfr, t_comb, t_ds, t_ss)
+
+
+def test_combined_636ns_speedup_factor(benchmark, sweep_results):
+    """Paper: 33.6%-46.1% faster than double-sided RowPress at 636 ns."""
+    benchmark(_mean_time, sweep_results, "H", "combined", 636.0)
+    for mfr in MANUFACTURERS:
+        t_comb = _mean_time(sweep_results, mfr, "combined", 636.0)
+        t_ds = _mean_time(sweep_results, mfr, "double-sided", 636.0)
+        speedup = (t_ds - t_comb) / t_ds
+        paper = 1.0 - (
+            MFR_TEXT_ANCHORS[mfr].comb_time_ms_636
+            / MFR_TEXT_ANCHORS[mfr].ds_time_ms_636
+        )
+        assert abs(speedup - paper) < 0.12, (mfr, speedup, paper)
+
+
+def test_combined_converges_to_single_sided_at_70us(benchmark, sweep_results):
+    """Observation 3: similar time at tAggON = 70.2 us (paper: within ~4%;
+    with per-die censoring at the 60 ms budget the simulated averages are
+    noisier, so "similar" is asserted as within a third -- far from the
+    ~2x combined-pattern advantage at 636 ns)."""
+    benchmark(_mean_time, sweep_results, "S", "single-sided", 70_200.0)
+    for mfr in MANUFACTURERS:
+        t_comb = _mean_time(sweep_results, mfr, "combined", 70_200.0)
+        t_ss = _mean_time(sweep_results, mfr, "single-sided", 70_200.0)
+        assert abs(t_comb - t_ss) / t_ss < 0.35, (mfr, t_comb, t_ss)
+        # ... whereas at 636 ns the combined pattern is ~2x faster:
+        gap_636 = _mean_time(
+            sweep_results, mfr, "single-sided", 636.0
+        ) / _mean_time(sweep_results, mfr, "combined", 636.0)
+        assert gap_636 > 2.0, (mfr, gap_636)
+
+
+def test_absolute_times_match_paper_at_636ns(benchmark, sweep_results):
+    """Combined-pattern times at 636 ns: paper reports 6.8 / 8.5 / 14.6 ms
+    for Mfr. S / H / M.  Mfr. M's published time is inconsistent with its
+    own reduction percentages and RowHammer times (they imply ~9 ms over
+    the press-responsive dies, ~20 ms over all dies -- see
+    EXPERIMENTS.md), so only the ordering is asserted for M."""
+    benchmark(_mean_time, sweep_results, "M", "combined", 636.0)
+    for mfr in MANUFACTURERS:
+        measured = _mean_time(sweep_results, mfr, "combined", 636.0)
+        paper = MFR_TEXT_ANCHORS[mfr].comb_time_ms_636
+        if mfr in ("S", "H"):
+            assert abs(measured - paper) / paper < 0.25, (mfr, measured, paper)
+        else:
+            assert measured < _mean_time(sweep_results, mfr, "double-sided", 636.0)

@@ -1,0 +1,68 @@
+"""Fig. 5: fraction of 1-to-0 bitflips of the combined pattern vs tAggON.
+
+Samsung and Hynix dies flip mostly 0->1 at small tAggON (RowHammer
+regime) and almost exclusively 1->0 at large tAggON (RowPress regime);
+Micron dies other than the 16 Gb B-die show the *opposite* trend due to
+their anti-cell-majority layout (paper Fig. 5 + footnote).
+"""
+
+import numpy as np
+
+from repro.analysis.aggregate import aggregate_direction_fraction
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.analysis.figures import fig5_series, series_to_csv
+
+
+def _fraction(results, module, t_on):
+    return aggregate_direction_fraction(
+        results.where(module_key=module, pattern="combined", t_on=t_on)
+    ).mean
+
+
+def test_fig5_series(benchmark, sweep_results):
+    series = benchmark(fig5_series, sweep_results)
+    print()
+    print(series_to_csv(series))
+    print(ascii_line_plot(
+        series, title="Fig. 5: fraction of 1->0 bitflips (combined pattern)"
+    ))
+    assert len(series) == 14  # one series per module
+
+
+def test_samsung_hynix_fraction_rises_to_one(benchmark, sweep_results):
+    benchmark(_fraction, sweep_results, "S0", 7_800.0)
+    for module in ("S0", "S1", "S2", "S3", "S4", "H0", "H1", "H2", "H3"):
+        small = _fraction(sweep_results, module, 36.0)
+        large = _fraction(sweep_results, module, 7_800.0)
+        assert small < 0.35, (module, small)
+        assert large > 0.75, (module, large)
+
+
+def test_micron_inverted_trend_except_16gb_bdie(benchmark, sweep_results):
+    """Footnote: all Mfr. M dies except the 16 Gb B-die (M3) show the
+    1->0 fraction *decreasing* with tAggON."""
+    benchmark(_fraction, sweep_results, "M4", 7_800.0)
+    for module in ("M0", "M4"):
+        small = _fraction(sweep_results, module, 36.0)
+        large = _fraction(sweep_results, module, 7_800.0)
+        assert small > large, (module, small, large)
+    # M3 behaves like Samsung/Hynix.
+    assert _fraction(sweep_results, "M3", 7_800.0) > _fraction(
+        sweep_results, "M3", 36.0
+    )
+
+
+def test_press_immune_modules_have_hammer_directionality_only(benchmark, sweep_results):
+    """M1/M2 never flip under press, so their combined-pattern censuses
+    keep the RowHammer directionality at every tAggON that still flips."""
+    benchmark(_fraction, sweep_results, "M1", 636.0)
+    for module in ("M1", "M2"):
+        fractions = [
+            _fraction(sweep_results, module, t) for t in (36.0, 120.0)
+        ]
+        fractions = [f for f in fractions if not np.isnan(f)]
+        assert fractions, module
+        # Anti-cell-majority + hammer: mostly 1->0 while most dies still
+        # flip (beyond ~120 ns only a couple of dies clear the budget and
+        # the tiny censuses are noisy).
+        assert all(f > 0.5 for f in fractions), (module, fractions)

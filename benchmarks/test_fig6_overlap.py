@@ -1,0 +1,64 @@
+"""Fig. 6: overlap between the combined pattern's bitflips and the
+conventional patterns' bitflips vs tAggON.
+
+Top row (vs single-sided RowPress): starts small, rises above 75% once
+tAggON passes ~7.8 us (Observation 5).  Bottom row (vs double-sided
+RowPress): exactly 1.0 at tRAS (the patterns are identical), dips at
+moderate tAggON, then rises back above 75% (Observation 6).
+"""
+
+from repro.analysis.aggregate import aggregate_overlap
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.analysis.figures import fig6_series, series_to_csv
+from repro.dram.profiles import MANUFACTURERS
+
+
+def _overlap(results, mfr, conventional, t_on):
+    return aggregate_overlap(
+        results.where(manufacturer=mfr, pattern="combined", t_on=t_on),
+        results.where(manufacturer=mfr, pattern=conventional, t_on=t_on),
+    ).mean
+
+
+def test_fig6_series(benchmark, sweep_results):
+    top = benchmark(fig6_series, sweep_results, "single-sided")
+    bottom = fig6_series(sweep_results, "double-sided")
+    print()
+    print(series_to_csv(top))
+    print(series_to_csv(bottom))
+    print(ascii_line_plot(top, title="Fig. 6 top: overlap vs single-sided"))
+    print(ascii_line_plot(bottom, title="Fig. 6 bottom: overlap vs double-sided"))
+    assert len(top) == len(bottom) == 3
+
+
+def test_observation_5_single_sided_overlap_rises(benchmark, sweep_results):
+    benchmark(_overlap, sweep_results, "S", "single-sided", 7_800.0)
+    for mfr in ("S", "H"):
+        small = _overlap(sweep_results, mfr, "single-sided", 36.0)
+        large = _overlap(sweep_results, mfr, "single-sided", 7_800.0)
+        assert small < 0.55, (mfr, small)
+        assert large > 0.75, (mfr, large)
+        assert small < large
+
+
+def test_observation_6_double_sided_dip_then_rise(benchmark, sweep_results):
+    benchmark(_overlap, sweep_results, "S", "double-sided", 636.0)
+    for mfr in ("S", "H"):
+        at_tras = _overlap(sweep_results, mfr, "double-sided", 36.0)
+        at_mid = _overlap(sweep_results, mfr, "double-sided", 636.0)
+        at_large = _overlap(sweep_results, mfr, "double-sided", 7_800.0)
+        assert at_tras == 1.0, mfr  # identical patterns at tRAS
+        assert at_mid < at_tras, (mfr, at_mid)
+        assert at_large > at_mid, (mfr, at_mid, at_large)
+        assert at_large > 0.75, (mfr, at_large)
+
+
+def test_takeaway_2_different_bitflips_at_moderate_t(benchmark, sweep_results):
+    """Takeaway 2: the combined pattern induces *different* bitflips --
+    at 636 ns neither conventional pattern's flip set is fully covered."""
+    benchmark(_overlap, sweep_results, "H", "double-sided", 636.0)
+    for mfr in MANUFACTURERS:
+        ds = _overlap(sweep_results, mfr, "double-sided", 636.0)
+        ss = _overlap(sweep_results, mfr, "single-sided", 636.0)
+        assert ds < 0.9, (mfr, ds)
+        assert ss < 0.9, (mfr, ss)

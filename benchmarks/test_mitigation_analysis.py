@@ -1,0 +1,92 @@
+"""Future-work analysis (paper Section 6): mitigation implications.
+
+The paper's closing question: how do existing mitigation mechanisms need
+to change for the combined RowHammer+RowPress pattern?  This benchmark
+measures, on a synthetic module, the mitigation strength required to stop
+each pattern as tAggON grows:
+
+* Graphene's safe activation threshold must shrink roughly in proportion
+  to ACmin -- orders of magnitude below its RowHammer sizing;
+* PARA's refresh probability must rise correspondingly.
+"""
+
+import pytest
+
+from repro.mitigations import MitigationEvaluator
+from repro.patterns import COMBINED, DOUBLE_SIDED
+from repro.testing import make_synthetic_chip
+
+T_VALUES = [36.0, 636.0, 7_800.0, 70_200.0]
+THETA = 400.0
+BASE_ROW = 10
+
+
+def chip_factory():
+    return make_synthetic_chip(theta_scale=THETA, rows=64)
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    return MitigationEvaluator(chip_factory, BASE_ROW)
+
+
+def test_graphene_threshold_vs_taggon(benchmark, evaluator):
+    thresholds = {}
+    for t_on in T_VALUES:
+        thresholds[t_on] = evaluator.critical_graphene_threshold(
+            COMBINED, t_on, iterations=4_000
+        )
+    from repro.mitigations import Graphene
+
+    benchmark(
+        lambda: evaluator.run(
+            COMBINED, 7_800.0, Graphene(thresholds[7_800.0]), iterations=500
+        )
+    )
+    print()
+    print("Mitigation analysis: largest safe Graphene threshold (combined)")
+    print(f"{'tAggON ns':>10s} {'threshold':>10s}")
+    for t_on, threshold in thresholds.items():
+        print(f"{t_on:10.0f} {threshold:10d}")
+    # A Graphene deployment sized for RowHammer is unsafe under the
+    # combined pattern: the safe threshold collapses as tAggON grows.
+    assert thresholds[70_200.0] < thresholds[36.0] / 5
+    values = [thresholds[t] for t in T_VALUES]
+    assert values == sorted(values, reverse=True)
+
+
+def test_para_probability_vs_taggon(benchmark, evaluator):
+    probabilities = {}
+    for t_on in (36.0, 70_200.0):
+        probabilities[t_on] = evaluator.critical_para_probability(
+            COMBINED, t_on, iterations=4_000, tolerance=0.03, trials=2
+        )
+    benchmark(
+        evaluator.critical_para_probability,
+        COMBINED,
+        7_800.0,
+        iterations=500,
+        tolerance=0.2,
+        trials=1,
+    )
+    print()
+    print("Mitigation analysis: minimum protective PARA probability (combined)")
+    for t_on, p in probabilities.items():
+        print(f"  tAggON {t_on:8.0f} ns: p >= {p:.3f}")
+    # RowPress shrinks ACmin, forcing a (much) more aggressive PARA.
+    assert probabilities[70_200.0] > 1.5 * probabilities[36.0]
+
+
+def test_combined_needs_stronger_graphene_than_rowhammer_sizing(benchmark, evaluator):
+    """Sizing Graphene by the RowHammer ACmin (the pre-RowPress practice)
+    leaves the combined pattern unmitigated."""
+    benchmark(lambda: chip_factory())
+    hammer_safe = evaluator.critical_graphene_threshold(
+        DOUBLE_SIDED, 36.0, iterations=4_000
+    )
+    from repro.mitigations import Graphene
+
+    result = evaluator.run(
+        COMBINED, 70_200.0, Graphene(threshold=hammer_safe), iterations=4_000
+    )
+    assert not result.protected

@@ -1,0 +1,98 @@
+"""Observations 1-3: the running-text headline numbers, measured vs paper.
+
+Prints a compact comparison table of every quantitative claim in
+Section 4's text and asserts each within tolerance (the substrate is a
+calibrated simulator: shapes and factors must hold, not raw silicon
+noise).
+"""
+
+from repro.analysis.aggregate import (
+    aggregate_acmin,
+    aggregate_time_ms,
+    exclude_press_immune,
+)
+from repro.dram.profiles import MANUFACTURERS, MFR_TEXT_ANCHORS
+
+
+def _time(results, mfr, pattern, t_on):
+    return aggregate_time_ms(
+        exclude_press_immune(results).where(
+            manufacturer=mfr, pattern=pattern, t_on=t_on
+        )
+    ).mean
+
+
+def _acmin(results, mfr, pattern, t_on):
+    return aggregate_acmin(
+        results.where(manufacturer=mfr, pattern=pattern, t_on=t_on)
+    ).mean
+
+
+def _reduction_per_module(results, mfr, pattern):
+    """ACmin reduction at 636 ns vs 36 ns, averaged per module.
+
+    Press-immune modules (M1/M2) are excluded: their dies mostly report
+    No Bitflip at 636 ns, and which of them enter the censored average is
+    exactly the ambiguity that distorts naive cross-die aggregates.
+    """
+    from repro.dram.profiles import MODULE_PROFILES
+
+    reductions = []
+    for key, profile in MODULE_PROFILES.items():
+        if profile.manufacturer != mfr or profile.press_immune:
+            continue
+        base = aggregate_acmin(
+            results.where(module_key=key, pattern=pattern, t_on=36.0)
+        ).mean
+        at_636 = aggregate_acmin(
+            results.where(module_key=key, pattern=pattern, t_on=636.0)
+        ).mean
+        reductions.append(1.0 - at_636 / base)
+    return sum(reductions) / len(reductions)
+
+
+def test_observation_text_numbers(benchmark, sweep_results):
+    benchmark(lambda: aggregate_time_ms(sweep_results.where(t_on=636.0)))
+    rows = []
+    for mfr in MANUFACTURERS:
+        anchors = MFR_TEXT_ANCHORS[mfr]
+        comb_636 = _time(sweep_results, mfr, "combined", 636.0)
+        ds_636 = _time(sweep_results, mfr, "double-sided", 636.0)
+        ss_636 = _time(sweep_results, mfr, "single-sided", 636.0)
+        comb_70 = _time(sweep_results, mfr, "combined", 70_200.0)
+        ss_70 = _time(sweep_results, mfr, "single-sided", 70_200.0)
+        red_comb = _reduction_per_module(sweep_results, mfr, "combined")
+        red_ds = _reduction_per_module(sweep_results, mfr, "double-sided")
+        rows.append((mfr, comb_636, ds_636, ss_636, comb_70, ss_70,
+                     red_comb, red_ds, anchors))
+    print()
+    print("Observations 1-3 headline numbers (measured | paper):")
+    header = (f"{'mfr':3s} {'comb@636ms':>16s} {'ds@636ms':>16s} "
+              f"{'ss@636ms':>16s} {'comb@70.2ms':>16s} {'ss@70.2ms':>16s} "
+              f"{'red_comb':>14s} {'red_ds':>14s}")
+    print(header)
+    for mfr, c6, d6, s6, c70, s70, rc, rd, a in rows:
+        print(
+            f"{mfr:3s} {c6:7.1f}|{a.comb_time_ms_636:<8.1f}"
+            f"{d6:7.1f}|{a.ds_time_ms_636:<8.1f}"
+            f"{s6:7.1f}|{a.ss_time_ms_636:<8.1f}"
+            f"{c70:7.1f}|{a.comb_time_ms_70p2:<8.1f}"
+            f"{s70:7.1f}|{a.ss_time_ms_70p2:<8.1f}"
+            f"{rc:6.1%}|{a.comb_reduction_636:<6.1%} "
+            f"{rd:6.1%}|{a.ds_rp_reduction_636:<6.1%}"
+        )
+    for mfr, c6, d6, s6, c70, s70, rc, rd, a in rows:
+        # The ACmin reductions are primary anchors and must match tightly.
+        assert abs(rc - a.comb_reduction_636) < 0.06, mfr
+        assert abs(rd - a.ds_rp_reduction_636) < 0.06, mfr
+        assert abs(s6 - a.ss_time_ms_636) / a.ss_time_ms_636 < 0.25, mfr
+        assert abs(s70 - a.ss_time_ms_70p2) / a.ss_time_ms_70p2 < 0.25, mfr
+        if mfr in ("S", "H"):
+            assert abs(c6 - a.comb_time_ms_636) / a.comb_time_ms_636 < 0.25, mfr
+            assert abs(d6 - a.ds_time_ms_636) / a.ds_time_ms_636 < 0.25, mfr
+        else:
+            # Mfr. M's published 636 ns times are inconsistent with its own
+            # reduction percentages and RowHammer times (they imply ~20 ms,
+            # the paper prints 14.6 ms) -- see EXPERIMENTS.md.  The shape
+            # claim (combined fastest) is asserted instead.
+            assert c6 < d6 < s6, mfr

@@ -1,0 +1,15 @@
+"""Table 1: the DDR4 chip inventory (84 chips, 14 modules, 3 vendors)."""
+
+from repro.analysis.tables import format_table, table1_inventory
+from repro.dram.profiles import total_chips
+
+
+def test_table1_inventory(benchmark):
+    rows = benchmark(table1_inventory)
+    print()
+    print("Table 1: DDR4 DRAM chips tested")
+    print(format_table(rows))
+    assert len(rows) == 14
+    assert total_chips() == 84
+    manufacturers = {r["manufacturer"] for r in rows}
+    assert manufacturers == {"Samsung", "SK Hynix", "Micron"}

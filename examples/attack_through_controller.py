@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The combined RH+RP pattern as an *unprivileged* access sequence.
+
+The paper characterizes with raw DRAM commands; an attacker only has
+loads and stores.  This example replays the combined pattern as ordinary
+read requests through a realistic FR-FCFS memory controller and shows
+that the row-buffer policy decides whether the attack works:
+
+* open-page: paced reads keep the aggressor row open -> RowPress +
+  RowHammer -> victim bitflips;
+* closed-page: the same requests are harmless (press half stripped);
+* open-page + normal refresh: the exposure per stretch is capped near
+  tREFI -- still ~200x tRAS.
+
+Run:  python examples/attack_through_controller.py
+"""
+
+import numpy as np
+
+from repro.mc import (
+    Access,
+    ClosedPagePolicy,
+    MemRequest,
+    MemoryController,
+    OpenPagePolicy,
+)
+from repro.mc.workloads import combined_stream
+from repro.testing import make_synthetic_chip
+
+COLS = 64
+VICTIM = 11
+
+
+def run(policy, refresh: bool) -> tuple:
+    chip = make_synthetic_chip(theta_scale=1_500.0, rows=64, cols=COLS)
+    mc = MemoryController(chip, policy=policy, refresh_enabled=refresh)
+    writes = [
+        MemRequest(float(i * 100), Access.WRITE, 0, row,
+                   data=np.ones(COLS, dtype=np.uint8))
+        for i, row in enumerate((9, 10, 11, 12, 13))
+    ]
+    mc.process(writes)
+    mc.process(combined_stream(10, n_iterations=250, press_ns=30_000.0,
+                               start_ns=2_000.0))
+    data = mc.process([MemRequest(mc.now + 200.0, Access.READ, 0, VICTIM)])[0]
+    return int((data != 1).sum()), mc.stats
+
+
+def main() -> None:
+    print("250 combined-pattern request pairs (reads only), victim row "
+          f"{VICTIM}:")
+    print()
+    for label, policy, refresh in (
+        ("open-page, no refresh ", OpenPagePolicy(), False),
+        ("open-page + refresh   ", OpenPagePolicy(), True),
+        ("closed-page           ", ClosedPagePolicy(), False),
+    ):
+        flips, stats = run(policy, refresh)
+        print(f"  {label}: {flips:3d} victim bitflips | "
+              f"max row-open {stats.max_row_open_ns / 1000:7.1f} us | "
+              f"{stats.activations} ACTs, {stats.row_hits} row hits, "
+              f"{stats.refreshes} REFs")
+    print()
+    print("The access stream is identical in all three rows -- only the")
+    print("controller's row-buffer policy changes.  Open-page converts the")
+    print("attacker's pacing into aggressor row-open time, which is the")
+    print("paper's tAggON knob reached from user space.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""How much stronger must mitigations get under combined RH+RP?
+
+The paper's future-work question (Section 6): existing RowHammer
+mitigations are sized by the RowHammer ACmin -- what happens when the
+aggressor also keeps its row open (RowPress)?  This example measures, on
+a synthetic chip, the Graphene counting threshold and PARA refresh
+probability required to stop the combined pattern as tAggON grows.
+
+Run:  python examples/mitigation_gap.py
+"""
+
+from repro.mitigations import Graphene, MitigationEvaluator
+from repro.patterns import COMBINED, DOUBLE_SIDED
+from repro.testing import make_synthetic_chip
+
+T_VALUES = [36.0, 636.0, 7_800.0, 70_200.0]
+
+
+def chip_factory():
+    return make_synthetic_chip(theta_scale=400.0, rows=64)
+
+
+def main() -> None:
+    evaluator = MitigationEvaluator(chip_factory, base_row=10)
+
+    print("Largest safe Graphene threshold vs tAggON (combined pattern):")
+    print(f"{'tAggON':>10s} {'threshold':>10s}")
+    thresholds = {}
+    for t_on in T_VALUES:
+        thresholds[t_on] = evaluator.critical_graphene_threshold(
+            COMBINED, t_on, iterations=4_000
+        )
+        print(f"{t_on:8.0f}ns {thresholds[t_on]:10d}")
+
+    hammer_sizing = evaluator.critical_graphene_threshold(
+        DOUBLE_SIDED, 36.0, iterations=4_000
+    )
+    print()
+    print(f"A deployment sized for RowHammer (threshold {hammer_sizing}) "
+          f"faces a combined pattern that flips at threshold "
+          f"{thresholds[70_200.0]} -- {hammer_sizing / thresholds[70_200.0]:.0f}x "
+          "too lenient.")
+
+    print()
+    print("Minimum protective PARA probability (combined pattern):")
+    for t_on in (36.0, 70_200.0):
+        p = evaluator.critical_para_probability(
+            COMBINED, t_on, iterations=4_000, tolerance=0.03, trials=2
+        )
+        print(f"  tAggON {t_on:8.0f}ns: p >= {p:.3f}")
+
+    print()
+    print("Verifying the gap concretely: RowHammer-sized Graphene vs the")
+    print("combined pattern at tAggON = 70.2 us ...")
+    result = evaluator.run(
+        COMBINED, 70_200.0, Graphene(threshold=hammer_sizing), iterations=4_000
+    )
+    verdict = "DEFEATED" if not result.protected else "held"
+    print(f"  -> mitigation {verdict}: {result.n_flips} victim bitflips, "
+          f"{result.neighbor_refreshes} targeted refreshes issued")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: measure the combined RowHammer+RowPress pattern.
+
+Builds the calibrated simulated Samsung S0 module (Table 2), measures
+ACmin and time-to-first-bitflip for the three access patterns at the
+paper's anchor on-times, and prints a compact comparison -- the headline
+result of the paper in ~20 lines of user code.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CharacterizationConfig,
+    CharacterizationRunner,
+    build_module,
+)
+from repro.patterns import ALL_PATTERNS
+
+
+def main() -> None:
+    config = CharacterizationConfig()
+    module = build_module("S0", config)
+    runner = CharacterizationRunner(config)
+
+    print(f"Module {module.key}: {module.n_dies} dies, "
+          f"{module.profile.organization.density_gbit} Gb "
+          f"{module.profile.organization.org_label}, "
+          f"die rev. {module.profile.die_rev}")
+    print()
+    print(f"{'pattern':14s} {'tAggON':>10s} {'ACmin (die 0)':>14s} "
+          f"{'time to 1st flip':>17s}")
+    for pattern in ALL_PATTERNS:
+        for t_on in (36.0, 636.0, 7_800.0, 70_200.0):
+            m = runner.measure(module, die=0, pattern=pattern, t_on=t_on)
+            acmin = f"{m.acmin:,}" if m.acmin is not None else "No Bitflip"
+            time_ms = (
+                f"{m.time_to_first_ms:8.2f} ms"
+                if m.time_to_first_ms is not None
+                else "-"
+            )
+            print(f"{pattern.name:14s} {t_on:8.0f}ns {acmin:>14s} {time_ms:>17s}")
+    print()
+    print("Note how the combined pattern reaches the first bitflip fastest")
+    print("at moderate tAggON (Observation 1) while needing slightly more")
+    print("activations than double-sided RowPress (Observation 2).")
+
+
+if __name__ == "__main__":
+    main()

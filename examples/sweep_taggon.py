@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Fig. 4-style tAggON sweep over one manufacturer's modules.
+
+Characterizes all Samsung modules across a log-spaced tAggON sweep with
+all three patterns and renders the time-to-first-bitflip and ACmin curves
+as ASCII plots plus CSV -- the same series the paper's Fig. 4 plots.
+
+Run:  python examples/sweep_taggon.py [manufacturer]   (S, H, or M)
+"""
+
+import sys
+
+from repro import CharacterizationConfig, CharacterizationRunner
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.analysis.figures import fig4_series, series_to_csv
+from repro.cli import sweep_points
+from repro.patterns import ALL_PATTERNS
+from repro.system import build_all_modules
+
+
+def main() -> None:
+    manufacturer = sys.argv[1] if len(sys.argv) > 1 else "S"
+    config = CharacterizationConfig()
+    modules = build_all_modules(config, manufacturer=manufacturer)
+    runner = CharacterizationRunner(config)
+
+    t_values = sweep_points(9, t_max=70_200.0)
+    print(f"Sweeping {len(modules)} Mfr.-{manufacturer} modules over "
+          f"{len(t_values)} tAggON points ...")
+    results = runner.characterize(modules, t_values, ALL_PATTERNS, trials=1)
+
+    time_series = fig4_series(results, metric="time")
+    acmin_series = fig4_series(results, metric="acmin")
+    print()
+    print(ascii_line_plot(
+        time_series,
+        title=f"Time to first bitflip (ms) vs tAggON -- Mfr. {manufacturer}",
+    ))
+    print(ascii_line_plot(
+        acmin_series,
+        logy=True,
+        title=f"ACmin vs tAggON -- Mfr. {manufacturer}",
+    ))
+    print("CSV series:")
+    print(series_to_csv(time_series))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro -- simulation-based reproduction of "An Experimental
+Characterization of Combined RowHammer and RowPress Read Disturbance in
+Modern DRAM Chips" (Luo et al., DSN Disrupt 2024).
+
+Quickstart::
+
+    from repro import build_module, CharacterizationConfig
+    from repro.core import CharacterizationRunner
+    from repro.patterns import COMBINED
+
+    config = CharacterizationConfig()
+    module = build_module("S0", config)
+    runner = CharacterizationRunner(config)
+    m = runner.measure(module, die=0, pattern=COMBINED, t_on=7_800.0)
+    print(m.acmin, m.time_to_first_ms)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison of every table and figure.
+"""
+
+from repro.constants import DDR4Timings, DEFAULT_TIMINGS
+from repro.core.experiment import CharacterizationConfig
+from repro.core.results import DieMeasurement, ResultSet
+from repro.core.runner import CharacterizationRunner
+from repro.dram.profiles import MODULE_PROFILES, get_profile
+from repro.patterns import ALL_PATTERNS, COMBINED, DOUBLE_SIDED, SINGLE_SIDED
+from repro.system import build_all_modules, build_module, build_modules
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DDR4Timings",
+    "DEFAULT_TIMINGS",
+    "CharacterizationConfig",
+    "DieMeasurement",
+    "ResultSet",
+    "CharacterizationRunner",
+    "MODULE_PROFILES",
+    "get_profile",
+    "ALL_PATTERNS",
+    "COMBINED",
+    "DOUBLE_SIDED",
+    "SINGLE_SIDED",
+    "build_all_modules",
+    "build_module",
+    "build_modules",
+    "__version__",
+]

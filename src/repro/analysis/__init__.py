@@ -1,0 +1,78 @@
+"""Analysis layer: aggregation, table and figure generation.
+
+Turns :class:`~repro.core.results.ResultSet` measurement collections into
+the paper's artifacts: manufacturer-level mean +/- std series (Fig. 4),
+bitflip-direction fractions (Fig. 5), overlap curves (Fig. 6), the per-
+module anchor table (Table 2), and the chip inventory (Table 1) -- as CSV
+rows and quick ASCII plots.
+"""
+
+from repro.analysis.aggregate import (
+    AggregatePoint,
+    aggregate_acmin,
+    aggregate_time_ms,
+    aggregate_direction_fraction,
+    aggregate_overlap,
+    exclude_press_immune,
+)
+from repro.analysis.crossover import (
+    AdvantagePoint,
+    advantage_series,
+    convergence_point,
+    peak_advantage,
+)
+from repro.analysis.spatial import (
+    RoleBreakdown,
+    column_histogram,
+    flips_per_row,
+    role_breakdown,
+)
+from repro.analysis.stats import (
+    BootstrapCI,
+    WeibullFit,
+    bootstrap_mean_ci,
+    censored_mean,
+    fit_weibull,
+    geometric_mean,
+)
+from repro.analysis.figures import (
+    Fig4Series,
+    fig4_series,
+    fig5_series,
+    fig6_series,
+    series_to_csv,
+)
+from repro.analysis.tables import table1_inventory, table2_rows, format_table
+from repro.analysis.ascii_plot import ascii_line_plot
+
+__all__ = [
+    "AggregatePoint",
+    "aggregate_acmin",
+    "aggregate_time_ms",
+    "aggregate_direction_fraction",
+    "aggregate_overlap",
+    "exclude_press_immune",
+    "AdvantagePoint",
+    "advantage_series",
+    "convergence_point",
+    "peak_advantage",
+    "RoleBreakdown",
+    "column_histogram",
+    "flips_per_row",
+    "role_breakdown",
+    "BootstrapCI",
+    "WeibullFit",
+    "bootstrap_mean_ci",
+    "censored_mean",
+    "fit_weibull",
+    "geometric_mean",
+    "Fig4Series",
+    "fig4_series",
+    "fig5_series",
+    "fig6_series",
+    "series_to_csv",
+    "table1_inventory",
+    "table2_rows",
+    "format_table",
+    "ascii_line_plot",
+]

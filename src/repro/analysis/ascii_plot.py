@@ -1,0 +1,77 @@
+"""Minimal ASCII line plots for benchmark output.
+
+The benchmark harness prints each figure's series as CSV *and* as a quick
+log-x ASCII plot so the curve shapes (who wins, where the crossover falls)
+are visible directly in the pytest output without any plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+#: Glyphs assigned to series in order.
+_GLYPHS = "ox+*#@%&"
+
+
+def ascii_line_plot(
+    series: Sequence,
+    width: int = 72,
+    height: int = 18,
+    logx: bool = True,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render Fig4Series-like objects (``t_values``, ``means``, ``label``)
+    as an ASCII plot.  NaN points are skipped."""
+    points = []
+    for s in series:
+        pts = [
+            (t, y)
+            for t, y in zip(s.t_values, s.means)
+            if y == y and (not logy or y > 0)
+        ]
+        points.append(pts)
+    all_pts = [p for pts in points for p in pts]
+    if not all_pts:
+        return f"{title}\n(no data)\n"
+    xs = [p[0] for p in all_pts]
+    ys = [p[1] for p in all_pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    def x_pos(x: float) -> int:
+        if logx:
+            if x_hi == x_lo:
+                return 0
+            frac = math.log(x / x_lo) / math.log(x_hi / x_lo)
+        else:
+            frac = (x - x_lo) / (x_hi - x_lo)
+        return min(width - 1, max(0, int(round(frac * (width - 1)))))
+
+    def y_pos(y: float) -> int:
+        if logy:
+            frac = math.log(y / y_lo) / math.log(y_hi / y_lo)
+        else:
+            frac = (y - y_lo) / (y_hi - y_lo)
+        return min(height - 1, max(0, int(round(frac * (height - 1)))))
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for idx, pts in enumerate(points):
+        glyph = _GLYPHS[idx % len(_GLYPHS)]
+        for x, y in pts:
+            grid[height - 1 - y_pos(y)][x_pos(x)] = glyph
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_lo:.4g} .. {y_hi:.4g}" + ("  (log y)" if logy else ""))
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"x: {x_lo:.4g} .. {x_hi:.4g} ns" + ("  (log x)" if logx else "")
+    )
+    for idx, s in enumerate(series):
+        lines.append(f"  {_GLYPHS[idx % len(_GLYPHS)]} = {s.label}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,92 @@
+"""Crossover analysis of the Fig. 4 time curves.
+
+Two crossovers define the combined pattern's useful regime (paper
+Observations 1 and 3):
+
+* below some tAggON the combined pattern's time advantage over
+  double-sided RowPress *opens up* (it is ~0 at tRAS where the patterns
+  coincide, widest in the mid-range);
+* at large tAggON the combined curve *converges* to the single-sided
+  RowPress curve (Hypothesis 2: press dominates).
+
+:func:`advantage_series` and :func:`convergence_point` quantify both from
+a measurement sweep, giving the benchmark a number ("where does the
+crossover fall") instead of an eyeballed plot.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.aggregate import aggregate_time_ms
+from repro.core.results import ResultSet
+
+
+@dataclass(frozen=True)
+class AdvantagePoint:
+    """Relative time advantage of the combined pattern at one tAggON."""
+
+    t_on: float
+    combined_ms: float
+    reference_ms: float
+
+    @property
+    def advantage(self) -> float:
+        """Fractional speedup vs the reference pattern (positive =
+        combined is faster)."""
+        return (self.reference_ms - self.combined_ms) / self.reference_ms
+
+
+def advantage_series(
+    results: ResultSet, reference_pattern: str = "double-sided"
+) -> List[AdvantagePoint]:
+    """Combined-vs-reference time advantage across the sweep.
+
+    Points where either pattern observed no bitflip are skipped.
+    """
+    out: List[AdvantagePoint] = []
+    for t_on in results.t_values():
+        combined = aggregate_time_ms(
+            results.where(pattern="combined", t_on=t_on)
+        ).mean
+        reference = aggregate_time_ms(
+            results.where(pattern=reference_pattern, t_on=t_on)
+        ).mean
+        if math.isnan(combined) or math.isnan(reference):
+            continue
+        out.append(AdvantagePoint(t_on, combined, reference))
+    return out
+
+
+def peak_advantage(
+    results: ResultSet, reference_pattern: str = "double-sided"
+) -> Optional[AdvantagePoint]:
+    """The sweep point where the combined pattern's speedup is largest."""
+    series = advantage_series(results, reference_pattern)
+    if not series:
+        return None
+    return max(series, key=lambda p: p.advantage)
+
+
+def convergence_point(
+    results: ResultSet,
+    tolerance: float = 0.15,
+    reference_pattern: str = "single-sided",
+) -> Optional[float]:
+    """Smallest tAggON from which the combined and reference times stay
+    within ``tolerance`` of each other for the rest of the sweep
+    (Observation 3's convergence), or ``None`` if they never converge.
+    """
+    series = advantage_series(results, reference_pattern)
+    if not series:
+        return None
+    converged_from: Optional[float] = None
+    for point in series:
+        if abs(point.advantage) <= tolerance:
+            if converged_from is None:
+                converged_from = point.t_on
+        else:
+            converged_from = None
+    return converged_from

@@ -1,0 +1,154 @@
+"""Programmatic paper-vs-measured comparison report.
+
+Produces the EXPERIMENTS.md-style comparison from a measurement set: one
+record per published quantity (Table 2 cell, Observation 1-3 text
+anchor), each carrying the measured value, the paper's value, the
+relative error and a verdict.  The CLI exposes it as
+``repro-characterize report``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.aggregate import (
+    aggregate_acmin,
+    aggregate_time_ms,
+    exclude_press_immune,
+)
+from repro.analysis.tables import TABLE2_COLUMNS
+from repro.core.results import ResultSet
+from repro.dram.profiles import (
+    MANUFACTURERS,
+    MFR_TEXT_ANCHORS,
+    MODULE_PROFILES,
+)
+
+#: Verdict thresholds on the relative error.
+_MATCH = 0.10
+_CLOSE = 0.25
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One published quantity, measured vs paper."""
+
+    artifact: str  # e.g. "Table 2" / "Obs. 1"
+    cell: str  # e.g. "S0 Comb @ 7.8us [acmin]"
+    measured: Optional[float]
+    paper: Optional[float]
+
+    @property
+    def relative_error(self) -> Optional[float]:
+        if self.measured is None or self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / self.paper
+
+    @property
+    def verdict(self) -> str:
+        if self.paper is None and self.measured is None:
+            return "match (No Bitflip)"
+        if self.paper is None:
+            return "MISMATCH (paper: No Bitflip)"
+        if self.measured is None:
+            return "MISMATCH (measured: No Bitflip)"
+        err = abs(self.relative_error)
+        if err <= _MATCH:
+            return "match"
+        if err <= _CLOSE:
+            return "close"
+        return "DEVIATION"
+
+
+def _mean_acmin(results: ResultSet, **where) -> Optional[float]:
+    point = aggregate_acmin(results.where(**where))
+    return None if math.isnan(point.mean) else point.mean
+
+
+def table2_comparison(results: ResultSet) -> List[ComparisonRow]:
+    """One row per published Table 2 ACmin average."""
+    rows: List[ComparisonRow] = []
+    for key in sorted(MODULE_PROFILES):
+        profile = MODULE_PROFILES[key]
+        for label, pattern, t_on in TABLE2_COLUMNS:
+            if pattern == "double-sided" and t_on == 36.0:
+                paper: Optional[float] = float(profile.acmin_rh36[0])
+            else:
+                table = (
+                    profile.acmin_rp
+                    if pattern == "double-sided"
+                    else profile.acmin_combined
+                )
+                pair = table.get(t_on)
+                paper = None if pair is None else float(pair[0])
+            measured = _mean_acmin(
+                results, module_key=key, pattern=pattern, t_on=t_on
+            )
+            rows.append(
+                ComparisonRow(
+                    artifact="Table 2",
+                    cell=f"{key} {label}",
+                    measured=measured,
+                    paper=paper,
+                )
+            )
+    return rows
+
+
+def text_anchor_comparison(results: ResultSet) -> List[ComparisonRow]:
+    """Observation 1-3 headline times (over press-responsive dies)."""
+    rows: List[ComparisonRow] = []
+    responsive = exclude_press_immune(results)
+    for mfr in MANUFACTURERS:
+        anchors = MFR_TEXT_ANCHORS[mfr]
+        cells = (
+            ("combined", 636.0, anchors.comb_time_ms_636, "Obs. 1"),
+            ("double-sided", 636.0, anchors.ds_time_ms_636, "Obs. 1"),
+            ("single-sided", 636.0, anchors.ss_time_ms_636, "Obs. 1"),
+            ("combined", 70_200.0, anchors.comb_time_ms_70p2, "Obs. 3"),
+            ("single-sided", 70_200.0, anchors.ss_time_ms_70p2, "Obs. 3"),
+        )
+        for pattern, t_on, paper, artifact in cells:
+            point = aggregate_time_ms(
+                responsive.where(manufacturer=mfr, pattern=pattern, t_on=t_on)
+            )
+            measured = None if math.isnan(point.mean) else point.mean
+            rows.append(
+                ComparisonRow(
+                    artifact=artifact,
+                    cell=f"Mfr {mfr} {pattern} @ {t_on:g}ns [ms]",
+                    measured=measured,
+                    paper=paper,
+                )
+            )
+    return rows
+
+
+def full_report(results: ResultSet) -> str:
+    """Render the whole comparison as an aligned text report."""
+    rows = table2_comparison(results) + text_anchor_comparison(results)
+    lines = [
+        f"{'artifact':8s}  {'cell':38s} {'measured':>10s} {'paper':>10s} "
+        f"{'err':>7s}  verdict",
+        "-" * 92,
+    ]
+    matches = 0
+    for row in rows:
+        measured = "NB" if row.measured is None else f"{row.measured:.4g}"
+        paper = "NB" if row.paper is None else f"{row.paper:.4g}"
+        err = (
+            "-"
+            if row.relative_error is None
+            else f"{100 * row.relative_error:+.0f}%"
+        )
+        if row.verdict.startswith("match"):
+            matches += 1
+        lines.append(
+            f"{row.artifact:8s}  {row.cell:38s} {measured:>10s} {paper:>10s} "
+            f"{err:>7s}  {row.verdict}"
+        )
+    lines.append("-" * 92)
+    lines.append(f"{matches}/{len(rows)} cells match within {_MATCH:.0%}")
+    return "\n".join(lines) + "\n"

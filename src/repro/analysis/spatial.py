@@ -1,0 +1,109 @@
+"""Spatial analysis of bitflip censuses.
+
+Prior work (paper ref [75], HPCA 2024) shows read-disturbance
+vulnerability varies spatially; for the combined pattern the immediately
+interesting spatial questions are which *victim role* flips (the inner
+victim between the aggressors vs the outer victims) and how flips spread
+along the row.  These reductions drive the spatial-distribution
+benchmark and give downstream mitigation studies (e.g. blast-radius
+sizing) the numbers they need.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Tuple
+
+from repro.core.bitflips import BitflipCensus
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class RoleBreakdown:
+    """Bitflip counts per victim role.
+
+    ``inner`` is the victim between the two aggressors; ``outer`` are the
+    rows one beyond each aggressor; ``elsewhere`` should be zero for a
+    blast radius of 1 (its nonzero-ness is itself a finding).
+    """
+
+    inner: int
+    outer: int
+    elsewhere: int
+
+    @property
+    def total(self) -> int:
+        return self.inner + self.outer + self.elsewhere
+
+    @property
+    def inner_fraction(self) -> float:
+        return self.inner / self.total if self.total else float("nan")
+
+
+def role_breakdown(
+    census: BitflipCensus, base_rows: Iterable[int]
+) -> RoleBreakdown:
+    """Classify each flipped cell by its victim role.
+
+    ``base_rows`` are the pattern locations' base physical rows (the
+    lower aggressor of each triple, as used by the runner).
+    """
+    inner_rows = set()
+    outer_rows = set()
+    for base in base_rows:
+        inner_rows.add(base + 1)
+        outer_rows.update((base - 1, base + 3))
+    overlap = inner_rows & outer_rows
+    if overlap:
+        raise ExperimentError(
+            f"pattern locations share victim rows: {sorted(overlap)[:4]}"
+        )
+    inner = outer = elsewhere = 0
+    for row, _col in census.all_flips:
+        if row in inner_rows:
+            inner += 1
+        elif row in outer_rows:
+            outer += 1
+        else:
+            elsewhere += 1
+    return RoleBreakdown(inner=inner, outer=outer, elsewhere=elsewhere)
+
+
+def flips_per_row(census: BitflipCensus) -> Dict[int, int]:
+    """Histogram of flips over physical rows."""
+    return dict(Counter(row for row, _ in census.all_flips))
+
+
+def column_histogram(
+    census: BitflipCensus, n_cols: int, n_bins: int = 8
+) -> Tuple[int, ...]:
+    """Histogram of flips over equal column bins (spatial spread along
+    the row)."""
+    if n_bins < 1 or n_cols < n_bins:
+        raise ExperimentError("need at least one column per bin")
+    bins = [0] * n_bins
+    for _row, col in census.all_flips:
+        if not 0 <= col < n_cols:
+            raise ExperimentError(f"column {col} outside the row ({n_cols})")
+        bins[col * n_bins // n_cols] += 1
+    return tuple(bins)
+
+
+def column_spread_is_uniform(
+    histogram: Mapping[int, int] | Tuple[int, ...],
+    tolerance: float = 0.5,
+) -> bool:
+    """Chi-square-style uniformity check of a column histogram.
+
+    Returns ``True`` when no bin deviates from the uniform expectation by
+    more than ``tolerance`` (relative).  With per-cell i.i.d.
+    susceptibility the spread should be uniform; clustering would signal
+    a modeling or layout artifact.
+    """
+    values = list(histogram.values()) if isinstance(histogram, Mapping) else list(histogram)
+    total = sum(values)
+    if total == 0:
+        return True
+    expected = total / len(values)
+    return all(abs(v - expected) <= tolerance * expected + 3 for v in values)

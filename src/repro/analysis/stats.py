@@ -1,0 +1,139 @@
+"""Statistical helpers for characterization data.
+
+ACmin is an extreme-value statistic (the weakest cell of a large
+population), so die-to-die ACmin samples are well described by Weibull
+minima; this module provides the fits and bootstrap confidence intervals
+the characterization literature reports, plus small utilities shared by
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import rng
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class WeibullFit:
+    """Weibull(shape, scale) fit of a positive-valued sample.
+
+    ``quantile(q)`` gives e.g. the 1% weakest-die ACmin a deployment
+    should provision mitigations for.
+    """
+
+    shape: float
+    scale: float
+    n: int
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            raise ExperimentError("quantile must be in (0, 1)")
+        return self.scale * (-math.log(1.0 - q)) ** (1.0 / self.shape)
+
+    def mean(self) -> float:
+        return self.scale * math.gamma(1.0 + 1.0 / self.shape)
+
+
+def fit_weibull(values: Sequence[float]) -> WeibullFit:
+    """Method-of-moments-initialized maximum-likelihood Weibull fit.
+
+    Uses the standard profile-likelihood iteration for the shape (the
+    scale has a closed form given the shape).  Requires at least three
+    positive samples.
+    """
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if data.size < 3:
+        raise ExperimentError("Weibull fit needs at least 3 samples")
+    if (data <= 0).any():
+        raise ExperimentError("Weibull fit needs positive samples")
+    log_x = np.log(data)
+    log_max = float(log_x.max())
+    # Initial shape from the log-variance (method of moments).
+    std = log_x.std()
+    shape = (math.pi / math.sqrt(6.0)) / std if std > 1e-12 else 50.0
+    for _ in range(100):
+        # x**shape computed relative to the sample maximum for numerical
+        # stability (large ACmin values overflow float64 otherwise).
+        xk = np.exp(shape * (log_x - log_max))
+        a = float((xk * log_x).sum() / xk.sum())
+        b = float(log_x.mean())
+        new_shape = 1.0 / (a - b) if a - b > 1e-12 else shape
+        new_shape = min(max(new_shape, 1e-3), 1e3)
+        if abs(new_shape - shape) < 1e-9 * shape:
+            shape = new_shape
+            break
+        shape = 0.5 * (shape + new_shape)
+    xk = np.exp(shape * (log_x - log_max))
+    scale = float(math.exp(log_max + math.log(float(xk.mean())) / shape))
+    return WeibullFit(shape=shape, scale=scale, n=int(data.size))
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile bootstrap confidence interval of a sample statistic."""
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2_000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of the mean (die counts are small; normal theory is
+    not appropriate)."""
+    data = np.asarray([v for v in values if v is not None], dtype=float)
+    if data.size < 2:
+        raise ExperimentError("bootstrap needs at least 2 samples")
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError("confidence must be in (0, 1)")
+    gen = rng.stream("bootstrap", seed, int(data.size))
+    idx = gen.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapCI(
+        estimate=float(data.mean()),
+        low=float(np.quantile(means, alpha)),
+        high=float(np.quantile(means, 1.0 - alpha)),
+        confidence=confidence,
+    )
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for multi-order-of-magnitude
+    ACmin comparisons across tAggON)."""
+    data = np.asarray(list(values), dtype=float)
+    if data.size == 0:
+        raise ExperimentError("geometric mean of an empty sample")
+    if (data <= 0).any():
+        raise ExperimentError("geometric mean needs positive values")
+    return float(np.exp(np.log(data).mean()))
+
+
+def censored_mean(
+    values: Sequence[Optional[float]], limit: float
+) -> Tuple[float, int, int]:
+    """Mean of values at or below ``limit`` (the 60 ms-budget semantics).
+
+    Returns ``(mean, n_included, n_total)``; mean is NaN when nothing
+    qualifies.
+    """
+    total = 0
+    included: List[float] = []
+    for v in values:
+        total += 1
+        if v is not None and v <= limit:
+            included.append(v)
+    if not included:
+        return (float("nan"), 0, total)
+    return (float(np.mean(included)), len(included), total)

@@ -1,0 +1,134 @@
+"""Table generation (Tables 1 and 2 of the paper).
+
+Table 1 is the static chip inventory; Table 2 is the per-module ACmin and
+time-to-first-bitflip summary at the three anchor on-times, generated from
+measurements and printable side by side with the paper's values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.results import ResultSet
+from repro.dram.profiles import (
+    MANUFACTURER_NAMES,
+    MODULE_PROFILES,
+    ModuleProfile,
+)
+
+#: Table 2 anchor columns: (label, pattern, tAggON ns).
+TABLE2_COLUMNS: Tuple[Tuple[str, str, float], ...] = (
+    ("RH @ 36ns", "double-sided", 36.0),
+    ("RP @ 7.8us", "double-sided", 7_800.0),
+    ("RP @ 70.2us", "double-sided", 70_200.0),
+    ("Comb @ 7.8us", "combined", 7_800.0),
+    ("Comb @ 70.2us", "combined", 70_200.0),
+)
+
+
+def table1_inventory() -> List[Dict[str, str]]:
+    """The Table 1 chip inventory, one record per module profile."""
+    rows = []
+    for key in sorted(MODULE_PROFILES):
+        p = MODULE_PROFILES[key]
+        rows.append(
+            {
+                "module": key,
+                "manufacturer": MANUFACTURER_NAMES[p.manufacturer],
+                "dimm_part": p.dimm_part,
+                "dram_part": p.dram_part,
+                "die_rev": p.die_rev,
+                "density": f"{p.organization.density_gbit} Gb",
+                "organization": p.organization.org_label,
+                "chips": str(p.n_dies),
+                "date": p.date_code,
+            }
+        )
+    return rows
+
+
+def _acmin_avg_min(results: ResultSet) -> Optional[Tuple[float, float]]:
+    values = [m.acmin for m in results if m.acmin is not None]
+    if not values:
+        return None
+    return (sum(values) / len(values), min(values))
+
+
+def _time_avg_min(results: ResultSet) -> Optional[Tuple[float, float]]:
+    values = [
+        m.time_to_first_ms for m in results if m.time_to_first_ms is not None
+    ]
+    if not values:
+        return None
+    return (sum(values) / len(values), min(values))
+
+
+def table2_rows(results: ResultSet) -> List[Dict[str, object]]:
+    """Measured Table 2: per module, ACmin and time avg (min) per anchor.
+
+    Each row carries both the measured value and the paper's published
+    value (or ``None`` for "No Bitflip"), ready for the EXPERIMENTS.md
+    comparison.
+    """
+    rows: List[Dict[str, object]] = []
+    for key in results.module_keys():
+        profile = MODULE_PROFILES.get(key)
+        row: Dict[str, object] = {"module": key}
+        for label, pattern, t_on in TABLE2_COLUMNS:
+            subset = results.where(module_key=key, pattern=pattern, t_on=t_on)
+            row[f"{label} [acmin]"] = _acmin_avg_min(subset)
+            row[f"{label} [time ms]"] = _time_avg_min(subset)
+            if profile is not None:
+                row[f"{label} [paper acmin]"] = _paper_acmin(profile, pattern, t_on)
+        rows.append(row)
+    return rows
+
+
+def _paper_acmin(
+    profile: ModuleProfile, pattern: str, t_on: float
+) -> Optional[Tuple[float, float]]:
+    if pattern == "double-sided" and t_on == 36.0:
+        return profile.acmin_rh36
+    table = profile.acmin_rp if pattern == "double-sided" else profile.acmin_combined
+    return table.get(t_on)
+
+
+def _format_cell(value: object) -> str:
+    if value is None:
+        return "No Bitflip"
+    if isinstance(value, tuple):
+        avg, mn = value
+        return f"{_format_number(avg)} ({_format_number(mn)})"
+    return str(value)
+
+
+def _format_number(x: float) -> str:
+    if x != x:  # NaN
+        return "-"
+    if abs(x) >= 10_000:
+        return f"{x / 1000:.1f}K"
+    if abs(x) >= 100:
+        return f"{x:.0f}"
+    return f"{x:.2g}"
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render records as an aligned text table."""
+    if not rows:
+        return "(empty table)\n"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[_format_cell(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = [
+        "  ".join(col.ljust(w) for col, w in zip(columns, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"

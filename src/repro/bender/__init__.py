@@ -1,0 +1,33 @@
+"""DRAM Bender / SoftMC-style programmable memory-controller substrate.
+
+The paper's infrastructure (DRAM Bender [70] on SoftMC [72]) gives the
+host fine-grained control over individual DRAM commands and their timing.
+This package reproduces that programming model in simulation:
+
+* :mod:`repro.bender.isa` -- the command ISA (ACT/PRE/RD/WR/REF/WAIT) and
+  loop-structured programs;
+* :mod:`repro.bender.program` -- a builder API for assembling programs;
+* :mod:`repro.bender.timing` -- a JEDEC timing validator;
+* :mod:`repro.bender.interpreter` -- executes programs against a simulated
+  chip, with exact simulated-time accounting;
+* :mod:`repro.bender.softmc` -- the host-side session API used by the
+  characterization harness.
+"""
+
+from repro.bender.isa import Instruction, Loop, Opcode, Program
+from repro.bender.program import ProgramBuilder
+from repro.bender.timing import TimingChecker
+from repro.bender.interpreter import ExecutionResult, Interpreter
+from repro.bender.softmc import SoftMCSession
+
+__all__ = [
+    "Instruction",
+    "Loop",
+    "Opcode",
+    "Program",
+    "ProgramBuilder",
+    "TimingChecker",
+    "ExecutionResult",
+    "Interpreter",
+    "SoftMCSession",
+]

@@ -1,0 +1,145 @@
+"""Text assembly for DRAM Bender programs.
+
+The real DRAM Bender exposes a small instruction set that test programs
+are written in; this module provides the equivalent text form so
+experiments can be stored, diffed, and shared as plain files:
+
+.. code-block:: text
+
+    # double-sided press kernel
+    LOOP 100000
+        ACT 0 100
+        WAIT 7800
+        PRE 0
+        WAIT 15
+        ACT 0 102
+        WAIT 36
+        PRE 0
+        WAIT 15
+    ENDLOOP
+
+Supported statements: ``ACT <bank> <row>``, ``PRE <bank>``,
+``RD <bank>``, ``REF``, ``WAIT <ns>``, ``LOOP <count>`` ... ``ENDLOOP``
+(nesting allowed), comments with ``#``.  ``WR`` is intentionally not
+expressible in text (payloads are binary); programs that write use the
+builder API.
+
+:func:`assemble` parses text into a :class:`~repro.bender.isa.Program`;
+:func:`disassemble` renders a program back (round-trip stable for the
+supported subset).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List
+
+from repro.bender.isa import Instruction, Loop, Node, Opcode, Program
+from repro.errors import ProgramError
+
+
+def assemble(text: str) -> Program:
+    """Parse DRAM Bender text assembly into a program."""
+    root: List[Node] = []
+    stack: List[List[Node]] = [root]
+    counts: List[int] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        op = parts[0].upper()
+        args = parts[1:]
+        try:
+            if op == "LOOP":
+                _arity(op, args, 1, lineno)
+                counts.append(_int(args[0], lineno))
+                stack.append([])
+            elif op == "ENDLOOP":
+                _arity(op, args, 0, lineno)
+                if len(stack) == 1:
+                    raise ProgramError(f"line {lineno}: ENDLOOP without LOOP")
+                body = stack.pop()
+                stack[-1].append(Loop(count=counts.pop(), body=tuple(body)))
+            elif op == "ACT":
+                _arity(op, args, 2, lineno)
+                stack[-1].append(
+                    Instruction(
+                        Opcode.ACT, (_int(args[0], lineno), _int(args[1], lineno))
+                    )
+                )
+            elif op == "PRE":
+                _arity(op, args, 1, lineno)
+                stack[-1].append(Instruction(Opcode.PRE, (_int(args[0], lineno),)))
+            elif op == "RD":
+                _arity(op, args, 1, lineno)
+                stack[-1].append(Instruction(Opcode.RD, (_int(args[0], lineno),)))
+            elif op == "REF":
+                _arity(op, args, 0, lineno)
+                stack[-1].append(Instruction(Opcode.REF, ()))
+            elif op == "WAIT":
+                _arity(op, args, 1, lineno)
+                stack[-1].append(Instruction(Opcode.WAIT, (_float(args[0], lineno),)))
+            elif op == "WR":
+                raise ProgramError(
+                    f"line {lineno}: WR carries a binary payload and is not "
+                    "expressible in text assembly; use the builder API"
+                )
+            else:
+                raise ProgramError(f"line {lineno}: unknown statement {op!r}")
+        except ProgramError:
+            raise
+    if len(stack) != 1:
+        raise ProgramError("unterminated LOOP (missing ENDLOOP)")
+    return Program(nodes=root)
+
+
+def disassemble(program: Program) -> str:
+    """Render a program as text assembly (no WR payloads supported)."""
+    buf = io.StringIO()
+    _emit(buf, program.nodes, indent=0)
+    return buf.getvalue()
+
+
+def _emit(buf: io.StringIO, nodes, indent: int) -> None:
+    pad = "    " * indent
+    for node in nodes:
+        if isinstance(node, Loop):
+            buf.write(f"{pad}LOOP {node.count}\n")
+            _emit(buf, node.body, indent + 1)
+            buf.write(f"{pad}ENDLOOP\n")
+            continue
+        if not isinstance(node, Instruction):
+            raise ProgramError(f"cannot disassemble node {node!r}")
+        op = node.opcode
+        if op is Opcode.WR:
+            raise ProgramError("WR payloads are not expressible in text assembly")
+        if op is Opcode.WAIT:
+            buf.write(f"{pad}WAIT {node.operands[0]:g}\n")
+        else:
+            operands = " ".join(str(x) for x in node.operands)
+            buf.write(f"{pad}{op.value}{' ' + operands if operands else ''}\n")
+
+
+def _arity(op: str, args: List[str], expected: int, lineno: int) -> None:
+    if len(args) != expected:
+        raise ProgramError(
+            f"line {lineno}: {op} expects {expected} operand(s), got {len(args)}"
+        )
+
+
+def _int(token: str, lineno: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise ProgramError(f"line {lineno}: expected integer, got {token!r}") from None
+
+
+def _float(token: str, lineno: int) -> float:
+    try:
+        value = float(token)
+    except ValueError:
+        raise ProgramError(f"line {lineno}: expected number, got {token!r}") from None
+    if value < 0:
+        raise ProgramError(f"line {lineno}: WAIT duration must be non-negative")
+    return value

@@ -1,0 +1,139 @@
+"""Program interpreter: executes DRAM Bender programs against a chip.
+
+The interpreter owns simulated time.  Commands themselves are
+zero-duration (the command bus is abstracted away); only ``WAIT``
+instructions and refresh cycles (``tRFC``) advance the clock.  Every
+command is validated against the JEDEC timing checker before it reaches
+the bank, and every ``ACT``/``REF`` is reported to registered observers
+(the hook used by mitigation mechanisms such as TRR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bender.isa import Opcode, Program
+from repro.bender.timing import TimingChecker
+from repro.constants import CHARACTERIZATION_TEMPERATURE_C
+from repro.dram.chip import Chip
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of running one program.
+
+    Attributes:
+        reads: ``(bank, row, bits)`` per RD instruction, in program order.
+        elapsed_ns: simulated time consumed by the program.
+        activations: total number of ACT commands executed.
+        refreshes: total number of REF commands executed.
+    """
+
+    reads: List[Tuple[int, int, np.ndarray]] = field(default_factory=list)
+    elapsed_ns: float = 0.0
+    activations: int = 0
+    refreshes: int = 0
+
+
+#: Observer signature: (event, bank, row, now_ns).  Events are "ACT"
+#: (row = activated logical row), "PRE" (row = -1), and "REF"
+#: (bank = row = -1).
+Observer = Callable[[str, int, int, float], None]
+
+
+class Interpreter:
+    """Executes programs against one simulated chip.
+
+    Args:
+        chip: the device under test.
+        checker: JEDEC timing validator (a fresh one is created if omitted).
+        temperature: callable returning the current device temperature in
+            Celsius (defaults to the paper's 50 C characterization point).
+        refresh_hook: called on each REF with the completion time; the
+            SoftMC session uses it to advance the refresh pointer and to
+            drive TRR.
+    """
+
+    def __init__(
+        self,
+        chip: Chip,
+        checker: Optional[TimingChecker] = None,
+        temperature: Optional[Callable[[], float]] = None,
+        refresh_hook: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self._chip = chip
+        self._checker = checker if checker is not None else TimingChecker()
+        self._temperature = temperature or (lambda: CHARACTERIZATION_TEMPERATURE_C)
+        self._refresh_hook = refresh_hook
+        self._observers: List[Observer] = []
+        self._now: float = 0.0
+
+    # ------------------------------------------------------------- observers
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register an ACT/REF observer (e.g. a TRR sampler)."""
+        self._observers.append(observer)
+
+    # ------------------------------------------------------------- execution
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (ns since interpreter creation)."""
+        return self._now
+
+    def run(self, program: Program) -> ExecutionResult:
+        """Execute ``program`` to completion and return its result."""
+        result = ExecutionResult()
+        start = self._now
+        for instr in program.flat():
+            op = instr.opcode
+            if op is Opcode.WAIT:
+                self._now += instr.operands[0]
+            elif op is Opcode.ACT:
+                bank_idx, row = instr.operands
+                self._checker.check_act(bank_idx, self._now)
+                # The chip scrambles the command-bus (logical) row address
+                # to a physical row internally.
+                physical = self._chip.to_physical(row)
+                self._chip.bank(bank_idx).activate(
+                    physical, self._now, temperature_c=self._temperature()
+                )
+                result.activations += 1
+                self._notify("ACT", bank_idx, row)
+            elif op is Opcode.PRE:
+                (bank_idx,) = instr.operands
+                self._checker.check_pre(bank_idx, self._now)
+                self._chip.bank(bank_idx).precharge(self._now)
+                self._notify("PRE", bank_idx, -1)
+            elif op is Opcode.RD:
+                (bank_idx,) = instr.operands
+                self._checker.check_column(bank_idx, self._now, "RD")
+                bank = self._chip.bank(bank_idx)
+                row = bank.open_row
+                bits = bank.read(row, self._now)
+                result.reads.append((bank_idx, row, bits))
+            elif op is Opcode.WR:
+                bank_idx, data_id = instr.operands
+                self._checker.check_column(bank_idx, self._now, "WR")
+                bank = self._chip.bank(bank_idx)
+                bank.write(bank.open_row, program.payload(data_id), self._now)
+            elif op is Opcode.REF:
+                done = self._checker.check_ref(self._now)
+                self._now = done
+                result.refreshes += 1
+                if self._refresh_hook is not None:
+                    self._refresh_hook(self._now)
+                self._notify("REF", -1, -1)
+            else:  # pragma: no cover - exhaustive over Opcode
+                raise AssertionError(f"unhandled opcode {op}")
+        result.elapsed_ns = self._now - start
+        return result
+
+    # ----------------------------------------------------------------- helpers
+
+    def _notify(self, event: str, bank: int, row: int) -> None:
+        for observer in self._observers:
+            observer(event, bank, row, self._now)

@@ -1,0 +1,88 @@
+"""Builder API for DRAM Bender programs.
+
+Example -- a double-sided hammer loop with asymmetric row-open times (the
+paper's combined RowHammer+RowPress pattern, Fig. 3c)::
+
+    builder = ProgramBuilder()
+    with builder.loop(100_000):
+        builder.act(bank=0, row=r0)
+        builder.wait(t_agg_on)          # RowPress half: long open time
+        builder.pre(bank=0)
+        builder.wait(t_rp)
+        builder.act(bank=0, row=r2)
+        builder.wait(t_ras)             # RowHammer half: minimal open time
+        builder.pre(bank=0)
+        builder.wait(t_rp)
+    program = builder.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import List
+
+from repro.bender.isa import Instruction, Loop, Opcode, Program
+from repro.errors import ProgramError
+
+
+class ProgramBuilder:
+    """Imperative builder producing :class:`Program` trees."""
+
+    def __init__(self) -> None:
+        self._program = Program()
+        self._stack: List[list] = [self._program.nodes]
+        self._built = False
+
+    # ----------------------------------------------------------- instructions
+
+    def act(self, bank: int, row: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.ACT, (bank, row)))
+
+    def pre(self, bank: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.PRE, (bank,)))
+
+    def rd(self, bank: int) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.RD, (bank,)))
+
+    def wr(self, bank: int, bits) -> "ProgramBuilder":
+        data_id = self._program.add_payload(bits)
+        return self._emit(Instruction(Opcode.WR, (bank, data_id)))
+
+    def ref(self) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.REF, ()))
+
+    def wait(self, nanoseconds: float) -> "ProgramBuilder":
+        return self._emit(Instruction(Opcode.WAIT, (float(nanoseconds),)))
+
+    # ----------------------------------------------------------------- blocks
+
+    @contextmanager
+    def loop(self, count: int):
+        """Open a counted loop; nodes emitted inside the ``with`` body
+        become the loop body."""
+        body: list = []
+        self._stack.append(body)
+        try:
+            yield self
+        finally:
+            popped = self._stack.pop()
+            if popped is not body:
+                raise ProgramError("unbalanced loop nesting")
+            self._stack[-1].append(Loop(count=count, body=tuple(body)))
+
+    # ------------------------------------------------------------------ build
+
+    def build(self) -> Program:
+        """Finalize and return the program (builder becomes unusable)."""
+        if self._built:
+            raise ProgramError("program already built")
+        if len(self._stack) != 1:
+            raise ProgramError("build() inside an open loop")
+        self._built = True
+        return self._program
+
+    def _emit(self, instruction: Instruction) -> "ProgramBuilder":
+        if self._built:
+            raise ProgramError("cannot emit into a built program")
+        self._stack[-1].append(instruction)
+        return self

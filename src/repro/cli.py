@@ -1,0 +1,160 @@
+"""Command-line interface: ``repro-characterize``.
+
+Runs a characterization campaign over calibrated modules and prints the
+requested artifact:
+
+* ``table1`` -- the chip inventory (static);
+* ``table2`` -- the per-module anchor table (measured vs paper);
+* ``fig4``   -- time-to-first-bitflip and ACmin series vs tAggON;
+* ``fig5``   -- bitflip-direction fractions vs tAggON;
+* ``fig6``   -- bitflip-set overlap vs tAggON.
+
+Example::
+
+    repro-characterize fig4 --modules S0 H0 M0 --points 7 --trials 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_line_plot
+from repro.analysis.figures import fig4_series, fig5_series, fig6_series, series_to_csv
+from repro.analysis.tables import format_table, table1_inventory, table2_rows
+from repro.constants import T_AGG_ON_MAX, T_AGG_ON_TRAS
+from repro.core.experiment import CharacterizationConfig
+from repro.core.runner import CharacterizationRunner
+from repro.dram.profiles import MODULE_PROFILES
+from repro.patterns import ALL_PATTERNS
+from repro.system import build_modules
+
+
+def sweep_points(n: int, t_max: float = T_AGG_ON_MAX) -> List[float]:
+    """Log-spaced tAggON sweep from tRAS to ``t_max``, anchors included."""
+    points = set(np.geomspace(T_AGG_ON_TRAS, t_max, n).tolist())
+    points.update((36.0, 636.0, 7_800.0, 70_200.0))
+    return sorted(t for t in points if t <= t_max + 1e-9)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-characterize",
+        description="Combined RowHammer + RowPress characterization (simulated)",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=("table1", "table2", "fig4", "fig5", "fig6", "report", "campaign"),
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument(
+        "--modules",
+        nargs="+",
+        default=sorted(MODULE_PROFILES),
+        help="module keys to characterize (default: all 14)",
+    )
+    parser.add_argument(
+        "--points", type=int, default=9, help="tAggON sweep points (figures)"
+    )
+    parser.add_argument(
+        "--t-max", type=float, default=70_200.0, help="largest tAggON (ns)"
+    )
+    parser.add_argument(
+        "--trials", type=int, default=1, help="trials per measurement"
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="print CSV instead of ASCII plots"
+    )
+    return parser
+
+
+def main(argv: List[str] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.artifact == "table1":
+        sys.stdout.write(format_table(table1_inventory()))
+        return 0
+
+    config = CharacterizationConfig()
+    modules = build_modules(args.modules, config)
+    runner = CharacterizationRunner(config)
+
+    if args.artifact == "table2":
+        results = runner.characterize(
+            modules, [36.0, 7_800.0, 70_200.0], trials=args.trials
+        )
+        sys.stdout.write(format_table(table2_rows(results)))
+        return 0
+
+    if args.artifact == "report":
+        from repro.analysis.report import full_report
+
+        results = runner.characterize(
+            modules, [36.0, 636.0, 7_800.0, 70_200.0], trials=args.trials
+        )
+        sys.stdout.write(full_report(results))
+        return 0
+
+    if args.artifact == "campaign":
+        from repro.analysis.report import full_report
+        from repro.core.campaign import Campaign, CampaignPlan
+
+        all_results = None
+        for module in modules:
+            plan = CampaignPlan(trials=args.trials)
+            result = Campaign(module, config, plan).run()
+            sys.stdout.write(
+                f"{module.key}: settled in {result.settle_steps} s at "
+                f"{result.final_temperature_c:.2f} C; "
+                f"{len(result.results)} measurements\n"
+            )
+            if all_results is None:
+                all_results = result.results
+            else:
+                all_results.extend(result.results)
+        sys.stdout.write(full_report(all_results))
+        return 0
+
+    t_values = sweep_points(args.points, args.t_max)
+    results = runner.characterize(modules, t_values, ALL_PATTERNS, trials=args.trials)
+    if args.artifact == "fig4":
+        for metric, logy in (("time", False), ("acmin", True)):
+            series = fig4_series(results, metric=metric)
+            if args.csv:
+                sys.stdout.write(series_to_csv(series))
+            else:
+                title = (
+                    "Fig. 4: time to first bitflip (ms) vs tAggON"
+                    if metric == "time"
+                    else "Fig. 4: ACmin vs tAggON"
+                )
+                sys.stdout.write(ascii_line_plot(series, logy=logy, title=title))
+    elif args.artifact == "fig5":
+        series = fig5_series(results)
+        if args.csv:
+            sys.stdout.write(series_to_csv(series))
+        else:
+            sys.stdout.write(
+                ascii_line_plot(
+                    series, title="Fig. 5: fraction of 1->0 bitflips (combined)"
+                )
+            )
+    else:  # fig6
+        for conventional in ("single-sided", "double-sided"):
+            series = fig6_series(results, conventional)
+            if args.csv:
+                sys.stdout.write(series_to_csv(series))
+            else:
+                sys.stdout.write(
+                    ascii_line_plot(
+                        series,
+                        title=f"Fig. 6: overlap of combined vs {conventional}",
+                    )
+                )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

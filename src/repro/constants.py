@@ -1,0 +1,112 @@
+"""JEDEC DDR4 timing parameters and characterization constants.
+
+All times in this library are expressed in **nanoseconds** as ``float``
+unless a name explicitly says otherwise.  The values below follow the
+JESD79-4C DDR4 standard (speed bin DDR4-2400, the bin used by the DRAM
+Bender infrastructure in the paper) and the constants called out in the
+paper's methodology (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Unit helpers (everything internal is nanoseconds).
+# ---------------------------------------------------------------------------
+
+NS: float = 1.0
+US: float = 1_000.0
+MS: float = 1_000_000.0
+
+
+@dataclass(frozen=True)
+class DDR4Timings:
+    """DDR4 timing parameters relevant to read-disturbance characterization.
+
+    Attributes mirror the JEDEC names used in the paper:
+
+    * ``tRAS`` -- minimum row open time (ACT -> PRE), 36 ns.  A pattern with
+      ``tAggON == tRAS`` is a pure RowHammer pattern.
+    * ``tRP``  -- row precharge time (PRE -> ACT), 15 ns (approx. for
+      DDR4-2400, 15.0 ns = 18 cycles at 0.833 ns/cycle rounded).
+    * ``tRCD`` -- ACT -> first RD/WR delay.
+    * ``tREFI`` -- average refresh interval, 7.8 us.  The JEDEC standard
+      allows postponing up to 8 REFs, so ``9 * tREFI`` = 70.2 us is the
+      longest legal uninterrupted row-open interval; the paper uses both as
+      upper-bound anchors for ``tAggON``.
+    * ``tREFW`` -- refresh window, 64 ms; every row must be refreshed once
+      per window.  The paper bounds each experiment iteration to 60 ms to
+      stay strictly inside it.
+    * ``tCK``  -- clock period.
+    * ``tRRD_S`` / ``tRRD_L`` -- minimum ACT-to-ACT spacing to a
+      different bank in another / the same bank group.
+    * ``tFAW`` -- rolling window that may contain at most four ACTs (the
+      JEDEC limit that caps multi-bank hammer throughput).
+    * ``banks_per_group`` -- DDR4 bank-group size (4).
+    """
+
+    tRAS: float = 36.0
+    tRP: float = 15.0
+    tRCD: float = 13.5
+    tREFI: float = 7_800.0
+    tREFW: float = 64.0 * MS
+    tCK: float = 0.833
+    tRFC: float = 350.0
+    tWR: float = 15.0
+    tRRD_S: float = 3.3
+    tRRD_L: float = 4.9
+    tFAW: float = 30.0
+    banks_per_group: int = 4
+
+    @property
+    def t_nine_refi(self) -> float:
+        """The ``9 x tREFI`` = 70.2 us upper bound on row-open time."""
+        return 9.0 * self.tREFI
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on physically impossible parameter sets."""
+        for name in ("tRAS", "tRP", "tRCD", "tREFI", "tREFW", "tCK",
+                     "tRRD_S", "tRRD_L", "tFAW"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+        if self.tREFI >= self.tREFW:
+            raise ValueError("tREFI must be smaller than tREFW")
+        if self.tRRD_S > self.tRRD_L:
+            raise ValueError("tRRD_S must not exceed tRRD_L")
+        if self.banks_per_group < 1:
+            raise ValueError("banks_per_group must be positive")
+
+
+#: Library-wide default timings (DDR4-2400, as in the paper's testbed).
+DEFAULT_TIMINGS = DDR4Timings()
+
+#: The three tAggON anchor values called out throughout the paper (ns).
+T_AGG_ON_TRAS: float = DEFAULT_TIMINGS.tRAS          # 36 ns   (RowHammer)
+T_AGG_ON_TREFI: float = DEFAULT_TIMINGS.tREFI        # 7.8 us
+T_AGG_ON_9TREFI: float = 9.0 * DEFAULT_TIMINGS.tREFI  # 70.2 us
+
+#: The mid-range tAggON point used for Observations 1 and 2 in the paper.
+T_AGG_ON_636NS: float = 636.0
+
+#: Maximum tAggON swept in the paper's methodology (Section 3.4).
+T_AGG_ON_MAX: float = 300.0 * US
+
+#: Runtime bound for one experiment iteration (Section 3.1): strictly below
+#: tREFW = 64 ms so that no retention failures contaminate the results.
+ITERATION_RUNTIME_BOUND: float = 60.0 * MS
+
+#: Characterization temperature used for all headline results (Section 3.4).
+CHARACTERIZATION_TEMPERATURE_C: float = 50.0
+
+#: Paper methodology: number of rows characterized per module, split across
+#: three regions of the bank (Section 3.4).
+ROWS_CHARACTERIZED: int = 3 * 1024
+
+#: Paper methodology: each measurement is repeated this many times.
+TRIALS_PER_MEASUREMENT: int = 3
+
+#: Checkerboard data pattern bytes (Section 3.4): aggressors get 0xAA,
+#: victims get 0x55.
+AGGRESSOR_DATA_BYTE: int = 0xAA
+VICTIM_DATA_BYTE: int = 0x55

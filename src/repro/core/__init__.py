@@ -1,0 +1,40 @@
+"""Characterization core: the paper's experimental methodology.
+
+* :mod:`repro.core.stacked` -- per-die victim-cell populations stacked
+  over all tested pattern locations (vectorized fast path).
+* :mod:`repro.core.acmin` -- closed-form ACmin / time-to-first-bitflip /
+  bitflip-census analysis.
+* :mod:`repro.core.honest` -- the command-level measurement path that
+  executes compiled DRAM Bender programs (cross-validated against the
+  closed form in the test suite).
+* :mod:`repro.core.experiment` -- configuration of one characterization
+  campaign (data pattern, row selection, trials, temperature, the 60 ms
+  iteration bound).
+* :mod:`repro.core.runner` -- sweeps modules x patterns x tAggON.
+* :mod:`repro.core.overlap` / :mod:`repro.core.bitflips` -- the bitflip
+  set metrics behind Figs. 5 and 6.
+"""
+
+from repro.core.bitflips import BitflipCensus, direction_fraction_1_to_0
+from repro.core.stacked import RoleArrays, StackedDie, build_stacked_die, ROLE_OFFSETS
+from repro.core.acmin import DieAnalysis, analyze_die
+from repro.core.experiment import CharacterizationConfig
+from repro.core.overlap import overlap_ratio
+from repro.core.results import DieMeasurement, ResultSet
+from repro.core.runner import CharacterizationRunner
+
+__all__ = [
+    "BitflipCensus",
+    "direction_fraction_1_to_0",
+    "RoleArrays",
+    "StackedDie",
+    "build_stacked_die",
+    "ROLE_OFFSETS",
+    "DieAnalysis",
+    "analyze_die",
+    "CharacterizationConfig",
+    "overlap_ratio",
+    "DieMeasurement",
+    "ResultSet",
+    "CharacterizationRunner",
+]

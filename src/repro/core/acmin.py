@@ -1,0 +1,196 @@
+"""Closed-form ACmin / time-to-first-bitflip / bitflip-census analysis.
+
+Because both disturbance mechanisms accumulate linearly with iterations,
+the first iteration at which each cell flips has the closed form
+
+``n(cell) = theta / (per-iteration gain)``   for discharged cells (hammer)
+``n(cell) = theta / (per-iteration loss)``   for charged cells (press)
+
+and a die's ``ACmin`` is the per-iteration activation count times the
+minimum (ceiled) ``n`` over every victim cell of every tested location --
+subject to the paper's 60 ms iteration-runtime bound (Section 3.1): if
+even the weakest cell needs more iterations than fit in the bound, the
+measurement reports *No Bitflip*, exactly like the empty cells of Table 2.
+
+This module is the vectorized fast path; :mod:`repro.core.honest` performs
+the same measurement by actually executing DRAM Bender programs, and the
+test suite asserts the two agree.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.constants import (
+    CHARACTERIZATION_TEMPERATURE_C,
+    DDR4Timings,
+    DEFAULT_TIMINGS,
+    ITERATION_RUNTIME_BOUND,
+)
+from repro.core.bitflips import BitflipCensus
+from repro.core.stacked import ROLE_OFFSETS, StackedDie
+from repro.disturb.model import DisturbanceModel
+from repro.patterns.base import AccessPattern
+
+#: Base row used to evaluate role weights (any legal base works: the
+#: contribution weights depend only on the victim's role, not its address).
+_PROBE_BASE = 1
+
+
+def _role_weights(
+    pattern: AccessPattern,
+    t_on: float,
+    model: DisturbanceModel,
+    temperature_c: float,
+    timings: DDR4Timings,
+):
+    """Per-role (w_gh_lo, w_gh_hi, v_gp_lo, v_gp_hi) for one iteration."""
+    placement = pattern.place(_PROBE_BASE, t_on, rows_in_bank=16, timings=timings)
+    contribs = pattern.iteration_contributions(placement, model, temperature_c)
+    offset_to_role = {offset: role for role, offset in ROLE_OFFSETS.items()}
+    weights = {}
+    for contrib in contribs:
+        role = offset_to_role[contrib.row - _PROBE_BASE]
+        weights[role] = (
+            contrib.w_gh_lo,
+            contrib.w_gh_hi,
+            contrib.v_gp_lo,
+            contrib.v_gp_hi,
+        )
+    return placement, weights
+
+
+@dataclass
+class DieAnalysis:
+    """Per-die closed-form analysis of one (pattern, tAggON, trial) point.
+
+    Attributes:
+        n_iters: per role, the (n_locations, n_cells) array of iterations
+            to first flip (``inf`` for cells the pattern cannot flip).
+        acts_per_iteration: aggressor activations per pattern iteration.
+        iteration_latency_ns: simulated time per iteration.
+    """
+
+    stacked: StackedDie
+    n_iters: Dict[str, np.ndarray]
+    acts_per_iteration: int
+    iteration_latency_ns: float
+
+    # ------------------------------------------------------------- aggregates
+
+    def min_iters_per_location(self) -> np.ndarray:
+        """Weakest-cell iteration count per location (float, inf-safe)."""
+        mins = [arr.min(axis=1) for arr in self.n_iters.values()]
+        return np.minimum.reduce(mins)
+
+    def die_min_iters(self) -> float:
+        return float(self.min_iters_per_location().min())
+
+    def budget_iterations(
+        self, runtime_bound_ns: float = ITERATION_RUNTIME_BOUND
+    ) -> int:
+        """Iterations that fit in the experiment-runtime bound."""
+        return int(runtime_bound_ns // self.iteration_latency_ns)
+
+    def acmin(
+        self, runtime_bound_ns: float = ITERATION_RUNTIME_BOUND
+    ) -> Optional[int]:
+        """Minimum total activations to the first bitflip, or ``None`` if
+        no cell flips within the runtime bound ("No Bitflip")."""
+        min_iters = self.die_min_iters()
+        if not math.isfinite(min_iters):
+            return None
+        iters = max(1, math.ceil(min_iters))
+        if iters > self.budget_iterations(runtime_bound_ns):
+            return None
+        return iters * self.acts_per_iteration
+
+    def time_to_first_bitflip_ns(
+        self, runtime_bound_ns: float = ITERATION_RUNTIME_BOUND
+    ) -> Optional[float]:
+        acmin = self.acmin(runtime_bound_ns)
+        if acmin is None:
+            return None
+        return (acmin / self.acts_per_iteration) * self.iteration_latency_ns
+
+    # ----------------------------------------------------------------- census
+
+    def census(
+        self,
+        multiplier: float = 1.5,
+        runtime_bound_ns: float = ITERATION_RUNTIME_BOUND,
+    ) -> BitflipCensus:
+        """Bitflips observed while measuring this point.
+
+        Per location, cells that flip within ``multiplier`` times the
+        location's own first-flip iteration count (capped at the runtime
+        bound) are counted -- modeling the flips the ACmin search procedure
+        observes around each location's minimum.
+        """
+        budget = self.budget_iterations(runtime_bound_ns)
+        loc_min = self.min_iters_per_location()
+        with np.errstate(invalid="ignore"):
+            loc_census_iters = np.minimum(
+                np.where(np.isfinite(loc_min), np.ceil(loc_min * multiplier), 0.0),
+                budget,
+            )
+        ones = []
+        zeros = []
+        for role, arr in self.n_iters.items():
+            role_arrays = self.stacked.roles[role]
+            flips = arr <= loc_census_iters[:, None]
+            if not flips.any():
+                continue
+            loc_idx, col_idx = np.nonzero(flips)
+            rows = role_arrays.rows[loc_idx]
+            stored = role_arrays.stored[loc_idx, col_idx]
+            for row, col, bit in zip(rows, col_idx, stored):
+                key = (int(row), int(col))
+                if bit:
+                    ones.append(key)
+                else:
+                    zeros.append(key)
+        return BitflipCensus(frozenset(ones), frozenset(zeros))
+
+
+def analyze_die(
+    stacked: StackedDie,
+    pattern: AccessPattern,
+    t_on: float,
+    model: DisturbanceModel,
+    temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+    timings: DDR4Timings = DEFAULT_TIMINGS,
+    trial: int = 0,
+    jitter_sigma: float = 0.02,
+) -> DieAnalysis:
+    """Closed-form analysis of one (die, pattern, tAggON, trial) point."""
+    placement, weights = _role_weights(pattern, t_on, model, temperature_c, timings)
+    solo = pattern.solo
+    if solo:
+        gamma = model.solo_press_gamma(t_on)
+        delta = model.solo_hammer_factor
+    n_iters: Dict[str, np.ndarray] = {}
+    for role, (w_lo, w_hi, v_lo, v_hi) in weights.items():
+        arrays = stacked.roles[role]
+        gain = w_lo * arrays.g_h_lo + w_hi * arrays.g_h_hi
+        loss = v_lo * arrays.g_p_lo + v_hi * arrays.g_p_hi
+        if solo:
+            gain = gain * delta * arrays.solo_hammer_mod
+            loss = loss * gamma**arrays.solo_press_exp
+        theta = arrays.theta
+        if trial != 0:
+            theta = theta * stacked.jitter(role, trial, sigma=jitter_sigma)
+        denom = np.where(arrays.charged, loss, gain)
+        out = np.full(theta.shape, np.inf)
+        np.divide(theta, denom, out=out, where=denom > 0)
+        n_iters[role] = out
+    return DieAnalysis(
+        stacked=stacked,
+        n_iters=n_iters,
+        acts_per_iteration=placement.acts_per_iteration,
+        iteration_latency_ns=placement.iteration_latency(timings),
+    )

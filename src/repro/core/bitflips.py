@@ -1,0 +1,56 @@
+"""Bitflip records and direction statistics.
+
+A *bitflip census* is the set of flipped cells observed while measuring
+one (die, pattern, tAggON) point, identified by ``(physical_row, column)``
+together with the direction of each flip.  Censuses feed the
+directionality analysis (Fig. 5) and the overlap analysis (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple
+
+FlipKey = Tuple[int, int]  # (physical_row, column)
+
+
+@dataclass(frozen=True)
+class BitflipCensus:
+    """The unique bitflips observed for one measurement.
+
+    Attributes:
+        flips_1_to_0: keys of cells that flipped from stored 1 to 0.
+        flips_0_to_1: keys of cells that flipped from stored 0 to 1.
+    """
+
+    flips_1_to_0: FrozenSet[FlipKey] = frozenset()
+    flips_0_to_1: FrozenSet[FlipKey] = frozenset()
+
+    @property
+    def all_flips(self) -> FrozenSet[FlipKey]:
+        return self.flips_1_to_0 | self.flips_0_to_1
+
+    @property
+    def n_flips(self) -> int:
+        return len(self.flips_1_to_0) + len(self.flips_0_to_1)
+
+    @staticmethod
+    def union(censuses: Iterable["BitflipCensus"]) -> "BitflipCensus":
+        """Union of several censuses (e.g. across a die's locations)."""
+        censuses = list(censuses)
+        if not censuses:
+            return BitflipCensus()
+        ones = frozenset().union(*(c.flips_1_to_0 for c in censuses))
+        zeros = frozenset().union(*(c.flips_0_to_1 for c in censuses))
+        return BitflipCensus(ones, zeros)
+
+
+def direction_fraction_1_to_0(census: BitflipCensus) -> float:
+    """Fraction of 1-to-0 flips among all observed flips (Fig. 5 metric).
+
+    Returns ``nan`` for an empty census (no bitflips observed).
+    """
+    total = census.n_flips
+    if total == 0:
+        return float("nan")
+    return len(census.flips_1_to_0) / total

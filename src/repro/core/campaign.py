@@ -1,0 +1,174 @@
+"""End-to-end characterization campaign (the paper's field workflow).
+
+One :class:`Campaign` run reproduces the full experimental procedure of
+Section 3 against one module:
+
+1. **thermal stabilization** -- run the PID loop to the setpoint and
+   assert the +/-0.2 C band before any measurement;
+2. **row-mapping verification** (optional) -- reverse-engineer the
+   physical neighbors of sampled rows through the command-level path and
+   check them against the module's mapping (on real silicon this step
+   *discovers* the mapping; here it validates the methodology);
+3. **characterization** -- the pattern x tAggON x trial sweep through the
+   runner;
+4. **reporting** -- a result set plus the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bender.softmc import SoftMCSession
+from repro.constants import CHARACTERIZATION_TEMPERATURE_C
+from repro.core.experiment import CharacterizationConfig
+from repro.core.results import ResultSet
+from repro.core.reverse_engineer import find_physical_neighbors
+from repro.core.runner import CharacterizationRunner
+from repro.dram.module import Module
+from repro.errors import ExperimentError
+from repro.patterns import ALL_PATTERNS
+from repro.patterns.base import AccessPattern
+from repro.thermal import TemperatureController
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """What one campaign measures.
+
+    Attributes:
+        t_values: tAggON sweep points (ns).
+        patterns: access patterns to characterize.
+        temperature_c: PID setpoint (paper: 50 C).
+        verify_mapping_rows: logical rows whose physical neighbors are
+            verified by hammering before characterization (empty = skip;
+            the probe needs the module's cells to flip within
+            ``mapping_probe_iterations``).
+        mapping_probe_iterations: hammer iterations per verified row.
+        mapping_window: logical candidate window around each probed row.
+        trials: measurement repetitions (None = config default).
+    """
+
+    t_values: Tuple[float, ...] = (36.0, 7_800.0, 70_200.0)
+    patterns: Tuple[AccessPattern, ...] = ALL_PATTERNS
+    temperature_c: float = CHARACTERIZATION_TEMPERATURE_C
+    verify_mapping_rows: Tuple[int, ...] = ()
+    mapping_probe_iterations: int = 50_000
+    mapping_window: int = 8
+    trials: Optional[int] = None
+
+
+@dataclass
+class MappingCheck:
+    """Outcome of one row-mapping verification probe."""
+
+    logical_row: int
+    observed_neighbors: Tuple[int, ...]
+    expected_neighbors: Tuple[int, ...]
+
+    @property
+    def consistent(self) -> bool:
+        return set(self.observed_neighbors) == set(self.expected_neighbors)
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign produced."""
+
+    module_key: str
+    settle_steps: int
+    final_temperature_c: float
+    mapping_checks: List[MappingCheck] = field(default_factory=list)
+    results: ResultSet = field(default_factory=ResultSet)
+
+    @property
+    def mapping_verified(self) -> bool:
+        return all(check.consistent for check in self.mapping_checks)
+
+
+class Campaign:
+    """Drives the full methodology against one module."""
+
+    def __init__(
+        self,
+        module: Module,
+        config: CharacterizationConfig,
+        plan: Optional[CampaignPlan] = None,
+    ) -> None:
+        self._module = module
+        self._config = config
+        self._plan = plan if plan is not None else CampaignPlan()
+        if self._plan.temperature_c != config.temperature_c:
+            raise ExperimentError(
+                "campaign setpoint must match the characterization "
+                f"configuration ({self._plan.temperature_c} != "
+                f"{config.temperature_c})"
+            )
+
+    def run(self) -> CampaignResult:
+        """Execute all campaign phases; raises on methodology violations."""
+        controller = TemperatureController(setpoint_c=self._plan.temperature_c)
+        settle_steps = controller.settle()
+        result = CampaignResult(
+            module_key=self._module.key,
+            settle_steps=settle_steps,
+            final_temperature_c=controller.read(),
+        )
+        result.mapping_checks = self._verify_mapping(controller)
+        if not result.mapping_verified:
+            raise ExperimentError(
+                f"{self._module.key}: row-mapping verification failed; "
+                "characterizing with a wrong physical layout would place "
+                "aggressors next to the wrong victims"
+            )
+        runner = CharacterizationRunner(self._config)
+        result.results = runner.characterize_module(
+            self._module,
+            list(self._plan.t_values),
+            list(self._plan.patterns),
+            trials=self._plan.trials,
+        )
+        return result
+
+    # ----------------------------------------------------------------- phases
+
+    def _verify_mapping(
+        self, controller: TemperatureController
+    ) -> List[MappingCheck]:
+        checks: List[MappingCheck] = []
+        if not self._plan.verify_mapping_rows:
+            return checks
+        # Probe on a dedicated bank so the disturbance left behind never
+        # touches the bank under characterization.
+        probe_bank = (self._config.bank + 1) % self._module.chip(0).n_banks
+        session = SoftMCSession(
+            self._module.chip(0),
+            bank=probe_bank,
+            temperature=controller.read,
+        )
+        mapping = self._module.mapping
+        rows = self._module.geometry.rows
+        for logical in self._plan.verify_mapping_rows:
+            observation = find_physical_neighbors(
+                session,
+                logical,
+                window=self._plan.mapping_window,
+                iterations=self._plan.mapping_probe_iterations,
+                data_pattern=self._config.data_pattern,
+            )
+            physical = mapping.to_physical(logical)
+            expected = tuple(
+                sorted(
+                    mapping.to_logical(p)
+                    for p in (physical - 1, physical + 1)
+                    if 0 <= p < rows
+                )
+            )
+            checks.append(
+                MappingCheck(
+                    logical_row=logical,
+                    observed_neighbors=tuple(sorted(observation.flipped_logical_rows)),
+                    expected_neighbors=expected,
+                )
+            )
+        return checks

@@ -1,0 +1,72 @@
+"""Characterization-campaign configuration.
+
+Bundles the methodology parameters of Section 3 of the paper: the data
+pattern (checkerboard), the row selection (three regions of one bank), the
+number of trials per measurement (3), the characterization temperature
+(50 C), and the 60 ms iteration-runtime bound that keeps the experiment
+strictly inside the refresh window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from repro.constants import (
+    CHARACTERIZATION_TEMPERATURE_C,
+    DDR4Timings,
+    DEFAULT_TIMINGS,
+    ITERATION_RUNTIME_BOUND,
+    TRIALS_PER_MEASUREMENT,
+)
+from repro.dram.datapattern import CHECKERBOARD, DataPattern
+from repro.dram.rowselect import FAST_SELECTION, RowSelection
+from repro.dram.topology import BankGeometry
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class CharacterizationConfig:
+    """All knobs of one characterization campaign.
+
+    Attributes:
+        geometry: simulated bank shape (rows x sampled cells per row).
+        selection: which pattern locations are tested.
+        data_pattern: row initialization (paper: checkerboard 0xAA/0x55).
+        bank: bank index under test (paper: one arbitrarily chosen bank).
+        temperature_c: device temperature (paper: 50 C).
+        trials: repetitions of each measurement (paper: 3).
+        jitter_sigma: run-to-run multiplicative threshold jitter.
+        census_multiplier: bitflip-census margin around each location's
+            first-flip count (see :meth:`repro.core.acmin.DieAnalysis.census`).
+        runtime_bound_ns: per-iteration runtime bound (paper: 60 ms).
+        timings: JEDEC timing parameters.
+    """
+
+    geometry: BankGeometry = field(
+        default_factory=lambda: BankGeometry(rows=4096, cols_simulated=256)
+    )
+    selection: RowSelection = FAST_SELECTION
+    data_pattern: DataPattern = CHECKERBOARD
+    bank: int = 0
+    temperature_c: float = CHARACTERIZATION_TEMPERATURE_C
+    trials: int = TRIALS_PER_MEASUREMENT
+    jitter_sigma: float = 0.02
+    census_multiplier: float = 1.5
+    runtime_bound_ns: float = ITERATION_RUNTIME_BOUND
+    timings: DDR4Timings = DEFAULT_TIMINGS
+
+    def __post_init__(self) -> None:
+        if self.trials < 1:
+            raise ExperimentError("need at least one trial")
+        if self.census_multiplier < 1.0:
+            raise ExperimentError("census_multiplier must be >= 1")
+        if self.runtime_bound_ns >= self.timings.tREFW:
+            raise ExperimentError(
+                "the iteration-runtime bound must stay strictly below tREFW "
+                "to exclude retention failures (paper Section 3.1)"
+            )
+        # The selection must fit the geometry; fail fast with a clear error.
+        self.selection.base_rows(self.geometry)
+
+
+#: Default configuration used by the benchmarks (fast but representative).
+DEFAULT_CONFIG = CharacterizationConfig()

@@ -1,0 +1,230 @@
+"""SQLite-backed bitflip database.
+
+Characterization artifacts in this field ship raw per-(die, pattern,
+tAggON, trial) bitflip locations so downstream studies (mitigation
+sizing, spatial analysis, repeatability) can re-slice them without
+re-running the sweep.  This module provides that store: measurements and
+their individual bitflips in two tables, with the query helpers the
+analysis layer needs -- including cross-trial *repeatability* (how many
+of a measurement's bitflips recur in every trial), a standard quantity in
+the RowHammer literature.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.bitflips import BitflipCensus
+from repro.core.results import DieMeasurement, ResultSet
+from repro.errors import ExperimentError
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS measurements (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    module TEXT NOT NULL,
+    manufacturer TEXT NOT NULL,
+    die INTEGER NOT NULL,
+    pattern TEXT NOT NULL,
+    t_on REAL NOT NULL,
+    trial INTEGER NOT NULL,
+    acmin INTEGER,
+    time_to_first_ns REAL,
+    UNIQUE (module, die, pattern, t_on, trial)
+);
+CREATE TABLE IF NOT EXISTS bitflips (
+    measurement_id INTEGER NOT NULL REFERENCES measurements(id),
+    row INTEGER NOT NULL,
+    col INTEGER NOT NULL,
+    one_to_zero INTEGER NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_bitflips_measurement
+    ON bitflips(measurement_id);
+"""
+
+
+class BitflipDatabase:
+    """Bitflip store over SQLite (file-backed or ``":memory:"``)."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._conn = sqlite3.connect(path)
+        self._conn.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "BitflipDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ----------------------------------------------------------------- writes
+
+    def store(self, measurement: DieMeasurement) -> int:
+        """Insert one measurement (and its bitflips); returns its id."""
+        try:
+            cursor = self._conn.execute(
+                "INSERT INTO measurements (module, manufacturer, die, "
+                "pattern, t_on, trial, acmin, time_to_first_ns) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    measurement.module_key,
+                    measurement.manufacturer,
+                    measurement.die,
+                    measurement.pattern,
+                    measurement.t_on,
+                    measurement.trial,
+                    measurement.acmin,
+                    measurement.time_to_first_ns,
+                ),
+            )
+        except sqlite3.IntegrityError as exc:
+            raise ExperimentError(
+                f"measurement already stored: {measurement.module_key} die "
+                f"{measurement.die} {measurement.pattern} @ "
+                f"{measurement.t_on} ns trial {measurement.trial}"
+            ) from exc
+        measurement_id = int(cursor.lastrowid)
+        rows = [
+            (measurement_id, row, col, 1)
+            for row, col in measurement.census.flips_1_to_0
+        ] + [
+            (measurement_id, row, col, 0)
+            for row, col in measurement.census.flips_0_to_1
+        ]
+        self._conn.executemany(
+            "INSERT INTO bitflips VALUES (?, ?, ?, ?)", rows
+        )
+        self._conn.commit()
+        return measurement_id
+
+    def store_results(self, results: ResultSet) -> int:
+        """Insert every measurement of a result set; returns the count."""
+        count = 0
+        for measurement in results:
+            self.store(measurement)
+            count += 1
+        return count
+
+    # ---------------------------------------------------------------- queries
+
+    def measurements(
+        self,
+        module: Optional[str] = None,
+        die: Optional[int] = None,
+        pattern: Optional[str] = None,
+        t_on: Optional[float] = None,
+        with_census: bool = True,
+    ) -> ResultSet:
+        """Reconstruct measurements matching the filters."""
+        clauses, params = self._where(module, die, pattern, t_on)
+        cursor = self._conn.execute(
+            "SELECT id, module, manufacturer, die, pattern, t_on, trial, "
+            f"acmin, time_to_first_ns FROM measurements m {clauses} "
+            "ORDER BY id",
+            params,
+        )
+        out = ResultSet()
+        for (mid, mod, mfr, die_idx, pat, t, trial, acmin, time_ns) in cursor:
+            census = self._census_of(mid) if with_census else BitflipCensus()
+            out.add(
+                DieMeasurement(
+                    module_key=mod,
+                    manufacturer=mfr,
+                    die=die_idx,
+                    pattern=pat,
+                    t_on=t,
+                    trial=trial,
+                    acmin=acmin,
+                    time_to_first_ns=time_ns,
+                    census=census,
+                )
+            )
+        return out
+
+    def n_measurements(self) -> int:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM measurements"
+        ).fetchone()
+        return int(count)
+
+    def unique_flips(
+        self,
+        module: str,
+        pattern: str,
+        t_on: float,
+        die: Optional[int] = None,
+    ) -> frozenset:
+        """Unique (row, col) flips across all matching measurements."""
+        clauses, params = self._where(module, die, pattern, t_on)
+        cursor = self._conn.execute(
+            "SELECT DISTINCT b.row, b.col FROM bitflips b "
+            "JOIN measurements m ON m.id = b.measurement_id "
+            f"{clauses}",
+            params,
+        )
+        return frozenset((row, col) for row, col in cursor)
+
+    def repeatability(
+        self, module: str, die: int, pattern: str, t_on: float
+    ) -> Optional[float]:
+        """Fraction of unique bitflips that recur in *every* trial.
+
+        The standard repeatability metric: |intersection over trials| /
+        |union over trials|.  ``None`` when fewer than two trials (or no
+        flips) are stored.
+        """
+        clauses, params = self._where(module, die, pattern, t_on)
+        cursor = self._conn.execute(
+            "SELECT m.trial, b.row, b.col FROM bitflips b "
+            "JOIN measurements m ON m.id = b.measurement_id "
+            f"{clauses}",
+            params,
+        )
+        per_trial = {}
+        for trial, row, col in cursor:
+            per_trial.setdefault(trial, set()).add((row, col))
+        if len(per_trial) < 2:
+            return None
+        sets = list(per_trial.values())
+        union = set().union(*sets)
+        if not union:
+            return None
+        intersection = sets[0].intersection(*sets[1:])
+        return len(intersection) / len(union)
+
+    # ---------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _where(
+        module: Optional[str],
+        die: Optional[int],
+        pattern: Optional[str],
+        t_on: Optional[float],
+    ) -> Tuple[str, List]:
+        conditions = []
+        params: List = []
+        for column, value in (
+            ("m.module", module),
+            ("m.die", die),
+            ("m.pattern", pattern),
+            ("m.t_on", t_on),
+        ):
+            if value is not None:
+                conditions.append(f"{column} = ?")
+                params.append(value)
+        if not conditions:
+            return "", params
+        return "WHERE " + " AND ".join(conditions), params
+
+    def _census_of(self, measurement_id: int) -> BitflipCensus:
+        cursor = self._conn.execute(
+            "SELECT row, col, one_to_zero FROM bitflips "
+            "WHERE measurement_id = ?",
+            (measurement_id,),
+        )
+        ones, zeros = [], []
+        for row, col, one_to_zero in cursor:
+            (ones if one_to_zero else zeros).append((row, col))
+        return BitflipCensus(frozenset(ones), frozenset(zeros))

@@ -1,0 +1,32 @@
+"""Bitflip-set overlap metric (paper Section 4, Fig. 6).
+
+The paper defines the overlap between the combined pattern's bitflips and
+a conventional pattern's bitflips as
+
+    |unique bitflips observed in BOTH patterns|
+    -------------------------------------------
+    |unique bitflips observed in the CONVENTIONAL pattern|
+
+computed per (die, tAggON) and averaged across dies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.bitflips import BitflipCensus
+
+
+def overlap_ratio(
+    combined: BitflipCensus, conventional: BitflipCensus
+) -> Optional[float]:
+    """Overlap of ``combined``'s flips with ``conventional``'s flips.
+
+    Returns ``None`` when the conventional pattern observed no bitflips
+    (the ratio is undefined; the paper's plots simply have no point there).
+    """
+    conventional_flips = conventional.all_flips
+    if not conventional_flips:
+        return None
+    common = combined.all_flips & conventional_flips
+    return len(common) / len(conventional_flips)

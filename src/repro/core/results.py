@@ -1,0 +1,158 @@
+"""Result records of characterization measurements.
+
+A :class:`DieMeasurement` is one (module, die, pattern, tAggON, trial)
+measurement; a :class:`ResultSet` is an indexable collection of them with
+the grouping helpers the analysis layer builds tables and figures from.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.bitflips import BitflipCensus
+
+
+@dataclass(frozen=True)
+class DieMeasurement:
+    """One measurement point.
+
+    Attributes:
+        module_key / manufacturer / die: the device under test.
+        pattern: pattern name ("single-sided", "double-sided", "combined").
+        t_on: aggressor row-open time tAggON (ns).
+        trial: measurement repetition index (0-based).
+        acmin: minimum total activations to the first bitflip, or ``None``
+            for "No Bitflip" within the runtime bound.
+        time_to_first_ns: time to the first bitflip, or ``None``.
+        census: the bitflips observed around ACmin (for Figs. 5 and 6).
+    """
+
+    module_key: str
+    manufacturer: str
+    die: int
+    pattern: str
+    t_on: float
+    trial: int
+    acmin: Optional[int]
+    time_to_first_ns: Optional[float]
+    census: BitflipCensus = field(default_factory=BitflipCensus)
+
+    @property
+    def flipped(self) -> bool:
+        return self.acmin is not None
+
+    @property
+    def time_to_first_ms(self) -> Optional[float]:
+        if self.time_to_first_ns is None:
+            return None
+        return self.time_to_first_ns / 1e6
+
+
+class ResultSet:
+    """A collection of measurements with grouping helpers."""
+
+    def __init__(self, measurements: Iterable[DieMeasurement] = ()) -> None:
+        self._measurements: List[DieMeasurement] = list(measurements)
+
+    def add(self, measurement: DieMeasurement) -> None:
+        self._measurements.append(measurement)
+
+    def extend(self, measurements: Iterable[DieMeasurement]) -> None:
+        self._measurements.extend(measurements)
+
+    def __iter__(self) -> Iterator[DieMeasurement]:
+        return iter(self._measurements)
+
+    def __len__(self) -> int:
+        return len(self._measurements)
+
+    # ---------------------------------------------------------------- queries
+
+    def filter(self, predicate: Callable[[DieMeasurement], bool]) -> "ResultSet":
+        return ResultSet(m for m in self._measurements if predicate(m))
+
+    def where(
+        self,
+        module_key: Optional[str] = None,
+        manufacturer: Optional[str] = None,
+        pattern: Optional[str] = None,
+        t_on: Optional[float] = None,
+        die: Optional[int] = None,
+    ) -> "ResultSet":
+        """Filter by exact field values (``None`` matches anything)."""
+
+        def match(m: DieMeasurement) -> bool:
+            return (
+                (module_key is None or m.module_key == module_key)
+                and (manufacturer is None or m.manufacturer == manufacturer)
+                and (pattern is None or m.pattern == pattern)
+                and (t_on is None or m.t_on == t_on)
+                and (die is None or m.die == die)
+            )
+
+        return self.filter(match)
+
+    def t_values(self) -> List[float]:
+        return sorted({m.t_on for m in self._measurements})
+
+    def patterns(self) -> List[str]:
+        return sorted({m.pattern for m in self._measurements})
+
+    def module_keys(self) -> List[str]:
+        return sorted({m.module_key for m in self._measurements})
+
+    def group_by(
+        self, key: Callable[[DieMeasurement], Tuple]
+    ) -> Dict[Tuple, "ResultSet"]:
+        groups: Dict[Tuple, ResultSet] = {}
+        for m in self._measurements:
+            groups.setdefault(key(m), ResultSet()).add(m)
+        return groups
+
+    # ----------------------------------------------------------- serialization
+
+    def to_json(self, include_census: bool = False) -> str:
+        """JSON dump (censuses omitted by default -- they can be large)."""
+        records = []
+        for m in self._measurements:
+            rec = {
+                "module_key": m.module_key,
+                "manufacturer": m.manufacturer,
+                "die": m.die,
+                "pattern": m.pattern,
+                "t_on": m.t_on,
+                "trial": m.trial,
+                "acmin": m.acmin,
+                "time_to_first_ns": m.time_to_first_ns,
+            }
+            if include_census:
+                rec["flips_1_to_0"] = sorted(m.census.flips_1_to_0)
+                rec["flips_0_to_1"] = sorted(m.census.flips_0_to_1)
+            records.append(rec)
+        return json.dumps(records, indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "ResultSet":
+        records = json.loads(text)
+        out = ResultSet()
+        for rec in records:
+            census = BitflipCensus(
+                frozenset(tuple(k) for k in rec.get("flips_1_to_0", [])),
+                frozenset(tuple(k) for k in rec.get("flips_0_to_1", [])),
+            )
+            out.add(
+                DieMeasurement(
+                    module_key=rec["module_key"],
+                    manufacturer=rec["manufacturer"],
+                    die=rec["die"],
+                    pattern=rec["pattern"],
+                    t_on=rec["t_on"],
+                    trial=rec["trial"],
+                    acmin=rec["acmin"],
+                    time_to_first_ns=rec["time_to_first_ns"],
+                    census=census,
+                )
+            )
+        return out

@@ -1,0 +1,135 @@
+"""Reverse engineering of the in-DRAM row-address remapping.
+
+The paper (Section 3.2) reverse-engineers the physical row layout of every
+tested module following prior SAFARI methodology: hammer one row hard and
+observe *which logical rows* collect bitflips -- those are the physical
+neighbors.  This module implements that procedure against the simulated
+chips (whose vendor remapping is hidden behind the command bus, exactly
+like real silicon) and reconstructs the logical addresses of each row's
+physical neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bender.program import ProgramBuilder
+from repro.bender.softmc import SoftMCSession
+from repro.constants import DEFAULT_TIMINGS
+from repro.dram.datapattern import CHECKERBOARD, DataPattern
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class NeighborObservation:
+    """Logical rows observed to flip when hammering one logical row."""
+
+    aggressor_logical: int
+    flipped_logical_rows: Tuple[int, ...]
+
+
+def find_physical_neighbors(
+    session: SoftMCSession,
+    aggressor_logical: int,
+    window: int = 4,
+    iterations: int = 200_000,
+    t_on: float = 7_800.0,
+    data_pattern: DataPattern = CHECKERBOARD,
+) -> NeighborObservation:
+    """Hammer one logical row; report which nearby logical rows flipped.
+
+    The candidate set is the logical rows within ``window`` of the
+    aggressor (vendor scrambles are local permutations).  The aggressor is
+    hammered with a long row-open time to maximize disturbance; rows that
+    read back different from their initialization are the physical
+    neighbors.
+    """
+    chip = session.chip
+    rows = chip.geometry.rows
+    if not 0 <= aggressor_logical < rows:
+        raise ExperimentError(f"aggressor row {aggressor_logical} out of range")
+    candidates = [
+        r
+        for r in range(aggressor_logical - window, aggressor_logical + window + 1)
+        if 0 <= r < rows and r != aggressor_logical
+    ]
+    n_bits = chip.geometry.cols_simulated
+    expected: Dict[int, np.ndarray] = {}
+    for row in candidates:
+        bits = data_pattern.victim_bits(row, n_bits)
+        session.write_row(row, bits)
+        expected[row] = bits
+    session.write_row(aggressor_logical, data_pattern.aggressor_bits(n_bits))
+
+    builder = ProgramBuilder()
+    with builder.loop(iterations):
+        builder.act(session.bank, aggressor_logical)
+        builder.wait(t_on)
+        builder.pre(session.bank)
+        builder.wait(DEFAULT_TIMINGS.tRP)
+    session.run(builder.build())
+
+    flipped: List[int] = []
+    for row in candidates:
+        if (session.read_row(row) != expected[row]).any():
+            flipped.append(row)
+    return NeighborObservation(aggressor_logical, tuple(flipped))
+
+
+def reverse_engineer_mapping(
+    session: SoftMCSession,
+    logical_rows: List[int],
+    window: int = 4,
+    iterations: int = 200_000,
+    t_on: float = 7_800.0,
+) -> Dict[int, Tuple[int, ...]]:
+    """Neighbor map ``logical aggressor -> logical physical-neighbors``.
+
+    Verifiable against the module's ground-truth mapping in tests, and
+    usable to build the physical-order traversal that characterization
+    requires.
+    """
+    observations: Dict[int, Tuple[int, ...]] = {}
+    for row in logical_rows:
+        obs = find_physical_neighbors(
+            session, row, window=window, iterations=iterations, t_on=t_on
+        )
+        observations[row] = obs.flipped_logical_rows
+    return observations
+
+
+def infer_physical_order(
+    neighbor_map: Dict[int, Tuple[int, ...]], start: int
+) -> List[int]:
+    """Walk the neighbor graph from ``start`` to recover a physically
+    contiguous run of logical rows.
+
+    Each interior row has exactly two physical neighbors; the walk keeps
+    extending away from where it came from until the neighbor map runs
+    out of information.
+    """
+    if start not in neighbor_map:
+        raise ExperimentError(f"no observation for start row {start}")
+    order = [start]
+    neighbors = list(neighbor_map[start])
+    if not neighbors:
+        return order
+    # Extend in one direction, then prepend the other.
+    for direction, head in ((1, neighbors[-1]), (-1, neighbors[0])):
+        prev = start
+        current = head
+        while current is not None and current not in order:
+            if direction == 1:
+                order.append(current)
+            else:
+                order.insert(0, current)
+            nxt: Optional[int] = None
+            for cand in neighbor_map.get(current, ()):  # continue the walk
+                if cand != prev and cand not in order:
+                    nxt = cand
+                    break
+            prev, current = current, nxt
+    return order

@@ -1,0 +1,116 @@
+"""Characterization runner: sweeps modules x patterns x tAggON x trials.
+
+The runner is the top of the fast (closed-form) path.  It caches the
+stacked per-die populations, honours the 60 ms iteration bound, and emits
+:class:`~repro.core.results.DieMeasurement` records that the analysis
+layer aggregates into the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.core.acmin import analyze_die
+from repro.core.experiment import CharacterizationConfig
+from repro.core.results import DieMeasurement, ResultSet
+from repro.core.stacked import StackedDie, build_stacked_die
+from repro.dram.module import Module
+from repro.patterns.base import ALL_PATTERNS, AccessPattern
+
+
+class CharacterizationRunner:
+    """Runs characterization campaigns over one or more modules."""
+
+    def __init__(self, config: CharacterizationConfig) -> None:
+        self._config = config
+        self._stacked_cache: Dict[Tuple[str, int], StackedDie] = {}
+
+    @property
+    def config(self) -> CharacterizationConfig:
+        return self._config
+
+    # ------------------------------------------------------------ measurement
+
+    def stacked_die(self, module: Module, die: int) -> StackedDie:
+        """The (cached) stacked victim population of one die."""
+        key = (module.key, die)
+        stacked = self._stacked_cache.get(key)
+        if stacked is None:
+            stacked = build_stacked_die(
+                module.chip(die),
+                self._config.bank,
+                self._config.selection,
+                self._config.data_pattern,
+            )
+            self._stacked_cache[key] = stacked
+        return stacked
+
+    def measure(
+        self,
+        module: Module,
+        die: int,
+        pattern: AccessPattern,
+        t_on: float,
+        trial: int = 0,
+    ) -> DieMeasurement:
+        """One (die, pattern, tAggON, trial) measurement."""
+        cfg = self._config
+        analysis = analyze_die(
+            self.stacked_die(module, die),
+            pattern,
+            t_on,
+            module.model,
+            temperature_c=cfg.temperature_c,
+            timings=cfg.timings,
+            trial=trial,
+            jitter_sigma=cfg.jitter_sigma,
+        )
+        acmin = analysis.acmin(cfg.runtime_bound_ns)
+        census = analysis.census(cfg.census_multiplier, cfg.runtime_bound_ns)
+        return DieMeasurement(
+            module_key=module.key,
+            manufacturer=module.manufacturer,
+            die=die,
+            pattern=pattern.name,
+            t_on=t_on,
+            trial=trial,
+            acmin=acmin,
+            time_to_first_ns=analysis.time_to_first_bitflip_ns(cfg.runtime_bound_ns),
+            census=census,
+        )
+
+    # ----------------------------------------------------------------- sweeps
+
+    def characterize_module(
+        self,
+        module: Module,
+        t_values: Sequence[float],
+        patterns: Sequence[AccessPattern] = ALL_PATTERNS,
+        dies: Optional[Iterable[int]] = None,
+        trials: Optional[int] = None,
+    ) -> ResultSet:
+        """Full sweep over one module."""
+        results = ResultSet()
+        die_list = list(dies) if dies is not None else list(range(module.n_dies))
+        n_trials = trials if trials is not None else self._config.trials
+        for die in die_list:
+            for pattern in patterns:
+                for t_on in t_values:
+                    for trial in range(n_trials):
+                        results.add(self.measure(module, die, pattern, t_on, trial))
+        return results
+
+    def characterize(
+        self,
+        modules: Sequence[Module],
+        t_values: Sequence[float],
+        patterns: Sequence[AccessPattern] = ALL_PATTERNS,
+        trials: Optional[int] = None,
+    ) -> ResultSet:
+        """Full sweep over several modules."""
+        results = ResultSet()
+        for module in modules:
+            results.extend(
+                self.characterize_module(module, t_values, patterns, trials=trials)
+            )
+        return results

@@ -1,0 +1,142 @@
+"""Stacked per-die victim populations (the vectorized fast path).
+
+A pattern location at base physical row ``b`` has three victim *roles*:
+
+* ``inner``     -- row ``b + 1`` (between the two aggressors),
+* ``outer_lo``  -- row ``b - 1`` (below aggressor R0),
+* ``outer_hi``  -- row ``b + 3`` (above aggressor R2).
+
+For one die and one row selection, all locations' cells of a role are
+stacked into ``(n_locations, n_cells)`` arrays, so the per-measurement
+analysis (for any pattern / tAggON / trial) is a handful of whole-array
+numpy operations instead of a Python loop over locations.
+
+The arrays are byte-for-byte the same cell populations the command-level
+:class:`~repro.disturb.tracker.DisturbanceTracker` sees (both derive from
+:func:`repro.disturb.population.victim_row_cells` with the same seeds),
+which is what lets the test suite assert exact agreement between the two
+execution paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.dram.chip import Chip, _row_key
+from repro.dram.datapattern import DataPattern
+from repro.dram.rowselect import RowSelection
+from repro.disturb.population import trial_jitter
+
+#: Victim roles and their row offset from a location's base row.
+ROLE_OFFSETS: Dict[str, int] = {"outer_lo": -1, "inner": 1, "outer_hi": 3}
+
+
+@dataclass(frozen=True)
+class RoleArrays:
+    """Cells of one victim role, stacked over all locations of a die.
+
+    All 2-D arrays have shape ``(n_locations, n_cells)``.
+    """
+
+    role: str
+    rows: np.ndarray  # (n_locations,) physical row of this role per location
+    theta: np.ndarray
+    g_h_lo: np.ndarray
+    g_h_hi: np.ndarray
+    g_p_lo: np.ndarray
+    g_p_hi: np.ndarray
+    solo_hammer_mod: np.ndarray
+    solo_press_exp: np.ndarray
+    charged: np.ndarray  # bool: cell holds charge given the stored data
+    stored: np.ndarray  # uint8 stored bits
+
+    @property
+    def n_locations(self) -> int:
+        return int(self.rows.shape[0])
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.theta.shape[1])
+
+
+@dataclass(frozen=True)
+class StackedDie:
+    """All victim roles of one die under one row selection."""
+
+    module_key: str
+    die_index: int
+    bank: int
+    base_rows: Tuple[int, ...]
+    roles: Dict[str, RoleArrays]
+
+    @property
+    def n_locations(self) -> int:
+        return len(self.base_rows)
+
+    def jitter(self, role: str, trial: int, sigma: float = 0.02) -> np.ndarray:
+        """Per-trial multiplicative threshold jitter for one role."""
+        arrays = self.roles[role]
+        flat = trial_jitter(
+            self.module_key,
+            self.die_index,
+            _jitter_key(self.bank, role),
+            arrays.theta.size,
+            trial,
+            sigma=sigma,
+        )
+        return flat.reshape(arrays.theta.shape)
+
+
+def build_stacked_die(
+    chip: Chip,
+    bank: int,
+    selection: RowSelection,
+    data_pattern: DataPattern,
+) -> StackedDie:
+    """Materialize the stacked victim populations of one die."""
+    base_rows = selection.base_rows(chip.geometry)
+    n_cells = chip.geometry.cols_simulated
+    roles: Dict[str, RoleArrays] = {}
+    for role, offset in ROLE_OFFSETS.items():
+        rows = np.array([b + offset for b in base_rows])
+        cells_list = [chip.cells(bank, int(r)) for r in rows]
+        theta = np.stack([c.theta for c in cells_list])
+        g_h_lo = np.stack([c.g_h_lo for c in cells_list])
+        g_h_hi = np.stack([c.g_h_hi for c in cells_list])
+        g_p_lo = np.stack([c.g_p_lo for c in cells_list])
+        g_p_hi = np.stack([c.g_p_hi for c in cells_list])
+        solo_hammer_mod = np.stack([c.solo_hammer_mod for c in cells_list])
+        solo_press_exp = np.stack([c.solo_press_exp for c in cells_list])
+        anti = np.stack([c.anti for c in cells_list])
+        stored = np.stack(
+            [data_pattern.victim_bits(int(r), n_cells) for r in rows]
+        )
+        charged = stored.astype(bool) ^ anti
+        roles[role] = RoleArrays(
+            role=role,
+            rows=rows,
+            theta=theta,
+            g_h_lo=g_h_lo,
+            g_h_hi=g_h_hi,
+            g_p_lo=g_p_lo,
+            g_p_hi=g_p_hi,
+            solo_hammer_mod=solo_hammer_mod,
+            solo_press_exp=solo_press_exp,
+            charged=charged,
+            stored=stored,
+        )
+    return StackedDie(
+        module_key=chip.module_key,
+        die_index=chip.die_index,
+        bank=bank,
+        base_rows=tuple(base_rows),
+        roles=roles,
+    )
+
+
+def _jitter_key(bank: int, role: str) -> int:
+    """Stable integer key distinguishing jitter streams per (bank, role)."""
+    return _row_key(bank, ROLE_OFFSETS[role] & 0xFFFF)

@@ -1,0 +1,43 @@
+"""Read-disturbance engine.
+
+Models the two disturbance mechanisms the paper characterizes:
+
+* **RowHammer** -- a per-activation charge-*gain* kick on victim cells
+  (flips discharged cells), independent of the aggressor row-open time.
+* **RowPress** -- a charge-*loss* per activation that grows with the
+  aggressor row-open time ``tAggON`` (flips charged cells).
+
+The two mechanisms accumulate in separate per-cell accumulators (they have
+different device-level causes and opposite bitflip directions, per the
+paper's Section 2.3 and references [12, 13]).  A discharged cell flips when
+its accumulated gain crosses its threshold; a charged cell flips when its
+accumulated loss does.
+
+Per-cell coupling coefficients to the aggressor *below* and *above* the
+victim are independent random variables, and the press coupling from the
+aggressor above is globally attenuated by ``alpha < 1`` -- this encodes the
+paper's Hypothesis 1 (one aggressor row's RowPress effect dominates).
+
+Calibration (:mod:`repro.disturb.calibration`, imported explicitly to avoid
+an import cycle with :mod:`repro.patterns`) anchors the model to the
+paper's Table 2 per-module measurements.
+"""
+
+from repro.disturb.model import DisturbanceModel, TemperatureScaling
+from repro.disturb.interpolant import LogTimeInterpolant
+from repro.disturb.calibrated import CalibratedDisturbanceModel
+from repro.disturb.mechanistic import MechanisticDisturbanceModel
+from repro.disturb.population import PopulationParams, VictimRowCells, victim_row_cells
+from repro.disturb.tracker import DisturbanceTracker
+
+__all__ = [
+    "DisturbanceModel",
+    "TemperatureScaling",
+    "LogTimeInterpolant",
+    "CalibratedDisturbanceModel",
+    "MechanisticDisturbanceModel",
+    "PopulationParams",
+    "VictimRowCells",
+    "victim_row_cells",
+    "DisturbanceTracker",
+]

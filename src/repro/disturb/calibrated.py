@@ -1,0 +1,67 @@
+"""Calibrated disturbance model.
+
+Stores the hammer kick, the press-loss curve ``P(tAggON)``, the Hypothesis-1
+asymmetry ``alpha(tAggON)`` and the single-sided (solo) press efficiency
+``gamma(tAggON)`` as anchored interpolants.  Instances are produced by
+:func:`repro.disturb.calibration.calibrate_module`, which solves the anchor
+values against the paper's Table 2 measurements, but can also be built
+directly for synthetic what-if studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.constants import CHARACTERIZATION_TEMPERATURE_C, DEFAULT_TIMINGS
+from repro.disturb.interpolant import LogTimeInterpolant
+from repro.disturb.model import DisturbanceModel, TemperatureScaling
+
+
+def _constant(value: float) -> LogTimeInterpolant:
+    return LogTimeInterpolant([(DEFAULT_TIMINGS.tRAS, value)])
+
+
+@dataclass(frozen=True)
+class CalibratedDisturbanceModel(DisturbanceModel):
+    """Disturbance model defined by anchored interpolants.
+
+    Attributes:
+        hammer: charge gain per activation (constant in on-time).
+        press: interpolant for the press loss per activation;
+            ``press(tRAS) == 0`` by construction.
+        alpha_curve: interpolant for the above-aggressor press attenuation.
+        gamma_curve: interpolant for the solo-activation (single-sided)
+            press efficiency; applied per cell as ``gamma ** e_cell``.
+        solo_hammer_factor: per-activation hammer efficiency of solo
+            activations relative to alternating double-sided activations.
+        temperature: Arrhenius temperature response.
+    """
+
+    hammer: float = 1.0
+    press: LogTimeInterpolant = field(
+        default_factory=lambda: LogTimeInterpolant(
+            [(636.0, 0.4), (7_800.0, 1.0), (70_200.0, 9.0)],
+            zero_at=DEFAULT_TIMINGS.tRAS,
+            extrapolate=True,
+        )
+    )
+    alpha_curve: LogTimeInterpolant = field(default_factory=lambda: _constant(0.5))
+    gamma_curve: LogTimeInterpolant = field(default_factory=lambda: _constant(1.0))
+    solo_hammer_factor: float = 0.2
+    temperature: TemperatureScaling = field(default_factory=TemperatureScaling)
+
+    def hammer_kick(self, temperature_c: float = CHARACTERIZATION_TEMPERATURE_C) -> float:
+        return self.hammer * self.temperature.hammer_factor(temperature_c)
+
+    def press_loss(
+        self,
+        t_on: float,
+        temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+    ) -> float:
+        return self.press(t_on) * self.temperature.press_factor(temperature_c)
+
+    def alpha(self, t_on: float) -> float:
+        return self.alpha_curve(t_on)
+
+    def solo_press_gamma(self, t_on: float) -> float:
+        return self.gamma_curve(t_on)

@@ -1,0 +1,97 @@
+"""Monotone interpolation of disturbance quantities over log row-open time.
+
+The calibrated disturbance model stores the per-activation RowPress loss
+``P(tAggON)`` (and the asymmetry ``alpha`` and the single-sided efficiency
+``gamma``) as values at a handful of anchor on-times and interpolates
+between them in log-time.  ``P`` is interpolated log-log between anchors
+(it spans ~2 orders of magnitude between 636 ns and 70.2 us) and linearly
+in log-time on the leading segment down to ``P(tRAS) = 0``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+from repro.errors import CalibrationError
+
+
+class LogTimeInterpolant:
+    """Piecewise interpolant of a positive quantity over on-time.
+
+    Args:
+        zero_at: on-time (ns) at which the quantity is exactly zero
+            (``tRAS`` for the press loss), or ``None`` if the quantity does
+            not vanish (``alpha``, ``gamma``), in which case it is clamped
+            to the first/last anchor value outside the anchor range.
+        anchors: ``(t_on_ns, value)`` pairs, strictly increasing in time.
+        extrapolate: if ``True``, extend beyond the last anchor with the
+            log-log slope of the final segment; otherwise clamp.
+    """
+
+    def __init__(
+        self,
+        anchors: Sequence[Tuple[float, float]],
+        zero_at: float = None,
+        extrapolate: bool = False,
+    ) -> None:
+        anchors = [(float(t), float(v)) for t, v in anchors]
+        if not anchors:
+            raise CalibrationError("interpolant needs at least one anchor")
+        times = [t for t, _ in anchors]
+        if any(b <= a for a, b in zip(times, times[1:])):
+            raise CalibrationError("anchor times must be strictly increasing")
+        if any(v < 0 for _, v in anchors):
+            raise CalibrationError("anchor values must be non-negative")
+        if zero_at is not None and zero_at >= times[0]:
+            raise CalibrationError("zero_at must precede the first anchor")
+        self._anchors = anchors
+        self._zero_at = zero_at
+        self._extrapolate = extrapolate
+
+    @property
+    def anchors(self) -> Tuple[Tuple[float, float], ...]:
+        return tuple(self._anchors)
+
+    def __call__(self, t_on: float) -> float:
+        """Evaluate the quantity at on-time ``t_on`` (ns)."""
+        if t_on <= 0:
+            raise ValueError("on-time must be positive")
+        a = self._anchors
+        if t_on <= a[0][0]:
+            return self._leading(t_on)
+        if t_on >= a[-1][0]:
+            return self._trailing(t_on)
+        for (t0, v0), (t1, v1) in zip(a, a[1:]):
+            if t0 <= t_on <= t1:
+                return self._segment(t_on, t0, v0, t1, v1)
+        raise AssertionError("unreachable: anchors cover the range")
+
+    def _leading(self, t_on: float) -> float:
+        t0, v0 = self._anchors[0]
+        if self._zero_at is None:
+            return v0
+        if t_on <= self._zero_at:
+            return 0.0
+        # Linear in log-time from (zero_at, 0) up to the first anchor.
+        frac = math.log(t_on / self._zero_at) / math.log(t0 / self._zero_at)
+        return v0 * frac
+
+    def _trailing(self, t_on: float) -> float:
+        (t0, v0), (t1, v1) = self._anchors[-2:] if len(self._anchors) > 1 else (
+            self._anchors[-1],
+            self._anchors[-1],
+        )
+        if not self._extrapolate or t0 == t1 or v0 <= 0 or v1 <= 0:
+            return self._anchors[-1][1]
+        slope = math.log(v1 / v0) / math.log(t1 / t0)
+        return v1 * (t_on / t1) ** slope
+
+    @staticmethod
+    def _segment(t_on: float, t0: float, v0: float, t1: float, v1: float) -> float:
+        x = math.log(t_on / t0) / math.log(t1 / t0)
+        if v0 > 0 and v1 > 0:
+            # Log-log interpolation between positive anchors.
+            return math.exp(math.log(v0) + x * (math.log(v1) - math.log(v0)))
+        # Fall back to linear when an endpoint is zero.
+        return v0 + x * (v1 - v0)

@@ -1,0 +1,132 @@
+"""Mechanistic (trap-physics inspired) disturbance model.
+
+Device-level studies of RowPress (paper refs [80, 83]) attribute the
+on-time dependence to trap filling near the aggressor wordline, which
+saturates with a characteristic time constant, plus a slow drift component
+that keeps growing with on-time.  This model encodes that directly:
+
+``P(t) = c_fast * (1 - exp(-(t - tRAS)/tau)) + c_slow * (t - tRAS)``
+
+It is the *explanatory* counterpart of the calibrated model: the ablation
+benchmark ``benchmarks/test_ablation_backend.py`` fits it to a calibrated
+model's anchors and shows the two backends agree on the figure shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.constants import CHARACTERIZATION_TEMPERATURE_C, DEFAULT_TIMINGS
+from repro.disturb.model import DisturbanceModel, TemperatureScaling
+from repro.errors import CalibrationError
+
+
+@dataclass(frozen=True)
+class MechanisticDisturbanceModel(DisturbanceModel):
+    """Two-component trap-fill + drift RowPress model with constant alpha.
+
+    Attributes:
+        hammer: charge gain per activation.
+        c_fast: amplitude of the saturating trap-fill component.
+        tau: trap-fill time constant (ns).
+        c_slow: slow drift loss per nanosecond of on-time.
+        alpha_const: Hypothesis-1 asymmetry (constant in on-time).
+        gamma_const: single-sided press efficiency factor.
+    """
+
+    hammer: float = 1.0
+    c_fast: float = 6.0
+    tau: float = 3_000.0
+    c_slow: float = 9.0e-4
+    alpha_const: float = 0.6
+    gamma_const: float = 1.3
+    solo_hammer_factor: float = 0.2
+    temperature: TemperatureScaling = field(default_factory=TemperatureScaling)
+
+    def __post_init__(self) -> None:
+        if self.tau <= 0:
+            raise CalibrationError("tau must be positive")
+        if self.c_fast < 0 or self.c_slow < 0:
+            raise CalibrationError("press amplitudes must be non-negative")
+
+    def hammer_kick(
+        self, temperature_c: float = CHARACTERIZATION_TEMPERATURE_C
+    ) -> float:
+        return self.hammer * self.temperature.hammer_factor(temperature_c)
+
+    def press_loss(
+        self,
+        t_on: float,
+        temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+    ) -> float:
+        extra = max(0.0, t_on - DEFAULT_TIMINGS.tRAS)
+        loss = self.c_fast * (1.0 - math.exp(-extra / self.tau)) + self.c_slow * extra
+        return loss * self.temperature.press_factor(temperature_c)
+
+    def alpha(self, t_on: float) -> float:
+        return self.alpha_const
+
+    def solo_press_gamma(self, t_on: float) -> float:
+        return self.gamma_const
+
+    @classmethod
+    def fit_to_anchors(
+        cls,
+        anchors,
+        hammer: float = 1.0,
+        alpha_const: float = 0.6,
+        gamma_const: float = 1.3,
+    ) -> "MechanisticDisturbanceModel":
+        """Least-squares fit of ``(c_fast, tau, c_slow)`` to press anchors.
+
+        Args:
+            anchors: sequence of ``(t_on_ns, press_loss)`` pairs (at least
+                three, e.g. a calibrated model's anchors).
+
+        The fit does a coarse grid search over ``tau`` with a closed-form
+        linear solve for ``(c_fast, c_slow)`` at each candidate, which is
+        plenty for three-point anchor sets.
+        """
+        anchors = [(float(t), float(v)) for t, v in anchors]
+        if len(anchors) < 2:
+            raise CalibrationError("need at least two anchors to fit")
+        t_ras = DEFAULT_TIMINGS.tRAS
+        best = None
+        for k in range(60):
+            tau = 100.0 * (1.25 ** k)
+            # Linear least squares for amplitudes at this tau.
+            s11 = s12 = s22 = b1 = b2 = 0.0
+            for t, v in anchors:
+                x1 = 1.0 - math.exp(-max(0.0, t - t_ras) / tau)
+                x2 = max(0.0, t - t_ras)
+                s11 += x1 * x1
+                s12 += x1 * x2
+                s22 += x2 * x2
+                b1 += x1 * v
+                b2 += x2 * v
+            det = s11 * s22 - s12 * s12
+            if abs(det) < 1e-30:
+                continue
+            c_fast = (b1 * s22 - b2 * s12) / det
+            c_slow = (s11 * b2 - s12 * b1) / det
+            c_fast = max(0.0, c_fast)
+            c_slow = max(0.0, c_slow)
+            err = 0.0
+            for t, v in anchors:
+                x1 = 1.0 - math.exp(-max(0.0, t - t_ras) / tau)
+                pred = c_fast * x1 + c_slow * max(0.0, t - t_ras)
+                err += (math.log1p(pred) - math.log1p(v)) ** 2
+            if best is None or err < best[0]:
+                best = (err, c_fast, tau, c_slow)
+        if best is None:
+            raise CalibrationError("mechanistic fit failed")
+        _, c_fast, tau, c_slow = best
+        return cls(
+            hammer=hammer,
+            c_fast=c_fast,
+            tau=tau,
+            c_slow=c_slow,
+            alpha_const=alpha_const,
+            gamma_const=gamma_const,
+        )

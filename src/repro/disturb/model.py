@@ -1,0 +1,95 @@
+"""Disturbance-model interface.
+
+A disturbance model answers, for a given aggressor activation, how much
+disturbance the two mechanisms deposit on the cells of an adjacent victim
+row:
+
+* ``hammer_kick(T)`` -- base charge gain per activation (RowHammer), in
+  model units; independent of the row-open time.
+* ``press_loss(t_on, T)`` -- base charge loss per activation (RowPress),
+  growing with the row-open time ``t_on``.
+* ``alpha(t_on)`` -- Hypothesis 1 asymmetry: the press coupling of an
+  aggressor *above* the victim relative to one *below* it.
+
+**Solo activations.**  Back-to-back re-activations of the *same* row (all
+activations of a single-sided pattern) disturb differently from the
+alternating activations of a double-sided pattern:
+
+* the hammer kick is weaker by ``solo_hammer_factor`` (< 1) -- the
+  well-established reason single-sided RowHammer needs several times more
+  activations than double-sided -- further modulated per cell by the
+  population's ``solo_hammer_mod`` array;
+* the press loss is scaled by ``solo_press_gamma(t_on)`` raised to the
+  per-cell ``solo_press_exp`` exponent -- trapped-charge recovery during
+  the interleaved activations of a double-sided pattern is cell- and
+  on-time-dependent.
+
+Temperature enters through a shared Arrhenius-style scaling; the paper
+characterizes at 50 C, where the scaling is exactly 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.constants import CHARACTERIZATION_TEMPERATURE_C
+
+
+@dataclass(frozen=True)
+class TemperatureScaling:
+    """Exponential temperature scaling around the 50 C reference point.
+
+    ``factor = exp(k * (T - 50))``.  Defaults follow the characterization
+    literature's rule of thumb that RowPress roughly doubles in strength
+    per +10 C while RowHammer is only mildly temperature dependent.  The
+    paper itself only characterizes at 50 C, so these coefficients matter
+    only for the temperature-extension experiments.
+    """
+
+    hammer_per_degree: float = 0.023
+    press_per_degree: float = 0.069
+
+    def hammer_factor(self, temperature_c: float) -> float:
+        return math.exp(
+            self.hammer_per_degree * (temperature_c - CHARACTERIZATION_TEMPERATURE_C)
+        )
+
+    def press_factor(self, temperature_c: float) -> float:
+        return math.exp(
+            self.press_per_degree * (temperature_c - CHARACTERIZATION_TEMPERATURE_C)
+        )
+
+
+class DisturbanceModel:
+    """Abstract interface implemented by the calibrated and mechanistic
+    disturbance models."""
+
+    #: Temperature response shared by all models.
+    temperature: TemperatureScaling = TemperatureScaling()
+
+    #: Base per-activation hammer efficiency of solo activations.
+    solo_hammer_factor: float = 0.2
+
+    def hammer_kick(self, temperature_c: float = CHARACTERIZATION_TEMPERATURE_C) -> float:
+        """Base charge gain deposited per aggressor activation."""
+        raise NotImplementedError
+
+    def press_loss(
+        self,
+        t_on: float,
+        temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+    ) -> float:
+        """Base charge loss deposited per activation with on-time ``t_on``."""
+        raise NotImplementedError
+
+    def alpha(self, t_on: float) -> float:
+        """Press-coupling attenuation of the aggressor above the victim."""
+        raise NotImplementedError
+
+    def solo_press_gamma(self, t_on: float) -> float:
+        """Base press efficiency of solo activations at on-time ``t_on``.
+
+        Applied per cell as ``gamma ** solo_press_exp``.
+        """
+        raise NotImplementedError

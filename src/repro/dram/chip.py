@@ -1,0 +1,149 @@
+"""Simulated DRAM chip (die).
+
+A chip owns its banks (created lazily -- characterization touches a single
+bank) and the per-cell susceptibility population shared by the disturbance
+tracker and the closed-form analysis.  Each die of a module has its own
+``die_scale`` (threshold spread across dies) and its own random cell
+population, seeded by ``(module_key, die_index, bank, row)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Optional
+
+from repro.dram.bank import Bank
+from repro.dram.ecc import OnDieEcc
+from repro.dram.mapping import IdentityMapping, RowMapping
+from repro.dram.retention import RetentionModel
+from repro.dram.topology import BankGeometry
+from repro.disturb.model import DisturbanceModel
+from repro.disturb.population import PopulationParams, VictimRowCells, victim_row_cells
+from repro.disturb.tracker import DisturbanceTracker
+from repro.errors import DeviceStateError
+
+
+class Chip:
+    """One DRAM die with lazily instantiated banks."""
+
+    def __init__(
+        self,
+        module_key: str,
+        die_index: int,
+        geometry: BankGeometry,
+        model: DisturbanceModel,
+        population: PopulationParams,
+        n_banks: int = 16,
+        on_die_ecc: Optional[OnDieEcc] = None,
+        retention: Optional[RetentionModel] = None,
+        mapping: Optional[RowMapping] = None,
+    ) -> None:
+        self._module_key = module_key
+        self._die_index = die_index
+        self._geometry = geometry
+        self._model = model
+        self._population = population
+        self._n_banks = n_banks
+        self._on_die_ecc = on_die_ecc
+        self._retention = retention
+        self._mapping = mapping if mapping is not None else IdentityMapping()
+        self._banks: Dict[int, Bank] = {}
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def module_key(self) -> str:
+        return self._module_key
+
+    @property
+    def die_index(self) -> int:
+        return self._die_index
+
+    @property
+    def geometry(self) -> BankGeometry:
+        return self._geometry
+
+    @property
+    def model(self) -> DisturbanceModel:
+        return self._model
+
+    @property
+    def population(self) -> PopulationParams:
+        return self._population
+
+    @property
+    def on_die_ecc(self) -> Optional[OnDieEcc]:
+        return self._on_die_ecc
+
+    @property
+    def n_banks(self) -> int:
+        return self._n_banks
+
+    @property
+    def mapping(self) -> RowMapping:
+        return self._mapping
+
+    def to_physical(self, logical_row: int) -> int:
+        """In-DRAM row-address scramble: command-bus address -> physical."""
+        return self._mapping.to_physical(logical_row)
+
+    def to_logical(self, physical_row: int) -> int:
+        """Inverse scramble: physical row -> command-bus address."""
+        return self._mapping.to_logical(physical_row)
+
+    # ----------------------------------------------------------------- access
+
+    def bank(self, index: int) -> Bank:
+        """Bank ``index``, creating it (and its tracker) on first use."""
+        if not 0 <= index < self._n_banks:
+            raise DeviceStateError(f"bank {index} outside chip (banks={self._n_banks})")
+        bank = self._banks.get(index)
+        if bank is None:
+            tracker = DisturbanceTracker(
+                self._model,
+                self._cells_provider(index),
+                self._geometry.rows,
+            )
+            bank = Bank(self._geometry, tracker=tracker, retention=self._retention)
+            self._banks[index] = bank
+        return bank
+
+    def cells(self, bank: int, physical_row: int) -> VictimRowCells:
+        """Susceptibility arrays of one physical row (cached)."""
+        return _cached_cells(
+            self._module_key,
+            self._die_index,
+            bank,
+            physical_row,
+            self._geometry.cols_simulated,
+            self._population,
+        )
+
+    def _cells_provider(self, bank: int):
+        def provider(physical_row: int) -> VictimRowCells:
+            return self.cells(bank, physical_row)
+
+        return provider
+
+
+@lru_cache(maxsize=200_000)
+def _cached_cells(
+    module_key: str,
+    die_index: int,
+    bank: int,
+    physical_row: int,
+    n_cells: int,
+    population: PopulationParams,
+) -> VictimRowCells:
+    return victim_row_cells(
+        module_key,
+        die_index,
+        _row_key(bank, physical_row),
+        n_cells,
+        population,
+    )
+
+
+def _row_key(bank: int, physical_row: int) -> int:
+    """Stable per-(bank, row) seed component."""
+    return (bank << 32) | physical_row

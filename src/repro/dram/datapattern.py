@@ -1,0 +1,87 @@
+"""Data patterns used to initialize DRAM rows before characterization.
+
+The paper (Section 3.4) uses a *checkerboard* pattern: aggressor rows are
+initialized with ``0xAA`` and victim rows with ``0x55``.  The future-work
+section proposes testing more data patterns; this module therefore supports
+the standard set used by the RowHammer/RowPress characterization
+literature: checkerboard, inverted checkerboard, solid 0/1, row stripe, and
+column stripe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _expand_byte(byte: int, n_bits: int) -> np.ndarray:
+    """Expand a repeating byte value into an array of ``n_bits`` bits.
+
+    Bit 0 of the returned array is the MSB of the byte, matching the order
+    in which a DRAM burst places bits on the data bus.
+    """
+    if not 0 <= byte <= 0xFF:
+        raise ValueError("byte value out of range")
+    bits = np.unpackbits(np.frombuffer(bytes([byte]), dtype=np.uint8))
+    reps = (n_bits + 7) // 8
+    return np.tile(bits, reps)[:n_bits].astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class DataPattern:
+    """A per-row data-initialization rule.
+
+    Attributes:
+        name: human-readable identifier.
+        aggressor_byte: repeating byte written to aggressor rows.
+        victim_even_byte: repeating byte for even-addressed victim rows.
+        victim_odd_byte: repeating byte for odd-addressed victim rows
+            (equal to ``victim_even_byte`` for non-striped patterns).
+    """
+
+    name: str
+    aggressor_byte: int
+    victim_even_byte: int
+    victim_odd_byte: int
+
+    def aggressor_bits(self, n_bits: int) -> np.ndarray:
+        """Bits stored in an aggressor row."""
+        return _expand_byte(self.aggressor_byte, n_bits)
+
+    def victim_bits(self, row: int, n_bits: int) -> np.ndarray:
+        """Bits stored in victim row ``row``."""
+        byte = self.victim_even_byte if row % 2 == 0 else self.victim_odd_byte
+        return _expand_byte(byte, n_bits)
+
+
+#: The paper's pattern: aggressors 0xAA, victims 0x55 (Section 3.4).
+CHECKERBOARD = DataPattern("checkerboard", 0xAA, 0x55, 0x55)
+
+#: Inverted checkerboard (victims 0xAA, aggressors 0x55).
+CHECKERBOARD_INVERTED = DataPattern("checkerboard-inverted", 0x55, 0xAA, 0xAA)
+
+#: All cells store logical 0.
+SOLID_ZERO = DataPattern("solid-zero", 0x00, 0x00, 0x00)
+
+#: All cells store logical 1.
+SOLID_ONE = DataPattern("solid-one", 0xFF, 0xFF, 0xFF)
+
+#: Alternating all-ones / all-zeros rows.
+ROW_STRIPE = DataPattern("row-stripe", 0xFF, 0x00, 0xFF)
+
+#: Alternating ones/zeros along the row (same in every row).
+COL_STRIPE = DataPattern("col-stripe", 0xAA, 0xAA, 0xAA)
+
+#: Registry of all supported data patterns by name.
+DATA_PATTERNS = {
+    p.name: p
+    for p in (
+        CHECKERBOARD,
+        CHECKERBOARD_INVERTED,
+        SOLID_ZERO,
+        SOLID_ONE,
+        ROW_STRIPE,
+        COL_STRIPE,
+    )
+}

@@ -1,0 +1,130 @@
+"""Logical-to-physical DRAM row address remapping.
+
+DRAM vendors internally remap ("scramble") row addresses: rows that are
+adjacent in the logical address space exposed on the command bus are not
+necessarily physically adjacent on the die.  Read-disturbance
+characterization must therefore operate on *physical* row addresses; the
+paper (Section 3.2) reverse-engineers the physical layout following prior
+SAFARI methodology.  This module provides the remapping models used by the
+simulated chips and an involution-based scramble family that covers the
+schemes published for the three major vendors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProfileError
+
+
+class RowMapping:
+    """Interface: a bijection between logical and physical row addresses."""
+
+    def to_physical(self, logical: int) -> int:
+        raise NotImplementedError
+
+    def to_logical(self, physical: int) -> int:
+        raise NotImplementedError
+
+    def physical_neighbors(self, logical: int, rows: int) -> tuple:
+        """Logical addresses of the two physical neighbors of ``logical``.
+
+        Returns a tuple ``(below, above)`` of logical addresses whose
+        physical addresses are one less / one more than ``logical``'s
+        physical address, or ``None`` for a neighbor outside the bank.
+        """
+        phys = self.to_physical(logical)
+        below = self.to_logical(phys - 1) if phys - 1 >= 0 else None
+        above = self.to_logical(phys + 1) if phys + 1 < rows else None
+        return below, above
+
+
+@dataclass(frozen=True)
+class IdentityMapping(RowMapping):
+    """No remapping: logical address == physical address."""
+
+    def to_physical(self, logical: int) -> int:
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        return physical
+
+
+@dataclass(frozen=True)
+class XorScrambleMapping(RowMapping):
+    """Conditional-XOR row scramble (an involution, hence self-inverse).
+
+    If ``logical & trigger_mask`` is nonzero, the address is XORed with
+    ``xor_mask``.  This family covers the published DDR4 scrambles: e.g.,
+    Samsung B/C/D-die remapping is commonly modeled as
+    ``trigger_mask=0x8, xor_mask=0x6`` (rows with bit 3 set swap bits 1-2).
+
+    The mapping is a valid involution iff applying it twice is the
+    identity, which holds when ``xor_mask`` does not intersect
+    ``trigger_mask`` (the trigger bits are unchanged by the XOR).
+    """
+
+    trigger_mask: int = 0x8
+    xor_mask: int = 0x6
+
+    def __post_init__(self) -> None:
+        if self.trigger_mask & self.xor_mask:
+            raise ProfileError(
+                "xor_mask must not intersect trigger_mask "
+                "(otherwise the scramble is not an involution)"
+            )
+
+    def to_physical(self, logical: int) -> int:
+        if logical & self.trigger_mask:
+            return logical ^ self.xor_mask
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        # Involution: the inverse is the map itself.
+        return self.to_physical(physical)
+
+
+@dataclass(frozen=True)
+class BlockInvertMapping(RowMapping):
+    """Invert the low address bits inside fixed-size blocks.
+
+    Some vendors lay out the rows of every other ``block_size``-row group
+    in reverse physical order.  ``block_size`` must be a power of two.
+    This is also an involution.
+    """
+
+    block_size: int = 16
+
+    def __post_init__(self) -> None:
+        if self.block_size < 2 or self.block_size & (self.block_size - 1):
+            raise ProfileError("block_size must be a power of two >= 2")
+
+    def to_physical(self, logical: int) -> int:
+        block = logical // self.block_size
+        if block % 2 == 1:
+            offset = logical % self.block_size
+            return block * self.block_size + (self.block_size - 1 - offset)
+        return logical
+
+    def to_logical(self, physical: int) -> int:
+        return self.to_physical(physical)
+
+
+#: Vendor-representative remapping schemes.  The exact scrambles of the
+#: tested modules are proprietary; these are the structures published in
+#: prior reverse-engineering work and serve the same methodological role:
+#: the characterization code *must* translate through them to find the true
+#: physical neighbors.
+_VENDOR_MAPPINGS = {
+    "S": XorScrambleMapping(trigger_mask=0x8, xor_mask=0x6),
+    "H": IdentityMapping(),
+    "M": BlockInvertMapping(block_size=16),
+}
+
+
+def vendor_mapping(manufacturer: str) -> RowMapping:
+    """Return the row-remapping model for manufacturer ``"S"/"H"/"M"``."""
+    try:
+        return _VENDOR_MAPPINGS[manufacturer]
+    except KeyError:
+        raise ProfileError(f"unknown manufacturer {manufacturer!r}") from None

@@ -1,0 +1,109 @@
+"""Simulated DRAM module (DIMM).
+
+A module bundles the dies of one tested DIMM, the vendor row-address
+remapping, and the shared (calibrated) disturbance model.  Per-die
+threshold scales reproduce the avg-vs-min spread across dies that Table 2
+reports.  Modules are normally created through
+:func:`repro.system.build_module`, which performs the calibration.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.dram.chip import Chip
+from repro.dram.ecc import OnDieEcc
+from repro.dram.mapping import RowMapping, vendor_mapping
+from repro.dram.profiles import ModuleProfile
+from repro.dram.topology import BankGeometry
+from repro.disturb.model import DisturbanceModel
+from repro.disturb.population import PopulationParams
+from repro.errors import ProfileError
+
+
+class Module:
+    """One DIMM: dies + row mapping + disturbance model."""
+
+    def __init__(
+        self,
+        profile: ModuleProfile,
+        geometry: BankGeometry,
+        model: DisturbanceModel,
+        population: PopulationParams,
+        die_scales: Sequence[float],
+        die_press_scales: Optional[Sequence[float]] = None,
+        mapping: Optional[RowMapping] = None,
+        on_die_ecc: Optional[OnDieEcc] = None,
+    ) -> None:
+        if len(die_scales) != profile.n_dies:
+            raise ProfileError(
+                f"{profile.key}: expected {profile.n_dies} die scales, "
+                f"got {len(die_scales)}"
+            )
+        if die_press_scales is None:
+            die_press_scales = [1.0] * profile.n_dies
+        if len(die_press_scales) != profile.n_dies:
+            raise ProfileError(
+                f"{profile.key}: expected {profile.n_dies} die press scales, "
+                f"got {len(die_press_scales)}"
+            )
+        self._profile = profile
+        self._geometry = geometry
+        self._model = model
+        self._mapping = mapping if mapping is not None else vendor_mapping(
+            profile.manufacturer
+        )
+        self._chips: List[Chip] = [
+            Chip(
+                module_key=profile.key,
+                die_index=die,
+                geometry=geometry,
+                model=model,
+                population=population.with_die_scale(scale).with_press_scale(
+                    press_scale
+                ),
+                n_banks=profile.organization.banks_per_chip,
+                on_die_ecc=on_die_ecc,
+                mapping=self._mapping,
+            )
+            for die, (scale, press_scale) in enumerate(
+                zip(die_scales, die_press_scales)
+            )
+        ]
+
+    # ------------------------------------------------------------- properties
+
+    @property
+    def profile(self) -> ModuleProfile:
+        return self._profile
+
+    @property
+    def key(self) -> str:
+        return self._profile.key
+
+    @property
+    def manufacturer(self) -> str:
+        return self._profile.manufacturer
+
+    @property
+    def geometry(self) -> BankGeometry:
+        return self._geometry
+
+    @property
+    def model(self) -> DisturbanceModel:
+        return self._model
+
+    @property
+    def mapping(self) -> RowMapping:
+        return self._mapping
+
+    @property
+    def chips(self) -> List[Chip]:
+        return list(self._chips)
+
+    @property
+    def n_dies(self) -> int:
+        return len(self._chips)
+
+    def chip(self, die_index: int) -> Chip:
+        return self._chips[die_index]

@@ -1,0 +1,478 @@
+"""Per-module chip profiles for the 14 DDR4 DIMMs of Table 1 / Table 2.
+
+Each profile carries:
+
+* the module metadata reported in Table 1 (manufacturer, part numbers, die
+  revision, density, organization, manufacturing date code), and
+* the measured read-disturbance anchors from Table 2 that the simulated
+  disturbance model is calibrated against: ``ACmin`` (the minimum number of
+  total aggressor-row activations to induce at least one bitflip), average
+  and minimum across the module's dies, at ``tAggON`` = 36 ns (RowHammer),
+  7.8 us (tREFI) and 70.2 us (9 x tREFI) for the conventional double-sided
+  RowPress pattern and the combined RowHammer+RowPress pattern.
+
+``None`` anchor values encode the "No Bitflip" cells of Table 2 (the
+pattern induced no bitflip within the 60 ms iteration-runtime bound).
+
+Manufacturer-level anchors from the running text (the tAggON = 636 ns
+reduction percentages of Observations 1-2, and the single-sided RowPress
+times of Observations 1 and 3) are in :data:`MFR_TEXT_ANCHORS`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dram.topology import ModuleOrganization
+from repro.errors import ProfileError
+
+#: Anchor tAggON values (ns) used by Table 2.
+ANCHOR_T_RAS = 36.0
+ANCHOR_T_REFI = 7_800.0
+ANCHOR_T_9REFI = 70_200.0
+
+#: Pair of (average, minimum) across a module's dies.
+AvgMin = Tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ModuleProfile:
+    """Metadata and calibration anchors for one tested DIMM.
+
+    Attributes:
+        key: the module label used by the paper's appendix (S0..S4,
+            H0..H3, M0..M4).
+        manufacturer: "S" (Samsung), "H" (SK Hynix), or "M" (Micron).
+        dimm_part / dram_part: part numbers from Table 2.
+        die_rev: die revision letter.
+        organization: density / width / die count.
+        date_code: manufacturing date code string (as printed).
+        acmin_rh36: ACmin (avg, min) at tAggON = tRAS (double-sided
+            RowHammer baseline).
+        acmin_rp / acmin_combined: anchors for the conventional
+            double-sided RowPress pattern and the combined pattern, keyed
+            by tAggON in ns; ``None`` means "No Bitflip" in Table 2.
+        time_ms: the paper's reported time-to-first-bitflip (avg, min) in
+            milliseconds, kept for reporting/validation only (times are
+            fully determined by ACmin and the pattern timing model).
+        anti_cell_fraction: fraction of anti-cells (cells whose charged
+            state encodes logical 0).  Mfr. M dies other than the 16 Gb
+            B-die are anti-cell-majority (paper Fig. 5 footnote).
+        press_immune: ``True`` for the dies in which no RowPress-induced
+            bitflips were observed at all (M1, M2).
+        estimated_anchors: anchor keys whose values were estimated because
+            the published table cell is illegible in the source; recorded
+            for transparency in EXPERIMENTS.md.
+    """
+
+    key: str
+    manufacturer: str
+    dimm_part: str
+    dram_part: str
+    die_rev: str
+    organization: ModuleOrganization
+    date_code: str
+    acmin_rh36: AvgMin
+    acmin_rp: Dict[float, Optional[AvgMin]]
+    acmin_combined: Dict[float, Optional[AvgMin]]
+    time_ms: Dict[str, Optional[AvgMin]] = field(default_factory=dict)
+    anti_cell_fraction: float = 0.03
+    press_immune: bool = False
+    estimated_anchors: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.manufacturer not in ("S", "H", "M"):
+            raise ProfileError(f"unknown manufacturer {self.manufacturer!r}")
+        if not 0.0 <= self.anti_cell_fraction <= 1.0:
+            raise ProfileError("anti_cell_fraction must be in [0, 1]")
+        avg, mn = self.acmin_rh36
+        if mn > avg:
+            raise ProfileError(f"{self.key}: min ACmin exceeds average")
+        for table in (self.acmin_rp, self.acmin_combined):
+            for t_on, pair in table.items():
+                if pair is not None and pair[1] > pair[0]:
+                    raise ProfileError(
+                        f"{self.key}: min ACmin exceeds average at {t_on} ns"
+                    )
+
+    @property
+    def n_dies(self) -> int:
+        return self.organization.n_chips
+
+    @property
+    def die_spread_ratio(self) -> float:
+        """Min/avg ACmin ratio across dies at the RowHammer anchor.
+
+        Drives the calibrated per-die threshold spread.
+        """
+        avg, mn = self.acmin_rh36
+        return mn / avg
+
+
+def _org(density: int, width: int, n_chips: int) -> ModuleOrganization:
+    return ModuleOrganization(density_gbit=density, width=width, n_chips=n_chips)
+
+
+#: All 14 modules of Table 1 / Table 2.  ACmin values are in activations.
+MODULE_PROFILES: Dict[str, ModuleProfile] = {
+    p.key: p
+    for p in (
+        # ------------------------------------------------------------ Samsung
+        ModuleProfile(
+            key="S0",
+            manufacturer="S",
+            dimm_part="M393A2K40CB2-CTD",
+            dram_part="K4A8G045WC-BCTD",
+            die_rev="C",
+            organization=_org(8, 8, 8),
+            date_code="2135",
+            acmin_rh36=(45_000, 22_600),
+            acmin_rp={ANCHOR_T_REFI: (6_900, 2_900), ANCHOR_T_9REFI: (762, 316)},
+            acmin_combined={ANCHOR_T_REFI: (11_400, 3_200), ANCHOR_T_9REFI: (1_300, 354)},
+            time_ms={
+                "rh36": (2.4, 1.2),
+                "rp_7p8": (53.8, 22.7),
+                "rp_70p2": (53.5, 22.2),
+                "comb_7p8": (44.8, 12.6),
+                "comb_70p2": (45.6, 12.4),
+            },
+            anti_cell_fraction=0.03,
+        ),
+        ModuleProfile(
+            key="S1",
+            manufacturer="S",
+            dimm_part="M378A1K43DB2-CTD",
+            dram_part="K4A8G085WD-BCTD",
+            die_rev="D",
+            organization=_org(8, 8, 8),
+            date_code="2110",
+            acmin_rh36=(28_600, 16_200),
+            acmin_rp={ANCHOR_T_REFI: (6_700, 2_500), ANCHOR_T_9REFI: (739, 280)},
+            acmin_combined={ANCHOR_T_REFI: (10_300, 2_500), ANCHOR_T_9REFI: (1_200, 292)},
+            time_ms={
+                "rh36": (1.6, 0.9),
+                "rp_7p8": (52.4, 19.2),
+                "rp_70p2": (51.8, 19.7),
+                "comb_7p8": (40.5, 9.7),
+                "comb_70p2": (41.2, 10.3),
+            },
+            anti_cell_fraction=0.03,
+        ),
+        ModuleProfile(
+            key="S2",
+            manufacturer="S",
+            dimm_part="M378A1K43DB2-CTD",
+            dram_part="K4A8G085WD-BCTD",
+            die_rev="D",
+            organization=_org(8, 8, 8),
+            date_code="2110",
+            acmin_rh36=(28_800, 16_000),
+            # The avg cell for RowPress @ 70.2 us is illegible in the source
+            # scan; 640 is estimated from the stable ~0.11 ratio between the
+            # 70.2 us and 7.8 us RowPress anchors across Samsung modules.
+            acmin_rp={ANCHOR_T_REFI: (5_800, 1_600), ANCHOR_T_9REFI: (640, 180)},
+            acmin_combined={ANCHOR_T_REFI: (7_200, 1_600), ANCHOR_T_9REFI: (798, 184)},
+            time_ms={
+                "rh36": (1.6, 0.9),
+                "rp_7p8": (45.5, 12.3),
+                "rp_70p2": None,
+                "comb_7p8": (28.2, 6.4),
+                "comb_70p2": (28.0, 6.5),
+            },
+            anti_cell_fraction=0.03,
+            estimated_anchors=("rp_70p2_avg",),
+        ),
+        ModuleProfile(
+            key="S3",
+            manufacturer="S",
+            dimm_part="M378A1K43DB2-CTD",
+            dram_part="K4A8G085WD-BCTD",
+            die_rev="D",
+            organization=_org(8, 8, 8),
+            date_code="2110",
+            acmin_rh36=(29_200, 15_800),
+            acmin_rp={ANCHOR_T_REFI: (6_500, 1_600), ANCHOR_T_9REFI: (717, 186)},
+            acmin_combined={ANCHOR_T_REFI: (9_000, 1_600), ANCHOR_T_9REFI: (1_000, 174)},
+            time_ms={
+                "rh36": (1.6, 0.9),
+                "rp_7p8": (50.5, 12.8),
+                "rp_70p2": (50.3, 13.0),
+                "comb_7p8": (35.2, 6.4),
+                "comb_70p2": (35.3, 6.1),
+            },
+            anti_cell_fraction=0.03,
+        ),
+        ModuleProfile(
+            key="S4",
+            manufacturer="S",
+            dimm_part="M471A4G43AB1-CWE",
+            dram_part="K4AAG085WA-BCWE",
+            die_rev="A",
+            organization=_org(16, 8, 8),
+            date_code="2320",
+            acmin_rh36=(31_300, 17_000),
+            # Double-sided RowPress @ 70.2 us induced no bitflip within the
+            # 60 ms iteration bound (budget: 854 activations).
+            acmin_rp={ANCHOR_T_REFI: (7_600, 7_500), ANCHOR_T_9REFI: None},
+            acmin_combined={ANCHOR_T_REFI: (14_000, 9_400), ANCHOR_T_9REFI: (1_500, 1_500)},
+            time_ms={
+                "rh36": (1.7, 0.9),
+                "rp_7p8": (59.6, 58.2),
+                "rp_70p2": None,
+                "comb_7p8": (55.1, 36.9),
+                "comb_70p2": (54.4, 51.4),
+            },
+            anti_cell_fraction=0.03,
+        ),
+        # ----------------------------------------------------------- SK Hynix
+        ModuleProfile(
+            key="H0",
+            manufacturer="H",
+            dimm_part="KSM32RD8/16HDR (Kingston)",
+            dram_part="H5AN8G8NDJR-XNC",
+            die_rev="D",
+            organization=_org(8, 8, 4),
+            date_code="Mar-21",
+            acmin_rh36=(43_400, 16_000),
+            acmin_rp={ANCHOR_T_REFI: (6_500, 3_000), ANCHOR_T_9REFI: (724, 312)},
+            acmin_combined={ANCHOR_T_REFI: (8_200, 3_000), ANCHOR_T_9REFI: (935, 324)},
+            time_ms={
+                "rh36": (2.3, 0.9),
+                "rp_7p8": (51.0, 23.1),
+                "rp_70p2": (50.8, 21.9),
+                "comb_7p8": (32.3, 11.7),
+                "comb_70p2": (32.8, 11.4),
+            },
+            anti_cell_fraction=0.05,
+        ),
+        ModuleProfile(
+            key="H1",
+            manufacturer="H",
+            dimm_part="KSM32RD8/16HDR (Kingston)",
+            dram_part="H5AN8G8NDJR-XNC",
+            die_rev="D",
+            organization=_org(8, 8, 4),
+            date_code="Mar-21",
+            acmin_rh36=(45_600, 21_400),
+            acmin_rp={ANCHOR_T_REFI: (4_700, 1_600), ANCHOR_T_9REFI: (509, 170)},
+            acmin_combined={ANCHOR_T_REFI: (6_000, 1_700), ANCHOR_T_9REFI: (646, 184)},
+            time_ms={
+                "rh36": (2.5, 1.2),
+                "rp_7p8": (36.4, 12.1),
+                "rp_70p2": (35.8, 11.9),
+                "comb_7p8": (23.6, 6.7),
+                "comb_70p2": (22.7, 6.5),
+            },
+            anti_cell_fraction=0.05,
+        ),
+        ModuleProfile(
+            key="H2",
+            manufacturer="H",
+            dimm_part="HMAA4GU6AJR8N-XN",
+            dram_part="H5ANAG8NAJR-XN",
+            die_rev="C",
+            organization=_org(16, 8, 4),
+            date_code="2136",
+            acmin_rh36=(33_100, 15_800),
+            acmin_rp={ANCHOR_T_REFI: (6_900, 3_500), ANCHOR_T_9REFI: (699, 376)},
+            acmin_combined={ANCHOR_T_REFI: (13_700, 3_500), ANCHOR_T_9REFI: (1_500, 386)},
+            time_ms={
+                "rh36": (1.8, 0.9),
+                "rp_7p8": (54.1, 27.3),
+                "rp_70p2": (54.8, 20.5),
+                "comb_7p8": (53.6, 13.7),
+                "comb_70p2": (51.5, 13.6),
+            },
+            anti_cell_fraction=0.05,
+        ),
+        ModuleProfile(
+            key="H3",
+            manufacturer="H",
+            dimm_part="HMAA4GU6AJR8N-XN",
+            dram_part="H5ANAG8NAJR-XN",
+            die_rev="C",
+            organization=_org(16, 8, 4),
+            date_code="2136",
+            acmin_rh36=(32_900, 15_900),
+            acmin_rp={ANCHOR_T_REFI: (7_600, 6_700), ANCHOR_T_9REFI: (839, 814)},
+            acmin_combined={ANCHOR_T_REFI: (13_700, 7_000), ANCHOR_T_9REFI: (1_400, 794)},
+            time_ms={
+                "rh36": (1.8, 0.9),
+                "rp_7p8": (59.5, 52.8),
+                "rp_70p2": (58.9, 57.1),
+                "comb_7p8": (53.9, 27.3),
+                "comb_70p2": (50.1, 27.9),
+            },
+            anti_cell_fraction=0.05,
+        ),
+        # ------------------------------------------------------------- Micron
+        ModuleProfile(
+            key="M0",
+            manufacturer="M",
+            dimm_part="CT40K512M8SA-075E:F",
+            dram_part="CT4G4DFS8266.C8FF",
+            die_rev="F",
+            organization=_org(4, 16, 4),
+            date_code="2107",
+            acmin_rh36=(71_000, 31_000),
+            acmin_rp={ANCHOR_T_REFI: (6_900, 3_600), ANCHOR_T_9REFI: (755, 396)},
+            acmin_combined={ANCHOR_T_REFI: (12_700, 3_700), ANCHOR_T_9REFI: (1_500, 410)},
+            time_ms={
+                "rh36": (3.8, 1.7),
+                "rp_7p8": (53.6, 27.9),
+                "rp_70p2": (53.0, 27.8),
+                "comb_7p8": (49.9, 14.3),
+                "comb_70p2": (51.0, 14.4),
+            },
+            anti_cell_fraction=0.75,
+        ),
+        ModuleProfile(
+            key="M1",
+            manufacturer="M",
+            dimm_part="MTA18ASF2G72PZ-2G3B1",
+            dram_part="MT40A2G4WE-083E:B",
+            die_rev="B",
+            organization=_org(8, 8, 8),
+            date_code="1903",
+            acmin_rh36=(192_700, 83_600),
+            acmin_rp={ANCHOR_T_REFI: None, ANCHOR_T_9REFI: None},
+            acmin_combined={ANCHOR_T_REFI: None, ANCHOR_T_9REFI: None},
+            time_ms={
+                "rh36": (10.4, 4.5),
+                "rp_7p8": None,
+                "rp_70p2": None,
+                "comb_7p8": None,
+                "comb_70p2": None,
+            },
+            anti_cell_fraction=0.75,
+            press_immune=True,
+        ),
+        ModuleProfile(
+            key="M2",
+            manufacturer="M",
+            dimm_part="MTA18ASF2G72PZ-2G3B1",
+            dram_part="MT40A2G4WE-083E:B",
+            die_rev="B",
+            organization=_org(8, 8, 8),
+            date_code="1903",
+            acmin_rh36=(170_000, 75_200),
+            acmin_rp={ANCHOR_T_REFI: None, ANCHOR_T_9REFI: None},
+            acmin_combined={ANCHOR_T_REFI: None, ANCHOR_T_9REFI: None},
+            time_ms={
+                "rh36": (9.2, 4.1),
+                "rp_7p8": None,
+                "rp_70p2": None,
+                "comb_7p8": None,
+                "comb_70p2": None,
+            },
+            anti_cell_fraction=0.75,
+            press_immune=True,
+        ),
+        ModuleProfile(
+            key="M3",
+            manufacturer="M",
+            dimm_part="MTA4ATF1G64HZ-3G2B2",
+            dram_part="MT40A1G16RC-062E:B",
+            die_rev="B",
+            organization=_org(16, 16, 4),
+            date_code="2126",
+            acmin_rh36=(53_500, 26_000),
+            acmin_rp={ANCHOR_T_REFI: (7_600, 7_300), ANCHOR_T_9REFI: (833, 802)},
+            acmin_combined={ANCHOR_T_REFI: (13_600, 9_000), ANCHOR_T_9REFI: (1_600, 1_000)},
+            time_ms={
+                "rh36": (2.9, 1.4),
+                "rp_7p8": (59.2, 59.3),
+                "rp_70p2": (58.5, 56.3),
+                "comb_7p8": (53.4, 35.2),
+                "comb_70p2": (54.8, 35.5),
+            },
+            # 16 Gb B-die: the only Micron die with the S/H-like true-cell
+            # majority layout (paper Fig. 5 footnote).
+            anti_cell_fraction=0.08,
+        ),
+        ModuleProfile(
+            key="M4",
+            manufacturer="M",
+            dimm_part="MTA4ATF1G64HZ-3G2E1",
+            dram_part="MT40A1G16KD-062E:E",
+            die_rev="E",
+            organization=_org(16, 16, 4),
+            date_code="2046",
+            acmin_rh36=(20_200, 10_700),
+            acmin_rp={ANCHOR_T_REFI: (7_100, 2_600), ANCHOR_T_9REFI: (790, 272)},
+            acmin_combined={ANCHOR_T_REFI: (8_900, 2_700), ANCHOR_T_9REFI: (1_300, 296)},
+            time_ms={
+                "rh36": (1.1, 0.6),
+                "rp_7p8": (55.2, 20.4),
+                "rp_70p2": (55.5, 19.1),
+                "comb_7p8": (34.9, 10.7),
+                "comb_70p2": (44.3, 10.4),
+            },
+            anti_cell_fraction=0.70,
+        ),
+    )
+}
+
+MANUFACTURERS: Tuple[str, ...] = ("S", "H", "M")
+
+MANUFACTURER_NAMES = {"S": "Samsung", "H": "SK Hynix", "M": "Micron"}
+
+
+@dataclass(frozen=True)
+class MfrTextAnchors:
+    """Manufacturer-level anchors from the paper's running text.
+
+    Attributes:
+        comb_reduction_636: fractional ACmin reduction of the *combined*
+            pattern at tAggON = 636 ns relative to the 36 ns RowHammer
+            baseline (Observation 2).
+        ds_rp_reduction_636: same for the conventional double-sided
+            RowPress pattern (Observation 2).
+        ss_time_ms_636: average single-sided RowPress time to first
+            bitflip at 636 ns (Observation 1), milliseconds.
+        ss_time_ms_70p2: same at 70.2 us (Observation 3).
+        comb_time_ms_636 / ds_time_ms_636 / comb_time_ms_70p2: reported
+            averages kept for validation in EXPERIMENTS.md.
+    """
+
+    comb_reduction_636: float
+    ds_rp_reduction_636: float
+    ss_time_ms_636: float
+    ss_time_ms_70p2: float
+    comb_time_ms_636: float
+    ds_time_ms_636: float
+    comb_time_ms_70p2: float
+
+
+MFR_TEXT_ANCHORS: Dict[str, MfrTextAnchors] = {
+    "S": MfrTextAnchors(0.405, 0.480, 32.2, 36.0, 6.8, 10.9, 37.4),
+    "H": MfrTextAnchors(0.420, 0.500, 37.1, 29.9, 8.5, 12.8, 30.8),
+    "M": MfrTextAnchors(0.469, 0.543, 40.4, 44.3, 14.6, 27.1, 46.1),
+}
+
+
+def get_profile(key: str) -> ModuleProfile:
+    """Look up a module profile by its Table 2 label (e.g. ``"S0"``)."""
+    try:
+        return MODULE_PROFILES[key]
+    except KeyError:
+        raise ProfileError(
+            f"unknown module {key!r}; known: {sorted(MODULE_PROFILES)}"
+        ) from None
+
+
+def profiles_by_manufacturer(manufacturer: str) -> List[ModuleProfile]:
+    """All module profiles of one manufacturer, in key order."""
+    if manufacturer not in MANUFACTURERS:
+        raise ProfileError(f"unknown manufacturer {manufacturer!r}")
+    return [
+        MODULE_PROFILES[k]
+        for k in sorted(MODULE_PROFILES)
+        if MODULE_PROFILES[k].manufacturer == manufacturer
+    ]
+
+
+def total_chips() -> int:
+    """Total number of DRAM chips across all profiles (84 in the paper)."""
+    return sum(p.n_dies for p in MODULE_PROFILES.values())

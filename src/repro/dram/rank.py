@@ -1,0 +1,131 @@
+"""Rank-level view: lockstep chips behind one 64-bit data bus.
+
+A DIMM rank gangs its chips so each 64-bit word is striped across them
+(eight x8 chips contribute 8 bits each).  Read disturbance happens per
+*chip*, but the blast lands in *words*: one flipped cell anywhere in the
+stripe corrupts the whole cacheline, and rank-level SECDED (the 72-bit
+ECC DIMM layout) can repair exactly one such flip per word.
+
+The characterization methodology deliberately avoids rank ECC
+(Section 3.1); this view exists for the system-implications side: it
+shows how many combined-pattern bitflips survive rank SECDED, i.e. why
+"we have ECC" is not an answer to RowPress-amplified disturbance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.dram.ecc import OnDieEcc
+from repro.dram.module import Module
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class RankReadback:
+    """One rank-level row readback.
+
+    Attributes:
+        word_bits: the striped data, shape ``(n_words, bus_width)``.
+        flip_mask: which bits differ from the expected data.
+        corrected_mask: flips remaining after rank SECDED (one
+            correction per word).
+    """
+
+    word_bits: np.ndarray
+    flip_mask: np.ndarray
+    corrected_mask: np.ndarray
+
+    @property
+    def raw_flips(self) -> int:
+        return int(self.flip_mask.sum())
+
+    @property
+    def flips_after_ecc(self) -> int:
+        return int(self.corrected_mask.sum())
+
+    @property
+    def corrupted_words(self) -> int:
+        return int(self.corrected_mask.any(axis=1).sum())
+
+
+class RankView:
+    """Stripes a module's chips into rank-level words.
+
+    Args:
+        module: the DIMM; all its dies participate in the rank.
+        bank: bank under observation.
+
+    The per-chip simulated row holds ``cols_simulated`` cells; chip ``i``
+    contributes bit lane ``i`` of each word, so a rank word ``w`` is
+    ``(chip_0[w], chip_1[w], ..., chip_{n-1}[w])``.  (Real x8 chips
+    contribute 8 adjacent lanes; one lane per chip keeps the simulated
+    row sampling unchanged while preserving the property that matters:
+    different chips' flips land in the same word.)
+    """
+
+    def __init__(self, module: Module, bank: int = 0) -> None:
+        if module.n_dies < 2:
+            raise ExperimentError("a rank needs at least two chips")
+        self._module = module
+        self._bank = bank
+
+    @property
+    def bus_width(self) -> int:
+        return self._module.n_dies
+
+    def read_row(self, physical_row: int, now: float) -> np.ndarray:
+        """Rank readback of one row: shape (n_words, bus_width)."""
+        lanes = []
+        for chip in self._module.chips:
+            bank = chip.bank(self._bank)
+            bank.activate(physical_row, now)
+            lanes.append(bank.read(physical_row, now + 13.5))
+            bank.precharge(now + 50.0)
+        return np.stack(lanes, axis=1)
+
+    def write_row(self, physical_row: int, bits: np.ndarray, now: float) -> None:
+        """Write the same per-lane data to every chip of the rank."""
+        bits = np.asarray(bits, dtype=np.uint8)
+        for chip in self._module.chips:
+            bank = chip.bank(self._bank)
+            bank.activate(physical_row, now)
+            bank.write(physical_row, bits, now + 13.5)
+            bank.precharge(now + 50.0)
+
+    def readback_with_ecc(
+        self, physical_row: int, expected_lane_bits: np.ndarray, now: float
+    ) -> RankReadback:
+        """Read a row and apply rank-level SECDED per striped word."""
+        words = self.read_row(physical_row, now)
+        expected = np.stack(
+            [np.asarray(expected_lane_bits, dtype=np.uint8)] * self.bus_width,
+            axis=1,
+        )
+        flips = words != expected
+        corrected = flips.copy()
+        single = corrected.sum(axis=1) == 1
+        corrected[single] = False
+        return RankReadback(
+            word_bits=words, flip_mask=flips, corrected_mask=corrected
+        )
+
+
+def rank_flip_summary(
+    view: RankView,
+    victim_rows: Sequence[int],
+    expected_lane_bits: np.ndarray,
+    now: float,
+) -> Tuple[int, int, int]:
+    """Totals over victim rows: (raw flips, flips after SECDED,
+    corrupted words)."""
+    raw = after = words = 0
+    for row in victim_rows:
+        readback = view.readback_with_ecc(row, expected_lane_bits, now)
+        raw += readback.raw_flips
+        after += readback.flips_after_ecc
+        words += readback.corrupted_words
+    return raw, after, words

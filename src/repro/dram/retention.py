@@ -1,0 +1,81 @@
+"""DRAM data-retention model.
+
+DRAM cells leak charge and must be refreshed every ``tREFW`` (64 ms).  The
+paper's methodology (Section 3.1) bounds every experiment iteration to
+60 ms precisely so that *retention* failures never contaminate the
+*read-disturbance* bitflip counts.  This module models the retention-time
+tail so that the methodology ablation (what happens when the bound is
+violated) can be demonstrated rather than assumed.
+
+Retention times follow the two-population model established by the DRAM
+retention literature (paper refs [67, 68]): almost all cells retain data
+far longer than ``tREFW``; a small "weak cell" tail has retention times
+within a few multiples of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import rng
+from repro.constants import DEFAULT_TIMINGS
+
+
+class RetentionModel:
+    """Per-row retention-failure model.
+
+    Args:
+        module_key / die_index: identify the die (seed the weak-cell draw).
+        n_cells: simulated cells per row.
+        weak_cell_fraction: fraction of cells in the weak-retention tail.
+        min_retention_ns: guaranteed retention time (the JEDEC refresh
+            window -- a standards-compliant die never fails within it).
+        tail_scale_ns: scale of the exponential retention tail beyond the
+            guaranteed window.
+    """
+
+    def __init__(
+        self,
+        module_key: str,
+        die_index: int,
+        n_cells: int,
+        weak_cell_fraction: float = 5e-3,
+        min_retention_ns: float = DEFAULT_TIMINGS.tREFW,
+        tail_scale_ns: float = 2.0 * DEFAULT_TIMINGS.tREFW,
+    ) -> None:
+        if not 0.0 <= weak_cell_fraction <= 1.0:
+            raise ValueError("weak_cell_fraction must be in [0, 1]")
+        self._module_key = module_key
+        self._die_index = die_index
+        self._n_cells = n_cells
+        self._weak_fraction = weak_cell_fraction
+        self._min_retention = min_retention_ns
+        self._tail_scale = tail_scale_ns
+
+    def retention_times(self, row: int) -> np.ndarray:
+        """Per-cell retention times (ns) of ``row`` (deterministic)."""
+        gen = rng.stream(
+            "retention", self._module_key, self._die_index, row, self._n_cells
+        )
+        times = np.full(self._n_cells, np.inf)
+        weak = gen.random(self._n_cells) < self._weak_fraction
+        n_weak = int(weak.sum())
+        if n_weak:
+            times[weak] = self._min_retention + gen.exponential(
+                self._tail_scale, n_weak
+            )
+        return times
+
+    def failure_mask(
+        self, row: int, elapsed_ns: float, stored_bits: np.ndarray
+    ) -> np.ndarray:
+        """Cells of ``row`` that have lost their data after ``elapsed_ns``.
+
+        Only *charged* cells can fail by leakage; without knowing the
+        cell-type layout here, the model conservatively lets any cell in
+        the weak tail fail (the characterization methodology never lets
+        ``elapsed_ns`` reach the tail anyway).
+        """
+        if elapsed_ns <= self._min_retention:
+            return np.zeros(self._n_cells, dtype=bool)
+        return self.retention_times(row) < elapsed_ns

@@ -1,0 +1,83 @@
+"""Selection of the physical rows characterized per module.
+
+The paper (Section 3.4) evaluates each pattern on 3K rows of one bank:
+1K rows at the beginning, middle, and end of the bank.  We mirror that:
+pattern *locations* (row triples) are placed in ``n_regions`` evenly
+spaced regions, with a stride between triples so neighboring locations do
+not share victim rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.dram.topology import BankGeometry
+from repro.errors import ExperimentError
+
+#: Rows consumed by one pattern location (outer victim .. outer victim).
+LOCATION_SPAN = 5
+
+
+@dataclass(frozen=True)
+class RowSelection:
+    """How many pattern locations to characterize, and where.
+
+    Attributes:
+        locations_per_region: pattern locations (row triples) per region.
+        n_regions: regions spread over the bank (paper: 3 -- beginning,
+            middle, end).
+        stride: distance between the base rows of consecutive locations;
+            must be at least :data:`LOCATION_SPAN` + 1 so locations do not
+            interact.
+    """
+
+    locations_per_region: int = 32
+    n_regions: int = 3
+    stride: int = 8
+
+    def __post_init__(self) -> None:
+        if self.locations_per_region < 1:
+            raise ExperimentError("need at least one location per region")
+        if self.n_regions < 1:
+            raise ExperimentError("need at least one region")
+        if self.stride < LOCATION_SPAN + 1:
+            raise ExperimentError(
+                f"stride must be > {LOCATION_SPAN} so locations do not "
+                "share victim rows"
+            )
+
+    @property
+    def total_locations(self) -> int:
+        return self.locations_per_region * self.n_regions
+
+    def base_rows(self, geometry: BankGeometry) -> List[int]:
+        """Base physical rows of all selected pattern locations."""
+        region_span = self.locations_per_region * self.stride
+        usable = geometry.rows - 2 - LOCATION_SPAN
+        if region_span > usable // max(1, self.n_regions) and (
+            region_span * self.n_regions > usable
+        ):
+            raise ExperimentError(
+                f"selection needs {region_span * self.n_regions} rows but "
+                f"the bank has only {geometry.rows}"
+            )
+        rows: List[int] = []
+        for region in range(self.n_regions):
+            if self.n_regions == 1:
+                start = 1
+            else:
+                start = 1 + region * (usable - region_span) // (self.n_regions - 1)
+            for i in range(self.locations_per_region):
+                base = start + i * self.stride
+                rows.append(base)
+        if len(set(rows)) != len(rows):
+            raise ExperimentError("regions overlap; reduce locations or stride")
+        return rows
+
+
+#: Quick selection used by tests and the default benchmarks.
+FAST_SELECTION = RowSelection(locations_per_region=24, n_regions=3, stride=8)
+
+#: Paper-faithful scale (1K victim rows per region).
+PAPER_SELECTION = RowSelection(locations_per_region=341, n_regions=3, stride=8)

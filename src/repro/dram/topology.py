@@ -1,0 +1,70 @@
+"""Geometric description of the simulated DRAM devices.
+
+The simulator does not materialize every cell of an 8 Gb die.  Instead each
+row is represented by a *sample* of ``cols_simulated`` cells; the
+disturbance-model calibration (see :mod:`repro.disturb.calibration`) anchors
+the weakest-cell statistics of that sample to the paper's measured values,
+so the sample size only trades precision of the tail statistics against
+runtime, never correctness of the calibrated anchors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BankGeometry:
+    """Shape of one simulated DRAM bank.
+
+    Attributes:
+        rows: number of addressable rows in the bank (DDR4 8 Gb x8 dies
+            have 65536 rows per bank; smaller values are fine for tests).
+        cols_simulated: number of cells *simulated* per row (a sample of
+            the physical 8 KiB = 65536 bits of a real row).
+    """
+
+    rows: int = 65_536
+    cols_simulated: int = 1_024
+
+    def __post_init__(self) -> None:
+        if self.rows < 8:
+            raise ValueError("a bank needs at least 8 rows")
+        if self.cols_simulated < 1:
+            raise ValueError("cols_simulated must be positive")
+
+    def contains_row(self, row: int) -> bool:
+        """Whether ``row`` is a valid row address for this bank."""
+        return 0 <= row < self.rows
+
+
+@dataclass(frozen=True)
+class ModuleOrganization:
+    """Organization of a DRAM module (DIMM) as in Table 1 of the paper.
+
+    Attributes:
+        density_gbit: per-die density in gigabits (4, 8, or 16).
+        width: data width of each chip (8 for x8, 16 for x16).
+        n_chips: number of DRAM chips (dies) on the module.
+        banks_per_chip: number of banks per chip (DDR4: 16).
+    """
+
+    density_gbit: int = 8
+    width: int = 8
+    n_chips: int = 8
+    banks_per_chip: int = 16
+
+    def __post_init__(self) -> None:
+        if self.density_gbit not in (4, 8, 16):
+            raise ValueError("DDR4 die density must be 4, 8, or 16 Gbit")
+        if self.width not in (4, 8, 16):
+            raise ValueError("DDR4 chip width must be x4, x8, or x16")
+        if self.n_chips < 1:
+            raise ValueError("a module needs at least one chip")
+        if self.banks_per_chip < 1:
+            raise ValueError("a chip needs at least one bank")
+
+    @property
+    def org_label(self) -> str:
+        """The ``xN`` organization label used in Table 1."""
+        return f"x{self.width}"

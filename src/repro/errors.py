@@ -1,0 +1,53 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failure domain (timing violations,
+calibration failures, program assembly errors, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TimingViolationError(ReproError):
+    """A DRAM command sequence violates a JEDEC timing constraint.
+
+    Raised by the bender timing validator when, e.g., a row is precharged
+    before ``tRAS`` has elapsed, or re-activated before ``tRP``.
+    """
+
+
+class ProgramError(ReproError):
+    """A DRAM Bender program is malformed (bad operands, unbalanced loops,
+    references to undefined labels, ...)."""
+
+
+class DeviceStateError(ReproError):
+    """A DRAM command was issued in an illegal device state.
+
+    Examples: activating a bank that already has an open row, reading from
+    a bank with no open row, precharging twice.
+    """
+
+
+class CalibrationError(ReproError):
+    """The disturbance-model calibration failed to converge on a target
+    anchor value (e.g. the bisection bracket never contained the target)."""
+
+
+class ProfileError(ReproError):
+    """An unknown chip profile was requested, or a profile definition is
+    internally inconsistent."""
+
+
+class ExperimentError(ReproError):
+    """A characterization experiment was configured inconsistently
+    (e.g. victim rows outside the bank, iteration budget of zero)."""
+
+
+class MitigationError(ReproError):
+    """A read-disturbance mitigation mechanism was configured incorrectly."""

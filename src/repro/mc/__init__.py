@@ -1,0 +1,52 @@
+"""Memory-controller substrate.
+
+The paper's infrastructure bypasses the memory controller to get exact
+command timing; real systems reach DRAM *through* one.  This package
+models a simple single-channel controller -- FR-FCFS scheduling, an
+open-page or closed-page row-buffer policy, and tREFI refresh -- driving
+the same simulated chips via the DRAM Bender interpreter.
+
+It exists to demonstrate the architectural half of the paper's story:
+an *open-page* policy turns attacker-paced reads into long aggressor
+row-open times, i.e. RowPress (and the combined pattern) reaches DRAM
+through entirely ordinary memory requests, unlike the raw command access
+the characterization needed.
+"""
+
+from repro.mc.request import Access, MemRequest
+from repro.mc.policy import ClosedPagePolicy, OpenPagePolicy, RowPolicy
+from repro.mc.controller import ControllerStats, MemoryController
+from repro.mc.detector import (
+    DisturbanceDetector,
+    ReferenceDisturbance,
+    VictimAlarm,
+)
+from repro.mc.trace import (
+    CommandEvent,
+    CommandTraceRecorder,
+    aggressor_profile,
+    dump_requests,
+    load_requests,
+    parse_requests,
+    save_requests,
+)
+
+__all__ = [
+    "Access",
+    "MemRequest",
+    "RowPolicy",
+    "OpenPagePolicy",
+    "ClosedPagePolicy",
+    "MemoryController",
+    "ControllerStats",
+    "DisturbanceDetector",
+    "ReferenceDisturbance",
+    "VictimAlarm",
+    "CommandEvent",
+    "CommandTraceRecorder",
+    "aggressor_profile",
+    "dump_requests",
+    "load_requests",
+    "parse_requests",
+    "save_requests",
+]

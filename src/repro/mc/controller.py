@@ -1,0 +1,281 @@
+"""A simple single-channel memory controller over the simulated DRAM.
+
+Implements the parts that matter for read disturbance:
+
+* **FR-FCFS scheduling** -- among arrived requests, row hits go first,
+  then oldest-first;
+* a **row-buffer policy** (open- or closed-page) deciding how long rows
+  stay open -- the RowPress exposure knob;
+* **refresh management** -- a REF every tREFI (all banks precharged),
+  which also drives any attached in-DRAM TRR.
+
+Commands are issued through the DRAM Bender interpreter, so every access
+is JEDEC-timing-validated and disturbs victim cells through the same
+device model the characterization uses: a workload that hammers/presses
+through this controller produces *real* simulated bitflips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import ProgramBuilder
+from repro.bender.timing import TimingChecker
+from repro.constants import DDR4Timings, DEFAULT_TIMINGS
+from repro.dram.chip import Chip
+from repro.errors import ExperimentError
+from repro.mc.policy import OpenPagePolicy, RowPolicy
+from repro.mc.request import Access, MemRequest
+
+
+@dataclass
+class ControllerStats:
+    """Bookkeeping the disturbance analysis needs."""
+
+    activations: int = 0
+    row_hits: int = 0
+    row_conflicts: int = 0
+    refreshes: int = 0
+    postponed_refreshes: int = 0
+    forced_precharges: int = 0  # open-page timeout fired
+    max_row_open_ns: float = 0.0
+    acts_per_row: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+    def record_activation(self, bank: int, row: int) -> None:
+        self.activations += 1
+        key = (bank, row)
+        self.acts_per_row[key] = self.acts_per_row.get(key, 0) + 1
+
+    def most_activated_row(self) -> Optional[Tuple[Tuple[int, int], int]]:
+        if not self.acts_per_row:
+            return None
+        key = max(self.acts_per_row, key=self.acts_per_row.get)
+        return key, self.acts_per_row[key]
+
+
+@dataclass
+class _BankState:
+    open_row: Optional[int] = None
+    open_since: float = 0.0
+    last_access: float = 0.0
+
+
+class MemoryController:
+    """FR-FCFS controller with a configurable row-buffer policy.
+
+    Args:
+        chip: the device behind the channel.
+        policy: row-buffer policy (default: open-page at the JEDEC
+            9 x tREFI limit -- the maximal RowPress exposure).
+        refresh_enabled: issue a REF every tREFI (disable only to mirror
+            the characterization methodology).
+        max_postponed_refreshes: JEDEC allows postponing up to 8 REFs
+            (the origin of the paper's 9 x tREFI upper bound on tAggON);
+            while a row is open, due refreshes are postponed up to this
+            count before a refresh is forced.  0 = refresh always closes
+            rows immediately.
+        timings: JEDEC parameters.
+    """
+
+    #: JEDEC DDR4 limit on postponed refresh commands.
+    JEDEC_MAX_POSTPONED = 8
+
+    def __init__(
+        self,
+        chip: Chip,
+        policy: Optional[RowPolicy] = None,
+        refresh_enabled: bool = True,
+        max_postponed_refreshes: int = 0,
+        timings: DDR4Timings = DEFAULT_TIMINGS,
+    ) -> None:
+        if not 0 <= max_postponed_refreshes <= self.JEDEC_MAX_POSTPONED:
+            raise ExperimentError(
+                "JEDEC allows at most "
+                f"{self.JEDEC_MAX_POSTPONED} postponed refreshes"
+            )
+        self._chip = chip
+        self._policy = policy if policy is not None else OpenPagePolicy()
+        self._refresh_enabled = refresh_enabled
+        self._max_postponed = max_postponed_refreshes
+        self._postponed = 0
+        self._t = timings
+        self._interp = Interpreter(chip, checker=TimingChecker(timings))
+        self._banks: Dict[int, _BankState] = {}
+        self._next_refresh = timings.tREFI
+        self.stats = ControllerStats()
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def now(self) -> float:
+        return self._interp.now
+
+    @property
+    def interpreter(self) -> Interpreter:
+        """Exposed so mitigations can observe the command stream."""
+        return self._interp
+
+    # -------------------------------------------------------------- external
+
+    def process(self, requests: List[MemRequest]) -> List[np.ndarray]:
+        """Serve all requests; returns read data in completion order."""
+        pending = sorted(requests, key=lambda r: r.arrival_ns)
+        if any(r.arrival_ns < self.now for r in pending):
+            raise ExperimentError("request arrives in the controller's past")
+        reads: List[np.ndarray] = []
+        while pending:
+            earliest = min(r.arrival_ns for r in pending)
+            self._advance_until(earliest)
+            self._wait(max(0.0, earliest - self.now))
+            request = self._pick(pending)
+            pending.remove(request)
+            data = self._serve(request)
+            if data is not None:
+                reads.append(data)
+        return reads
+
+    def drain(self, until_ns: float) -> None:
+        """Idle (serving refreshes/timeouts) until ``until_ns``."""
+        self._advance_until(until_ns)
+        self._wait(max(0.0, until_ns - self.now))
+
+    # ------------------------------------------------------------ scheduling
+
+    def _pick(self, pending: List[MemRequest]) -> MemRequest:
+        """FR-FCFS: first ready row hit, else the oldest ready request."""
+        ready = [r for r in pending if r.arrival_ns <= self.now]
+        if not ready:
+            return pending[0]
+        for request in ready:
+            state = self._banks.get(request.bank)
+            if state is not None and state.open_row == self._to_physical(request):
+                return request
+        return ready[0]
+
+    def _to_physical(self, request: MemRequest) -> int:
+        return self._chip.to_physical(request.row)
+
+    # --------------------------------------------------------------- serving
+
+    def _serve(self, request: MemRequest) -> Optional[np.ndarray]:
+        self._advance_until(request.arrival_ns)
+        self._wait(max(0.0, request.arrival_ns - self.now))
+        state = self._banks.setdefault(request.bank, _BankState())
+        physical = self._to_physical(request)
+        if state.open_row == physical:
+            self.stats.row_hits += 1
+        else:
+            if state.open_row is not None:
+                self.stats.row_conflicts += 1
+                self._close(request.bank)
+            self._open(request.bank, request.row)
+        # Column access (tRCD after ACT is guaranteed by _open).
+        builder = ProgramBuilder()
+        if request.access is Access.READ:
+            builder.rd(request.bank)
+        else:
+            builder.wr(request.bank, np.asarray(request.data, dtype=np.uint8))
+        result = self._interp.run(builder.build())
+        state.last_access = self.now
+        if not self._policy.keep_open_after_access():
+            self._ensure_open_at_least_tras(request.bank)
+            self._close(request.bank)
+        if request.access is Access.READ:
+            return result.reads[-1][2]
+        return None
+
+    # ----------------------------------------------------------- time engine
+
+    def _advance_until(self, deadline: float) -> None:
+        """Serve refreshes and open-page timeouts due before ``deadline``."""
+        while True:
+            events = []
+            if self._refresh_enabled:
+                events.append((self._next_refresh, "refresh", None))
+            for bank, state in self._banks.items():
+                if state.open_row is not None:
+                    events.append(
+                        (
+                            state.open_since + self._policy.max_open_ns(),
+                            "timeout",
+                            bank,
+                        )
+                    )
+            due = [e for e in events if e[0] <= deadline]
+            if not due:
+                return
+            when, kind, bank = min(due)
+            if kind == "refresh" and self._can_postpone():
+                # A row is open and we still have postponement headroom:
+                # slide the refresh one tREFI out (JEDEC pull-in/postpone).
+                self._postponed += 1
+                self.stats.postponed_refreshes += 1
+                self._next_refresh += self._t.tREFI
+                continue
+            self._wait(max(0.0, when - self.now))
+            if kind == "timeout":
+                self.stats.forced_precharges += 1
+                self._close(bank)
+            else:
+                self._refresh()
+
+    def _refresh(self) -> None:
+        for bank, state in self._banks.items():
+            if state.open_row is not None:
+                self._ensure_open_at_least_tras(bank)
+                self._close(bank)
+        builder = ProgramBuilder()
+        # Catch up any postponed refreshes in a burst, then the due one.
+        for _ in range(self._postponed + 1):
+            builder.ref()
+        self._interp.run(builder.build())
+        self.stats.refreshes += 1 + self._postponed
+        self._postponed = 0
+        self._next_refresh += self._t.tREFI
+
+    def _can_postpone(self) -> bool:
+        if self._postponed >= self._max_postponed:
+            return False
+        return any(s.open_row is not None for s in self._banks.values())
+
+    # ----------------------------------------------------------- primitives
+
+    def _open(self, bank: int, logical_row: int) -> None:
+        builder = ProgramBuilder()
+        builder.act(bank, logical_row)
+        builder.wait(self._t.tRCD)
+        self._interp.run(builder.build())
+        state = self._banks.setdefault(bank, _BankState())
+        state.open_row = self._chip.to_physical(logical_row)
+        state.open_since = self.now - self._t.tRCD
+        self.stats.record_activation(bank, state.open_row)
+
+    def _close(self, bank: int) -> None:
+        state = self._banks[bank]
+        if state.open_row is None:
+            return
+        self._ensure_open_at_least_tras(bank)
+        open_ns = self.now - state.open_since
+        self.stats.max_row_open_ns = max(self.stats.max_row_open_ns, open_ns)
+        builder = ProgramBuilder()
+        builder.pre(bank)
+        builder.wait(self._t.tRP)
+        self._interp.run(builder.build())
+        state.open_row = None
+
+    def _ensure_open_at_least_tras(self, bank: int) -> None:
+        state = self._banks[bank]
+        elapsed = self.now - state.open_since
+        if elapsed < self._t.tRAS:
+            self._wait(self._t.tRAS - elapsed)
+
+    def _wait(self, duration: float) -> None:
+        if duration <= 0:
+            return
+        builder = ProgramBuilder()
+        builder.wait(duration)
+        self._interp.run(builder.build())

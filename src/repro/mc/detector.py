@@ -1,0 +1,135 @@
+"""Online read-disturbance risk detection from the command stream.
+
+A controller-side monitor that watches ACT/PRE timing (the same
+observable a real memory controller has) and maintains, per potential
+victim row, a conservative estimate of accumulated disturbance using a
+*reference* model: hammer kicks per neighbor activation plus press loss
+proportional to the neighbor's measured row-open time.  When a victim's
+estimate crosses the alarm threshold, the detector reports it -- the hook
+a RowPress-aware mitigation (the paper's Section 6 ask) would use to
+schedule a targeted refresh.
+
+Unlike Graphene-style *counters*, the estimate is open-time-aware: a
+pattern with few activations but long open times (RowPress, combined)
+raises it just as fast as a classic hammer -- counting activations alone
+provably cannot bound the combined pattern (see
+``benchmarks/test_ext_detector.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import DEFAULT_TIMINGS
+from repro.errors import MitigationError
+
+
+@dataclass(frozen=True)
+class ReferenceDisturbance:
+    """Conservative per-activation disturbance weights (model units).
+
+    ``hammer_unit`` is the risk unit of one minimal-open activation; an
+    activation held open ``t_on`` adds ``press_per_ns * (t_on - tRAS)``
+    on top.  Defaults approximate the calibrated modules' worst case:
+    7.8 us of open time ~ 6.5 hammer units (the Table 2 ACmin ratios).
+    """
+
+    hammer_unit: float = 1.0
+    press_per_ns: float = 6.5 / 7_800.0
+
+    def activation_risk(self, t_on: float) -> float:
+        extra = max(0.0, t_on - DEFAULT_TIMINGS.tRAS)
+        return self.hammer_unit + self.press_per_ns * extra
+
+
+@dataclass
+class VictimAlarm:
+    """One victim row whose risk estimate crossed the threshold."""
+
+    bank: int
+    row: int
+    risk: float
+    at_ns: float
+
+
+class DisturbanceDetector:
+    """ACT/PRE observer estimating per-victim accumulated disturbance.
+
+    Args:
+        alarm_threshold: risk units at which a victim row is flagged
+            (deployments size this at a safe fraction of the weakest
+            supported chip's RowHammer ACmin).
+        reference: per-activation risk weights.
+        rows: bank size (alarms outside are ignored).
+
+    Attach with ``controller.interpreter.add_observer(detector.observe)``
+    or ``session.add_observer(detector.observe)``.
+    """
+
+    def __init__(
+        self,
+        alarm_threshold: float,
+        rows: int,
+        reference: Optional[ReferenceDisturbance] = None,
+    ) -> None:
+        if alarm_threshold <= 0:
+            raise MitigationError("alarm threshold must be positive")
+        self._threshold = alarm_threshold
+        self._rows = rows
+        self._reference = reference if reference is not None else ReferenceDisturbance()
+        self._risk: Dict[Tuple[int, int], float] = {}
+        self._open: Dict[int, Tuple[int, float]] = {}  # bank -> (row, since)
+        self.alarms: List[VictimAlarm] = []
+
+    # ------------------------------------------------------------- observers
+
+    def observe(self, event: str, bank: int, row: int, now: float) -> None:
+        """Interpreter observer: ACT opens an interval, PRE closes it and
+        accounts the disturbance (the open time is only known then); REF
+        relaxes nothing here (a real deployment would clear refreshed
+        victims via :meth:`credit_refresh`)."""
+        if event == "ACT":
+            self._close_open(bank, now)
+            self._open[bank] = (row, now)
+        elif event == "PRE":
+            self._close_open(bank, now)
+
+    def _close_open(self, bank: int, now: float) -> None:
+        previous = self._open.pop(bank, None)
+        if previous is not None:
+            self._account(bank, previous[0], now - previous[1], now)
+
+    def finish(self, now: float) -> None:
+        """Account the still-open rows (end of observation window)."""
+        for bank, (row, since) in list(self._open.items()):
+            self._account(bank, row, now - since, now)
+        self._open.clear()
+
+    # ----------------------------------------------------------- accounting
+
+    def _account(self, bank: int, row: int, t_on: float, now: float) -> None:
+        risk = self._reference.activation_risk(t_on)
+        for victim in (row - 1, row + 1):
+            if not 0 <= victim < self._rows:
+                continue
+            key = (bank, victim)
+            total = self._risk.get(key, 0.0) + risk
+            self._risk[key] = total
+            if total >= self._threshold:
+                self.alarms.append(VictimAlarm(bank, victim, total, now))
+                self._risk[key] = 0.0  # assume the deployment refreshes it
+
+    def credit_refresh(self, bank: int, row: int) -> None:
+        """Clear a victim's accumulated risk after it was refreshed."""
+        self._risk.pop((bank, row), None)
+
+    # ----------------------------------------------------------------- state
+
+    def risk_of(self, bank: int, row: int) -> float:
+        return self._risk.get((bank, row), 0.0)
+
+    def hottest_victims(self, n: int = 5) -> List[Tuple[Tuple[int, int], float]]:
+        """The ``n`` victims with the highest current risk estimate."""
+        ranked = sorted(self._risk.items(), key=lambda kv: kv[1], reverse=True)
+        return ranked[:n]

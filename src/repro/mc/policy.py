@@ -1,0 +1,59 @@
+"""Row-buffer management policies.
+
+* **Open-page** keeps the row open after an access, betting on row-buffer
+  locality; the row closes only when a conflicting request arrives, a
+  refresh is due, or the ``max_open_ns`` timeout fires.  Long idle-open
+  intervals are exactly the RowPress exposure window.
+* **Closed-page** precharges immediately after each access (open time is
+  always ~tRAS): zero RowPress exposure, at a row-hit-latency cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import DEFAULT_TIMINGS
+from repro.errors import ExperimentError
+
+
+class RowPolicy:
+    """Interface: decides how long rows linger open."""
+
+    def keep_open_after_access(self) -> bool:
+        raise NotImplementedError
+
+    def max_open_ns(self) -> float:
+        """Upper bound on row-open time before a forced precharge."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class OpenPagePolicy(RowPolicy):
+    """Keep rows open up to ``timeout_ns`` (JEDEC caps it at 9 x tREFI)."""
+
+    timeout_ns: float = 9.0 * DEFAULT_TIMINGS.tREFI
+
+    def __post_init__(self) -> None:
+        if self.timeout_ns < DEFAULT_TIMINGS.tRAS:
+            raise ExperimentError("open-page timeout below tRAS")
+        if self.timeout_ns > 9.0 * DEFAULT_TIMINGS.tREFI:
+            raise ExperimentError(
+                "open-page timeout exceeds the JEDEC 9 x tREFI bound"
+            )
+
+    def keep_open_after_access(self) -> bool:
+        return True
+
+    def max_open_ns(self) -> float:
+        return self.timeout_ns
+
+
+@dataclass(frozen=True)
+class ClosedPagePolicy(RowPolicy):
+    """Precharge right after every access."""
+
+    def keep_open_after_access(self) -> bool:
+        return False
+
+    def max_open_ns(self) -> float:
+        return DEFAULT_TIMINGS.tRAS

@@ -1,0 +1,46 @@
+"""Memory requests as the controller sees them."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ExperimentError
+
+
+class Access(enum.Enum):
+    """Request type."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+@dataclass(frozen=True)
+class MemRequest:
+    """One memory request.
+
+    Addresses are (bank, row) at row granularity -- column/burst detail
+    is below the level this model needs (disturbance is per-activation).
+
+    Attributes:
+        arrival_ns: when the request becomes visible to the controller.
+        access: read or write.
+        bank / row: target location (logical row address).
+        data: row payload for writes (checked against the device width
+            at issue time).
+    """
+
+    arrival_ns: float
+    access: Access
+    bank: int
+    row: int
+    data: Optional[np.ndarray] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.arrival_ns < 0:
+            raise ExperimentError("arrival time must be non-negative")
+        if self.access is Access.WRITE and self.data is None:
+            raise ExperimentError("write request needs data")

@@ -1,0 +1,164 @@
+"""Memory-trace import/export and command-trace recording.
+
+Two trace layers, matching how disturbance studies consume data:
+
+* **request traces** -- what arrives at the controller.  Text format,
+  one request per line: ``<arrival_ns> <R|W> <bank> <row>`` (comments
+  with ``#``).  Import them to replay workloads through the
+  :class:`~repro.mc.MemoryController`; export generated streams for
+  other simulators.
+* **command traces** -- what the controller actually issued (ACT/PRE/REF
+  with timestamps), recorded by an interpreter observer.  The command
+  trace is the ground truth a disturbance detector or an offline auditor
+  works from; :func:`aggressor_profile` reduces it to per-row activation
+  counts and open-time totals.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ExperimentError
+from repro.mc.request import Access, MemRequest
+
+# --------------------------------------------------------------- request I/O
+
+
+def dump_requests(requests: Iterable[MemRequest]) -> str:
+    """Serialize requests to the text trace format."""
+    buf = io.StringIO()
+    buf.write("# arrival_ns access bank row\n")
+    for request in requests:
+        tag = "R" if request.access is Access.READ else "W"
+        buf.write(f"{request.arrival_ns:g} {tag} {request.bank} {request.row}\n")
+    return buf.getvalue()
+
+
+def parse_requests(
+    text: str, write_data: Optional[np.ndarray] = None
+) -> List[MemRequest]:
+    """Parse the text trace format into requests.
+
+    ``write_data`` is attached to every W line (the format does not carry
+    payloads); required if the trace contains writes.
+    """
+    out: List[MemRequest] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ExperimentError(
+                f"trace line {lineno}: expected 4 fields, got {len(parts)}"
+            )
+        arrival, tag, bank, row = parts
+        if tag not in ("R", "W"):
+            raise ExperimentError(f"trace line {lineno}: access must be R or W")
+        if tag == "W" and write_data is None:
+            raise ExperimentError(
+                f"trace line {lineno}: trace contains writes; provide write_data"
+            )
+        out.append(
+            MemRequest(
+                arrival_ns=float(arrival),
+                access=Access.READ if tag == "R" else Access.WRITE,
+                bank=int(bank),
+                row=int(row),
+                data=None if tag == "R" else write_data,
+            )
+        )
+    return out
+
+
+def load_requests(path, write_data: Optional[np.ndarray] = None) -> List[MemRequest]:
+    """Load a request trace from a file path."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_requests(handle.read(), write_data)
+
+
+def save_requests(path, requests: Iterable[MemRequest]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(dump_requests(requests))
+
+
+# --------------------------------------------------------------- command I/O
+
+
+@dataclass(frozen=True)
+class CommandEvent:
+    """One issued DRAM command (ACT/PRE/REF) with its timestamp."""
+
+    at_ns: float
+    command: str
+    bank: int
+    row: int  # -1 where not applicable
+
+
+class CommandTraceRecorder:
+    """Interpreter observer capturing the issued command stream.
+
+    Attach with ``interpreter.add_observer(recorder.observe)`` (or via a
+    SoftMC session / the controller's ``interpreter`` property).
+    """
+
+    def __init__(self) -> None:
+        self.events: List[CommandEvent] = []
+
+    def observe(self, event: str, bank: int, row: int, now: float) -> None:
+        self.events.append(CommandEvent(at_ns=now, command=event, bank=bank, row=row))
+
+    def dump(self) -> str:
+        buf = io.StringIO()
+        buf.write("# at_ns command bank row\n")
+        for e in self.events:
+            buf.write(f"{e.at_ns:g} {e.command} {e.bank} {e.row}\n")
+        return buf.getvalue()
+
+
+@dataclass
+class AggressorProfile:
+    """Per-row reduction of a command trace."""
+
+    activations: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    open_time_ns: Dict[Tuple[int, int], float] = field(default_factory=dict)
+
+    def top_by_activations(self, n: int = 5) -> List[Tuple[Tuple[int, int], int]]:
+        return sorted(
+            self.activations.items(), key=lambda kv: kv[1], reverse=True
+        )[:n]
+
+    def top_by_open_time(self, n: int = 5) -> List[Tuple[Tuple[int, int], float]]:
+        return sorted(
+            self.open_time_ns.items(), key=lambda kv: kv[1], reverse=True
+        )[:n]
+
+
+def aggressor_profile(events: Iterable[CommandEvent]) -> AggressorProfile:
+    """Reduce a command trace to per-row activation counts and total open
+    time -- the two axes of read disturbance (RowHammer / RowPress)."""
+    profile = AggressorProfile()
+    open_rows: Dict[int, Tuple[int, float]] = {}
+    for event in events:
+        if event.command == "ACT":
+            if event.bank in open_rows:
+                _close(profile, open_rows, event.bank, event.at_ns)
+            open_rows[event.bank] = (event.row, event.at_ns)
+            key = (event.bank, event.row)
+            profile.activations[key] = profile.activations.get(key, 0) + 1
+        elif event.command == "PRE":
+            _close(profile, open_rows, event.bank, event.at_ns)
+    return profile
+
+
+def _close(profile, open_rows, bank, now) -> None:
+    entry = open_rows.pop(bank, None)
+    if entry is None:
+        return
+    row, since = entry
+    key = (bank, row)
+    profile.open_time_ns[key] = profile.open_time_ns.get(key, 0.0) + (now - since)

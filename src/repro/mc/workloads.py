@@ -1,0 +1,104 @@
+"""Request-stream generators: attacks and benign traffic.
+
+These produce :class:`~repro.mc.request.MemRequest` streams that realize
+the paper's access patterns through an ordinary memory controller --
+nothing in a stream is privileged; it is just reads at chosen addresses
+and paces:
+
+* :func:`hammer_stream` -- alternating reads of two aggressor rows, back
+  to back (double-sided RowHammer through the controller);
+* :func:`press_stream` -- paced reads of one aggressor row under an
+  open-page policy: the idle gap between consecutive reads becomes the
+  aggressor's row-open time (RowPress);
+* :func:`combined_stream` -- paced reads of R0 interleaved with
+  back-to-back reads of R2 (this paper's combined pattern);
+* :func:`benign_stream` -- uniform random reads (control traffic).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro import rng
+from repro.constants import DEFAULT_TIMINGS
+from repro.mc.request import Access, MemRequest
+
+#: Conservative service time of one closed-row read (ACT+RD+PRE margins).
+_SERVICE_NS = 80.0
+
+
+def hammer_stream(
+    base_row: int,
+    n_iterations: int,
+    bank: int = 0,
+    start_ns: float = 0.0,
+) -> List[MemRequest]:
+    """Alternating reads of rows ``base`` and ``base+2``, issued as fast
+    as the device can serve them."""
+    out: List[MemRequest] = []
+    t = start_ns
+    for i in range(n_iterations):
+        for row in (base_row, base_row + 2):
+            out.append(MemRequest(t, Access.READ, bank, row))
+            t += _SERVICE_NS
+    return out
+
+
+def press_stream(
+    aggressor_row: int,
+    n_reads: int,
+    pace_ns: float,
+    bank: int = 0,
+    start_ns: float = 0.0,
+) -> List[MemRequest]:
+    """Reads of one row paced ``pace_ns`` apart.
+
+    Under an open-page policy every read after the first is a row hit, so
+    the row stays open for the whole paced interval: ``tAggON ~ pace_ns``
+    without ever touching a DRAM command.
+    """
+    return [
+        MemRequest(start_ns + i * pace_ns, Access.READ, bank, aggressor_row)
+        for i in range(n_reads)
+    ]
+
+
+def combined_stream(
+    base_row: int,
+    n_iterations: int,
+    press_ns: float,
+    bank: int = 0,
+    start_ns: float = 0.0,
+) -> List[MemRequest]:
+    """The combined pattern through the controller.
+
+    Each iteration: read R0 and dwell ``press_ns`` (R0 stays open --
+    RowPress half), then read R2 (closing R0; R2 is closed again right
+    away by the next R0 read -- RowHammer half).
+    """
+    out: List[MemRequest] = []
+    t = start_ns
+    for _ in range(n_iterations):
+        out.append(MemRequest(t, Access.READ, bank, base_row))
+        t += press_ns
+        out.append(MemRequest(t, Access.READ, bank, base_row + 2))
+        t += _SERVICE_NS + DEFAULT_TIMINGS.tRAS
+    return out
+
+
+def benign_stream(
+    n_reads: int,
+    rows: int,
+    mean_gap_ns: float = 500.0,
+    bank: int = 0,
+    seed: int = 0,
+    start_ns: float = 0.0,
+) -> List[MemRequest]:
+    """Uniform random reads with exponential inter-arrival gaps."""
+    gen = rng.stream("benign-stream", seed, n_reads)
+    out: List[MemRequest] = []
+    t = start_ns
+    for _ in range(n_reads):
+        t += float(gen.exponential(mean_gap_ns))
+        out.append(MemRequest(t, Access.READ, bank, int(gen.integers(0, rows))))
+    return out

@@ -1,0 +1,26 @@
+"""Read-disturbance mitigation mechanisms and their evaluator.
+
+The paper's future work (Section 6) asks how existing mitigation
+mechanisms must change for the combined RowHammer+RowPress pattern.  This
+package implements the three canonical mechanisms the literature
+evaluates -- in-DRAM TRR (sampling-based target-row-refresh), PARA
+(probabilistic adjacent-row activation) and Graphene (Misra-Gries
+counters) -- as observers of the simulated command stream, plus an
+evaluator that measures whether a pattern defeats a configured mechanism
+and what parameter the mechanism needs to stay safe as ``tAggON`` grows.
+"""
+
+from repro.mitigations.base import Mitigation
+from repro.mitigations.trr import TrrSampler
+from repro.mitigations.para import Para
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.evaluator import MitigationEvaluator, ProtectionResult
+
+__all__ = [
+    "Mitigation",
+    "TrrSampler",
+    "Para",
+    "Graphene",
+    "MitigationEvaluator",
+    "ProtectionResult",
+]

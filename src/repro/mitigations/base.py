@@ -1,0 +1,55 @@
+"""Common machinery for mitigation mechanisms.
+
+A mitigation attaches to a :class:`~repro.bender.softmc.SoftMCSession` and
+observes the command stream (ACT and REF events).  When it decides a row
+is a likely aggressor, it refreshes that row's physical neighbors --
+restoring their charge and erasing the accumulated disturbance, exactly
+what a real in-DRAM or controller-side mechanism does.
+"""
+
+from __future__ import annotations
+
+from repro.bender.softmc import SoftMCSession
+from repro.errors import MitigationError
+
+
+class Mitigation:
+    """Base class: command-stream observer that refreshes victim rows."""
+
+    def __init__(self) -> None:
+        self._session: SoftMCSession = None
+        self.neighbor_refreshes = 0
+
+    def attach(self, session: SoftMCSession) -> None:
+        """Register on a session's command stream (once)."""
+        if self._session is not None:
+            raise MitigationError("mitigation already attached to a session")
+        self._session = session
+        session.add_observer(self._observe)
+
+    # ------------------------------------------------------------- callbacks
+
+    def _observe(self, event: str, bank: int, row: int, now: float) -> None:
+        if event == "ACT":
+            # The chip scrambles addresses internally; mitigation logic in
+            # the DRAM operates on physical rows.
+            self.on_activate(bank, self._session.chip.to_physical(row), now)
+        elif event == "REF":
+            self.on_refresh(now)
+
+    def on_activate(self, bank: int, physical_row: int, now: float) -> None:
+        """Called on every ACT (physical row address)."""
+
+    def on_refresh(self, now: float) -> None:
+        """Called on every REF."""
+
+    # --------------------------------------------------------------- actions
+
+    def refresh_neighbors(self, bank: int, physical_row: int, now: float) -> None:
+        """Refresh both physical neighbors of a suspected aggressor."""
+        chip = self._session.chip
+        bank_obj = chip.bank(bank)
+        for victim in (physical_row - 1, physical_row + 1):
+            if 0 <= victim < chip.geometry.rows and victim != bank_obj.open_row:
+                bank_obj.refresh_row(victim, now)
+                self.neighbor_refreshes += 1

@@ -1,0 +1,203 @@
+"""Mitigation evaluation against the characterized access patterns.
+
+Runs a pattern through the *command-level* path (mitigations react to the
+actual command stream) with a mitigation attached and reports whether any
+victim bitflip survives the protection within the 60 ms activation
+budget.  A binary-search helper finds the critical parameter (PARA
+probability, Graphene threshold) at which protection starts holding --
+the quantity the paper's future-work question is about: how much stronger
+must mitigations get as ``tAggON`` grows?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bender.softmc import SoftMCSession
+from repro.constants import DEFAULT_TIMINGS, ITERATION_RUNTIME_BOUND
+from repro.core.honest import HonestLocationProbe
+from repro.dram.chip import Chip
+from repro.dram.datapattern import CHECKERBOARD, DataPattern
+from repro.errors import MitigationError
+from repro.mitigations.base import Mitigation
+from repro.mitigations.graphene import Graphene
+from repro.mitigations.para import Para
+from repro.patterns.base import AccessPattern
+
+
+@dataclass(frozen=True)
+class ProtectionResult:
+    """Outcome of one protected hammer run.
+
+    Attributes:
+        protected: no victim bitflip occurred within the budget.
+        n_flips: bitflips observed (0 when protected).
+        iterations: hammer iterations executed.
+        neighbor_refreshes: refreshes the mitigation performed.
+    """
+
+    protected: bool
+    n_flips: int
+    iterations: int
+    neighbor_refreshes: int
+
+
+class MitigationEvaluator:
+    """Evaluates mitigation mechanisms on a fresh chip per run.
+
+    Args:
+        chip_factory: builds a *fresh* simulated chip (state from previous
+            runs must not leak between evaluations).
+        base_row: pattern location used for the evaluation.
+        data_pattern: row initialization.
+    """
+
+    def __init__(
+        self,
+        chip_factory: Callable[[], Chip],
+        base_row: int,
+        data_pattern: DataPattern = CHECKERBOARD,
+    ) -> None:
+        self._chip_factory = chip_factory
+        self._base_row = base_row
+        self._data_pattern = data_pattern
+
+    def run(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        mitigation: Optional[Mitigation] = None,
+        iterations: Optional[int] = None,
+        runtime_bound_ns: float = ITERATION_RUNTIME_BOUND,
+    ) -> ProtectionResult:
+        """One protected (or bare) hammer run at the full budget."""
+        chip = self._chip_factory()
+        session = SoftMCSession(chip)
+        if mitigation is not None:
+            mitigation.attach(session)
+        prober = HonestLocationProbe(
+            session,
+            pattern,
+            self._base_row,
+            t_on,
+            self._data_pattern,
+            DEFAULT_TIMINGS,
+        )
+        budget = prober.budget_iterations(runtime_bound_ns)
+        n_iters = budget if iterations is None else min(iterations, budget)
+        census = prober.probe(n_iters)
+        refreshes = mitigation.neighbor_refreshes if mitigation else 0
+        return ProtectionResult(
+            protected=census.n_flips == 0,
+            n_flips=census.n_flips,
+            iterations=n_iters,
+            neighbor_refreshes=refreshes,
+        )
+
+    # ----------------------------------------------------- refresh-rate route
+
+    def protected_by_refresh_window(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        window_ns: float,
+    ) -> bool:
+        """Would refreshing the victim every ``window_ns`` stop the
+        pattern?
+
+        The first-line mitigation (shrink the refresh window, e.g. tREFW/2
+        or tREFW/4) works iff the pattern's time to first bitflip exceeds
+        the window: the victim's charge is restored before the
+        accumulated disturbance crosses any threshold.  Evaluated with a
+        probe at exactly the activations that fit in the window.
+        """
+        chip = self._chip_factory()
+        session = SoftMCSession(chip)
+        prober = HonestLocationProbe(
+            session,
+            pattern,
+            self._base_row,
+            t_on,
+            self._data_pattern,
+            DEFAULT_TIMINGS,
+        )
+        iterations = int(
+            window_ns // prober.placement.iteration_latency(DEFAULT_TIMINGS)
+        )
+        if iterations <= 0:
+            return True
+        census = prober.probe(iterations)
+        return census.n_flips == 0
+
+    # ------------------------------------------------------------- searches
+
+    def critical_para_probability(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        iterations: Optional[int] = None,
+        tolerance: float = 0.02,
+        trials: int = 3,
+    ) -> float:
+        """Smallest PARA probability that protects in all trials.
+
+        Bisects on ``p``; each candidate is evaluated ``trials`` times
+        with different seeds (PARA is probabilistic).
+        """
+
+        def protects(p: float) -> bool:
+            return all(
+                self.run(
+                    pattern, t_on, Para(p, seed), iterations=iterations
+                ).protected
+                for seed in range(trials)
+            )
+
+        if not protects(1.0):
+            raise MitigationError(
+                "PARA cannot protect this pattern even at p = 1.0"
+            )
+        lo, hi = 0.0, 1.0
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if protects(mid):
+                hi = mid
+            else:
+                lo = mid
+        return hi
+
+    def critical_graphene_threshold(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        iterations: Optional[int] = None,
+    ) -> int:
+        """Largest Graphene threshold that still protects.
+
+        Graphene is deterministic, so a single run per candidate suffices;
+        the search is a doubling ramp plus bisection.
+        """
+        def protects(threshold: int) -> bool:
+            return self.run(
+                pattern, t_on, Graphene(threshold), iterations=iterations
+            ).protected
+
+        if not protects(1):
+            raise MitigationError(
+                "Graphene cannot protect this pattern even at threshold 1"
+            )
+        lo = 1
+        hi = 2
+        while protects(hi):
+            lo = hi
+            hi *= 2
+            if hi > 10_000_000:
+                return lo  # unprotected threshold never found: pattern weak
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if protects(mid):
+                lo = mid
+            else:
+                hi = mid
+        return lo

@@ -1,0 +1,41 @@
+"""PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+
+On every activation, with probability ``p``, the memory controller
+refreshes one of the activated row's physical neighbors (chosen at
+random).  Protection is probabilistic: the chance an aggressor reaches
+``N`` activations without any neighbor refresh is ``(1 - p/2)^N`` per
+side, so the required ``p`` grows as the victim's ACmin shrinks -- which
+is exactly what the combined RowHammer+RowPress pattern does to ACmin.
+"""
+
+from __future__ import annotations
+
+from repro import rng
+from repro.errors import MitigationError
+from repro.mitigations.base import Mitigation
+
+
+class Para(Mitigation):
+    """PARA with per-activation refresh probability ``p``."""
+
+    def __init__(self, probability: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise MitigationError("probability must be in [0, 1]")
+        self._p = probability
+        self._gen = rng.stream("para", seed)
+
+    @property
+    def probability(self) -> float:
+        return self._p
+
+    def on_activate(self, bank: int, physical_row: int, now: float) -> None:
+        if self._gen.random() >= self._p:
+            return
+        chip = self._session.chip
+        side = -1 if self._gen.random() < 0.5 else 1
+        victim = physical_row + side
+        bank_obj = chip.bank(bank)
+        if 0 <= victim < chip.geometry.rows and victim != bank_obj.open_row:
+            bank_obj.refresh_row(victim, now)
+            self.neighbor_refreshes += 1

@@ -1,0 +1,82 @@
+"""In-DRAM target-row-refresh (TRR) model.
+
+Vendor TRR implementations (reverse-engineered by TRRespass / U-TRR,
+paper refs [46, 52]) sample aggressor candidates from the activation
+stream with a *small* number of counters and piggyback victim refreshes on
+regular REF commands.  Two consequences the paper's methodology exploits:
+
+* TRR acts **only on REF** -- an experiment that sends no REF commands
+  (Section 3.1) never triggers it; and
+* the sampler has few counters, so many-sided patterns can thrash it.
+
+This model keeps ``n_counters`` activation counters with random
+replacement (seeded, deterministic) and, on every ``trr_every``-th REF,
+refreshes the neighbors of the highest-count candidate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro import rng
+from repro.errors import MitigationError
+from repro.mitigations.base import Mitigation
+
+
+class TrrSampler(Mitigation):
+    """Sampling-based in-DRAM TRR.
+
+    Args:
+        n_counters: aggressor-candidate slots (real devices: ~1-16).
+        trr_every: perform a targeted refresh every N REF commands.
+        sample_probability: chance an untracked activated row replaces the
+            weakest tracked candidate (models the probabilistic sampler).
+        seed: randomness seed (deterministic runs).
+    """
+
+    def __init__(
+        self,
+        n_counters: int = 4,
+        trr_every: int = 4,
+        sample_probability: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_counters < 1:
+            raise MitigationError("TRR needs at least one counter")
+        if trr_every < 1:
+            raise MitigationError("trr_every must be >= 1")
+        if not 0.0 <= sample_probability <= 1.0:
+            raise MitigationError("sample_probability must be in [0, 1]")
+        self._n_counters = n_counters
+        self._trr_every = trr_every
+        self._sample_probability = sample_probability
+        self._gen = rng.stream("trr", seed)
+        self._counters: Dict[int, Dict[int, int]] = {}  # bank -> row -> count
+        self._ref_count = 0
+        self.targeted_refreshes = 0
+
+    def on_activate(self, bank: int, physical_row: int, now: float) -> None:
+        counters = self._counters.setdefault(bank, {})
+        if physical_row in counters:
+            counters[physical_row] += 1
+            return
+        if len(counters) < self._n_counters:
+            counters[physical_row] = 1
+            return
+        if self._gen.random() < self._sample_probability:
+            weakest = min(counters, key=counters.get)
+            del counters[weakest]
+            counters[physical_row] = 1
+
+    def on_refresh(self, now: float) -> None:
+        self._ref_count += 1
+        if self._ref_count % self._trr_every:
+            return
+        for bank, counters in self._counters.items():
+            if not counters:
+                continue
+            target = max(counters, key=counters.get)
+            counters[target] = 0
+            self.refresh_neighbors(bank, target, now)
+            self.targeted_refreshes += 1

@@ -1,0 +1,44 @@
+"""DRAM access patterns characterized by the paper (Fig. 3).
+
+* :data:`single_sided` -- one aggressor row held open ``tAggON`` per
+  activation (RowPress; pure single-sided RowHammer when
+  ``tAggON == tRAS``).
+* :data:`double_sided` -- two aggressor rows alternately held open
+  ``tAggON`` each (double-sided RowPress / RowHammer).
+* :data:`combined` -- the paper's contribution: two alternating aggressors
+  where R0 is held open ``tAggON`` (RowPress half) and R2 only ``tRAS``
+  (RowHammer half).
+
+Patterns *place* onto a base physical row (producing aggressor/victim row
+sets), *compile* to DRAM Bender programs for the honest execution path,
+and expose their per-iteration disturbance contributions for the
+closed-form analysis.
+"""
+
+from repro.patterns.base import (
+    AccessPattern,
+    PatternKind,
+    PatternPlacement,
+    VictimContribution,
+    COMBINED,
+    DOUBLE_SIDED,
+    SINGLE_SIDED,
+    ALL_PATTERNS,
+)
+from repro.patterns.compiler import compile_hammer_loop, compile_init, compile_readback
+from repro.patterns.nsided import ManySidedPattern
+
+__all__ = [
+    "ManySidedPattern",
+    "AccessPattern",
+    "PatternKind",
+    "PatternPlacement",
+    "VictimContribution",
+    "SINGLE_SIDED",
+    "DOUBLE_SIDED",
+    "COMBINED",
+    "ALL_PATTERNS",
+    "compile_hammer_loop",
+    "compile_init",
+    "compile_readback",
+]

@@ -1,0 +1,190 @@
+"""Pattern definitions and their disturbance semantics.
+
+A pattern placed at base physical row ``r0`` involves the row triple
+``(r0, r0+1, r0+2)``: aggressors at ``r0`` (and ``r0+2`` for two-sided
+patterns), the inner victim at ``r0+1``, and outer victims at ``r0-1`` and
+``r0+3``.
+
+Per-iteration disturbance contributions are expressed as scalar weights on
+the four per-cell coupling arrays (hammer/press from the aggressor
+below/above the victim); the closed-form ACmin analysis and the
+command-level tracker consume exactly the same model quantities, so the
+two execution paths agree by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.constants import (
+    CHARACTERIZATION_TEMPERATURE_C,
+    DDR4Timings,
+    DEFAULT_TIMINGS,
+)
+from repro.disturb.model import DisturbanceModel
+from repro.errors import ExperimentError
+
+
+class PatternKind(enum.Enum):
+    """The three access-pattern families of Fig. 3."""
+
+    SINGLE_SIDED = "single-sided"
+    DOUBLE_SIDED = "double-sided"
+    COMBINED = "combined"
+
+
+@dataclass(frozen=True)
+class PatternPlacement:
+    """A pattern bound to concrete physical rows.
+
+    Attributes:
+        aggressors: ``(row, t_on)`` per aggressor activation within one
+            iteration, in issue order.
+        victims: physical rows whose cells can be disturbed.
+        inner_victim: the victim between the aggressors (equals the only
+            direct neighbor pair for single-sided patterns).
+    """
+
+    aggressors: Tuple[Tuple[int, float], ...]
+    victims: Tuple[int, ...]
+    inner_victim: int
+
+    @property
+    def acts_per_iteration(self) -> int:
+        return len(self.aggressors)
+
+    def iteration_latency(self, timings: DDR4Timings = DEFAULT_TIMINGS) -> float:
+        """Simulated time of one iteration (each aggressor: open + tRP)."""
+        return sum(t_on + timings.tRP for _, t_on in self.aggressors)
+
+    def per_activation_latency(self, timings: DDR4Timings = DEFAULT_TIMINGS) -> float:
+        return self.iteration_latency(timings) / self.acts_per_iteration
+
+
+@dataclass(frozen=True)
+class VictimContribution:
+    """Per-iteration disturbance weights for one victim row.
+
+    ``gain = w_gh_lo * g_h_lo + w_gh_hi * g_h_hi`` (hammer, charge gain)
+    ``loss = v_gp_lo * g_p_lo + v_gp_hi * g_p_hi`` (press, charge loss)
+    """
+
+    row: int
+    w_gh_lo: float
+    w_gh_hi: float
+    v_gp_lo: float
+    v_gp_hi: float
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """One of the paper's access-pattern families, parameterized by
+    ``tAggON`` at measurement time (the pattern object itself is
+    time-free; on-times are passed per call so a sweep reuses one object).
+    """
+
+    kind: PatternKind
+    name: str
+
+    @property
+    def solo(self) -> bool:
+        """Whether every activation re-opens the same row back-to-back
+        (single-sided patterns), triggering the solo disturbance
+        modulations of :mod:`repro.disturb.model`."""
+        return self.kind is PatternKind.SINGLE_SIDED
+
+    # ------------------------------------------------------------- placement
+
+    def place(
+        self,
+        base_row: int,
+        t_on: float,
+        rows_in_bank: int,
+        timings: DDR4Timings = DEFAULT_TIMINGS,
+    ) -> PatternPlacement:
+        """Bind the pattern to the triple starting at ``base_row``.
+
+        ``t_on`` is the aggressor row-open time (``tAggON``); it must be at
+        least ``tRAS``.
+        """
+        if t_on < timings.tRAS:
+            raise ExperimentError(
+                f"tAggON={t_on} ns below tRAS={timings.tRAS} ns is not "
+                "timing-legal"
+            )
+        r0, r1, r2 = base_row, base_row + 1, base_row + 2
+        if base_row < 1 or r2 + 1 >= rows_in_bank:
+            raise ExperimentError(
+                f"pattern at base row {base_row} does not fit in a bank of "
+                f"{rows_in_bank} rows (needs rows {base_row - 1}..{r2 + 1})"
+            )
+        if self.kind is PatternKind.SINGLE_SIDED:
+            return PatternPlacement(
+                aggressors=((r0, t_on),),
+                victims=(r0 - 1, r1),
+                inner_victim=r1,
+            )
+        if self.kind is PatternKind.DOUBLE_SIDED:
+            return PatternPlacement(
+                aggressors=((r0, t_on), (r2, t_on)),
+                victims=(r0 - 1, r1, r2 + 1),
+                inner_victim=r1,
+            )
+        return PatternPlacement(
+            aggressors=((r0, t_on), (r2, timings.tRAS)),
+            victims=(r0 - 1, r1, r2 + 1),
+            inner_victim=r1,
+        )
+
+    # ---------------------------------------------------------- contributions
+
+    def iteration_contributions(
+        self,
+        placement: PatternPlacement,
+        model: DisturbanceModel,
+        temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+    ) -> List[VictimContribution]:
+        """Disturbance weights deposited on each victim in one iteration.
+
+        Mirrors :meth:`repro.disturb.tracker.DisturbanceTracker.on_activation`:
+        each aggressor activation disturbs its two neighbors; press coupling
+        from the aggressor *above* a victim is attenuated by ``alpha``.
+
+        The weights are *base* weights: for single-sided patterns (where
+        every activation is a solo re-open of the same row) the consumer
+        additionally applies the per-cell solo modulations -- see
+        :attr:`solo` and :mod:`repro.disturb.model`.
+        """
+        h = model.hammer_kick(temperature_c)
+        weights = {
+            row: [0.0, 0.0, 0.0, 0.0] for row in placement.victims
+        }  # w_gh_lo, w_gh_hi, v_gp_lo, v_gp_hi
+        for agg_row, t_on in placement.aggressors:
+            p = model.press_loss(t_on, temperature_c)
+            alpha = model.alpha(t_on)
+            below, above = agg_row - 1, agg_row + 1
+            if below in weights:
+                # Aggressor above the victim: weak press coupling.
+                weights[below][1] += h
+                weights[below][3] += alpha * p
+            if above in weights:
+                # Aggressor below the victim: dominant press coupling.
+                weights[above][0] += h
+                weights[above][2] += p
+        return [
+            VictimContribution(row, *weights[row]) for row in placement.victims
+        ]
+
+
+#: Fig. 3a -- conventional single-sided RowPress (RowHammer at tRAS).
+SINGLE_SIDED = AccessPattern(PatternKind.SINGLE_SIDED, "single-sided")
+
+#: Fig. 3b -- conventional double-sided RowPress (RowHammer at tRAS).
+DOUBLE_SIDED = AccessPattern(PatternKind.DOUBLE_SIDED, "double-sided")
+
+#: Fig. 3c -- the combined RowHammer + RowPress pattern (this paper).
+COMBINED = AccessPattern(PatternKind.COMBINED, "combined")
+
+ALL_PATTERNS: Tuple[AccessPattern, ...] = (SINGLE_SIDED, DOUBLE_SIDED, COMBINED)

@@ -1,0 +1,103 @@
+"""Compile placed patterns into DRAM Bender programs.
+
+Three program kinds make up one characterization iteration, matching the
+paper's methodology (initialize -> hammer -> read back):
+
+* :func:`compile_init` writes the data pattern into the aggressor and
+  victim rows;
+* :func:`compile_hammer_loop` is the timed hammer loop itself, with the
+  exact per-aggressor row-open times;
+* :func:`compile_readback` reads every victim row back for bitflip
+  comparison.
+
+Programs address rows by *logical* address (what goes on the command bus);
+the caller translates physical rows through the module's row mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.bender.isa import Program
+from repro.bender.program import ProgramBuilder
+from repro.constants import DDR4Timings, DEFAULT_TIMINGS
+from repro.dram.datapattern import DataPattern
+from repro.patterns.base import PatternPlacement
+
+
+def _identity(row: int) -> int:
+    return row
+
+
+def compile_hammer_loop(
+    placement: PatternPlacement,
+    iterations: int,
+    bank: int = 0,
+    timings: DDR4Timings = DEFAULT_TIMINGS,
+    to_logical: Callable[[int], int] = _identity,
+) -> Program:
+    """The timed hammer loop: ``iterations`` x (ACT, open t_on, PRE, tRP)
+    per aggressor, in issue order."""
+    builder = ProgramBuilder()
+    with builder.loop(iterations):
+        for row, t_on in placement.aggressors:
+            builder.act(bank, to_logical(row))
+            builder.wait(t_on)
+            builder.pre(bank)
+            builder.wait(timings.tRP)
+    return builder.build()
+
+
+def compile_init(
+    placement: PatternPlacement,
+    data_pattern: DataPattern,
+    n_bits: int,
+    bank: int = 0,
+    timings: DDR4Timings = DEFAULT_TIMINGS,
+    to_logical: Callable[[int], int] = _identity,
+) -> Program:
+    """Initialize aggressor and victim rows with the data pattern."""
+    builder = ProgramBuilder()
+    aggressor_rows = {row for row, _ in placement.aggressors}
+    for row in sorted(aggressor_rows | set(placement.victims)):
+        if row in aggressor_rows:
+            bits = data_pattern.aggressor_bits(n_bits)
+        else:
+            bits = data_pattern.victim_bits(row, n_bits)
+        _write_row(builder, bank, to_logical(row), bits, timings)
+    return builder.build()
+
+
+def compile_readback(
+    placement: PatternPlacement,
+    bank: int = 0,
+    timings: DDR4Timings = DEFAULT_TIMINGS,
+    to_logical: Callable[[int], int] = _identity,
+) -> Program:
+    """Read every victim row back (for comparison against the init data)."""
+    builder = ProgramBuilder()
+    for row in placement.victims:
+        builder.act(bank, to_logical(row))
+        builder.wait(timings.tRCD)
+        builder.rd(bank)
+        builder.wait(timings.tRAS - timings.tRCD)
+        builder.pre(bank)
+        builder.wait(timings.tRP)
+    return builder.build()
+
+
+def _write_row(
+    builder: ProgramBuilder,
+    bank: int,
+    logical_row: int,
+    bits: np.ndarray,
+    timings: DDR4Timings,
+) -> None:
+    builder.act(bank, logical_row)
+    builder.wait(timings.tRCD)
+    builder.wr(bank, np.asarray(bits, dtype=np.uint8))
+    builder.wait(max(timings.tRAS - timings.tRCD, timings.tWR))
+    builder.pre(bank)
+    builder.wait(timings.tRP)

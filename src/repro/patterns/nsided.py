@@ -1,0 +1,89 @@
+"""Many-sided access patterns (TRRespass-style generalization).
+
+In-DRAM TRR tracks only a handful of aggressor candidates, so patterns
+with *many* aggressor rows thrash its sampler (TRRespass, paper ref
+[46]).  This module generalizes the paper's patterns to ``n`` aggressors:
+
+* ``ManySidedPattern(n)`` -- n aggressors at every other row
+  (``base, base+2, ..., base+2(n-1)``), each open ``tAggON`` per
+  iteration (n-sided RowHammer / RowPress);
+* ``ManySidedPattern(n, combined=True)`` -- the combined variant: the
+  *first* aggressor is held open ``tAggON``, all others only ``tRAS``
+  (the paper's Fig. 3c shape, scaled out).
+
+Many-sided placements run through the command-level path (the honest
+prober and the mitigation evaluator); the closed-form fast path is
+specialized to the paper's three-role (two-aggressor) geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import DDR4Timings, DEFAULT_TIMINGS
+from repro.errors import ExperimentError
+from repro.patterns.base import PatternPlacement
+
+
+@dataclass(frozen=True)
+class ManySidedPattern:
+    """A pattern with ``n_aggressors`` alternating aggressor rows.
+
+    Attributes:
+        n_aggressors: number of distinct aggressor rows (>= 1).
+        combined: if ``True``, only the first aggressor presses
+            (``tAggON``); the rest hammer at ``tRAS``.
+    """
+
+    n_aggressors: int
+    combined: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_aggressors < 1:
+            raise ExperimentError("need at least one aggressor row")
+
+    @property
+    def name(self) -> str:
+        kind = "combined" if self.combined else "pressed"
+        return f"{self.n_aggressors}-sided-{kind}"
+
+    @property
+    def solo(self) -> bool:
+        """Only a 1-sided pattern re-opens the same row back to back."""
+        return self.n_aggressors == 1
+
+    def place(
+        self,
+        base_row: int,
+        t_on: float,
+        rows_in_bank: int,
+        timings: DDR4Timings = DEFAULT_TIMINGS,
+    ) -> PatternPlacement:
+        """Bind to rows ``base, base+2, ...``; victims are every row in
+        between plus one beyond each end."""
+        if t_on < timings.tRAS:
+            raise ExperimentError(
+                f"tAggON={t_on} ns below tRAS={timings.tRAS} ns"
+            )
+        last = base_row + 2 * (self.n_aggressors - 1)
+        if base_row < 1 or last + 1 >= rows_in_bank:
+            raise ExperimentError(
+                f"{self.n_aggressors}-sided pattern at base {base_row} "
+                f"does not fit in {rows_in_bank} rows"
+            )
+        aggressors = []
+        for i in range(self.n_aggressors):
+            row = base_row + 2 * i
+            on_time = t_on if (i == 0 or not self.combined) else timings.tRAS
+            aggressors.append((row, on_time))
+        victims = tuple(
+            row
+            for row in range(base_row - 1, last + 2)
+            if row not in {r for r, _ in aggressors}
+        )
+        inner = base_row + 1
+        return PatternPlacement(
+            aggressors=tuple(aggressors),
+            victims=victims,
+            inner_victim=inner,
+        )

@@ -1,0 +1,59 @@
+"""Top-level factory: build calibrated simulated modules.
+
+Ties the substrates together: looks up the Table 1/2 profile, runs the
+calibration solver, and assembles a :class:`repro.dram.Module` whose
+simulated dies reproduce the paper's per-module measurements.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.experiment import CharacterizationConfig
+from repro.disturb.calibration import calibrate_module
+from repro.dram.module import Module
+from repro.dram.profiles import MODULE_PROFILES, get_profile
+
+__all__ = ["build_module", "build_modules", "build_all_modules"]
+
+
+def build_module(
+    key: str, config: Optional[CharacterizationConfig] = None
+) -> Module:
+    """Build the calibrated simulated module with Table 2 label ``key``.
+
+    Calibration is performed (and cached) for the given characterization
+    configuration; the same configuration must be used to measure the
+    module, since the anchors are matched on the configured cell
+    population.
+    """
+    if config is None:
+        config = CharacterizationConfig()
+    profile = get_profile(key)
+    calibration = calibrate_module(key, config)
+    return Module(
+        profile=profile,
+        geometry=config.geometry,
+        model=calibration.model,
+        population=calibration.population,
+        die_scales=calibration.die_scales,
+        die_press_scales=calibration.die_press_scales,
+    )
+
+
+def build_modules(
+    keys: Sequence[str], config: Optional[CharacterizationConfig] = None
+) -> List[Module]:
+    """Build several calibrated modules."""
+    return [build_module(key, config) for key in keys]
+
+
+def build_all_modules(
+    config: Optional[CharacterizationConfig] = None,
+    manufacturer: Optional[str] = None,
+) -> List[Module]:
+    """Build every Table 2 module (optionally one manufacturer's)."""
+    keys = sorted(MODULE_PROFILES)
+    if manufacturer is not None:
+        keys = [k for k in keys if MODULE_PROFILES[k].manufacturer == manufacturer]
+    return build_modules(keys, config)

@@ -1,0 +1,70 @@
+"""Synthetic device factories for tests, benchmarks, and what-if studies.
+
+These build small chips with hand-picked disturbance parameters and *low*
+flip thresholds, so command-level ACmin searches finish in milliseconds.
+They are part of the public API because downstream users writing their own
+experiments (new patterns, new mitigations) need the same fast substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.disturb.calibrated import CalibratedDisturbanceModel
+from repro.disturb.interpolant import LogTimeInterpolant
+from repro.disturb.population import PopulationParams
+from repro.dram.chip import Chip
+from repro.dram.mapping import RowMapping
+from repro.dram.topology import BankGeometry
+
+__all__ = ["make_synthetic_model", "make_synthetic_chip"]
+
+
+def make_synthetic_model(
+    press_scale: float = 1.0,
+    alpha: float = 0.4,
+    gamma: float = 0.8,
+) -> CalibratedDisturbanceModel:
+    """A hand-built disturbance model with a plausible press curve.
+
+    The press loss rises from 0 at ``tRAS`` to 1 at 7.8 us and ~9 at
+    70.2 us (the approximate shape the Table 2 calibration produces), all
+    scaled by ``press_scale``.
+    """
+    return CalibratedDisturbanceModel(
+        hammer=1.0,
+        press=LogTimeInterpolant(
+            [
+                (636.0, 0.4 * press_scale),
+                (7_800.0, 1.0 * press_scale),
+                (70_200.0, 9.0 * press_scale),
+            ],
+            zero_at=36.0,
+            extrapolate=True,
+        ),
+        alpha_curve=LogTimeInterpolant([(636.0, alpha), (70_200.0, alpha)]),
+        gamma_curve=LogTimeInterpolant([(636.0, gamma), (70_200.0, 0.95)]),
+    )
+
+
+def make_synthetic_chip(
+    theta_scale: float = 200.0,
+    rows: int = 64,
+    cols: int = 64,
+    die_index: int = 0,
+    key: str = "SYNTH",
+    model: Optional[CalibratedDisturbanceModel] = None,
+    mapping: Optional[RowMapping] = None,
+    anti_cell_fraction: float = 0.03,
+) -> Chip:
+    """A small chip whose weakest cells flip within ~100 iterations."""
+    return Chip(
+        module_key=key,
+        die_index=die_index,
+        geometry=BankGeometry(rows=rows, cols_simulated=cols),
+        model=model if model is not None else make_synthetic_model(),
+        population=PopulationParams(
+            theta_scale=theta_scale, anti_cell_fraction=anti_cell_fraction
+        ),
+        mapping=mapping,
+    )

@@ -1,0 +1,16 @@
+"""Thermal substrate: heater-pad plant + PID temperature controller.
+
+The paper's infrastructure keeps the DRAM chips at a target temperature
+(50 C for all headline results) with heater pads driven by a PID-based
+temperature controller, observing at most +/- 0.2 C drift over 24 hours.
+This package simulates that loop: a first-order thermal plant
+(:class:`ThermalPlant`) driven by a discrete :class:`PIDController`, and a
+:class:`TemperatureController` facade that runs the loop to a setpoint and
+then serves temperature readings to the SoftMC session.
+"""
+
+from repro.thermal.pid import PIDController
+from repro.thermal.plant import ThermalPlant
+from repro.thermal.controller import TemperatureController
+
+__all__ = ["PIDController", "ThermalPlant", "TemperatureController"]

@@ -1,0 +1,73 @@
+"""Closed-loop temperature controller facade.
+
+Runs the PID + plant loop to a setpoint and then serves temperature
+readings; the characterization runner asserts the controller is *settled*
+(within the paper's +/-0.2 C band) before starting an experiment, exactly
+like the real infrastructure's temperature-stabilization step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.constants import CHARACTERIZATION_TEMPERATURE_C
+from repro.errors import ExperimentError
+from repro.thermal.pid import PIDController
+from repro.thermal.plant import ThermalPlant
+
+#: The paper's observed worst-case temperature ripple (Section 3.1).
+TEMPERATURE_TOLERANCE_C = 0.2
+
+
+@dataclass
+class TemperatureController:
+    """PID temperature control loop for the device under test."""
+
+    setpoint_c: float = CHARACTERIZATION_TEMPERATURE_C
+    plant: ThermalPlant = field(default_factory=ThermalPlant)
+    pid: PIDController = field(default_factory=PIDController)
+    control_period_s: float = 1.0
+    history: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.pid.setpoint = self.setpoint_c
+
+    def step(self) -> float:
+        """One control period; returns the new temperature."""
+        duty = self.pid.update(self.plant.temperature_c, self.control_period_s)
+        temp = self.plant.step(duty, self.control_period_s)
+        self.history.append(temp)
+        return temp
+
+    def settle(self, max_steps: int = 3600, hold_steps: int = 60) -> int:
+        """Run the loop until the temperature holds within tolerance.
+
+        Returns the number of control steps taken.  Raises
+        :class:`~repro.errors.ExperimentError` if the loop does not settle
+        within ``max_steps`` (a mis-tuned PID would silently corrupt a
+        temperature-sensitive characterization otherwise).
+        """
+        in_band = 0
+        for step_count in range(1, max_steps + 1):
+            temp = self.step()
+            if abs(temp - self.setpoint_c) <= TEMPERATURE_TOLERANCE_C:
+                in_band += 1
+                if in_band >= hold_steps:
+                    return step_count
+            else:
+                in_band = 0
+        raise ExperimentError(
+            f"temperature loop failed to settle at {self.setpoint_c} C "
+            f"within {max_steps} steps (last reading "
+            f"{self.plant.temperature_c:.2f} C)"
+        )
+
+    def read(self) -> float:
+        """Current temperature reading (for wiring into a SoftMC session)."""
+        return self.plant.temperature_c
+
+    @property
+    def settled(self) -> bool:
+        """Whether the last reading is within the paper's tolerance band."""
+        return abs(self.plant.temperature_c - self.setpoint_c) <= TEMPERATURE_TOLERANCE_C

@@ -1,0 +1,58 @@
+"""Discrete PID controller.
+
+A textbook positional PID with anti-windup clamping on the integral term
+and output saturation, sufficient to hold the simulated heater-pad plant
+within the paper's observed +/-0.2 C band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PIDController:
+    """PID controller with output saturation and integral anti-windup.
+
+    Attributes:
+        kp / ki / kd: proportional / integral / derivative gains.
+        setpoint: target process value.
+        output_min / output_max: actuator saturation limits (heater duty).
+        integral_limit: absolute clamp on the integral accumulator.
+    """
+
+    kp: float = 4.0
+    ki: float = 0.8
+    kd: float = 4.0
+    setpoint: float = 50.0
+    output_min: float = 0.0
+    output_max: float = 100.0
+    #: Sized so the integral term alone can hold any reachable setpoint
+    #: (steady-state duty = ki * integral must span the full output range).
+    integral_limit: float = 300.0
+    _integral: float = field(init=False, repr=False, default=0.0)
+    _last_error: float = field(init=False, repr=False, default=None)
+
+    def reset(self) -> None:
+        """Clear the integral and derivative state."""
+        self._integral = 0.0
+        self._last_error = None
+
+    def update(self, measurement: float, dt: float) -> float:
+        """One control step; returns the actuator command.
+
+        Args:
+            measurement: current process value (temperature, C).
+            dt: time since the previous step (seconds), must be positive.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        error = self.setpoint - measurement
+        self._integral += error * dt
+        self._integral = max(-self.integral_limit, min(self.integral_limit, self._integral))
+        derivative = 0.0
+        if self._last_error is not None:
+            derivative = (error - self._last_error) / dt
+        self._last_error = error
+        output = self.kp * error + self.ki * self._integral + self.kd * derivative
+        return max(self.output_min, min(self.output_max, output))

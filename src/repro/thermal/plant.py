@@ -1,0 +1,62 @@
+"""First-order thermal plant: DRAM chip + heater pad.
+
+The chip temperature relaxes toward the ambient plus a contribution
+proportional to the heater duty cycle:
+
+``dT/dt = (ambient + heater_gain * duty - T) / tau``
+
+with optional bounded process noise, modeling airflow fluctuations.  The
+parameters are chosen so the PID loop settles to 50 C from a 25 C ambient
+within a few simulated minutes, like a heater pad on a DIMM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import rng
+
+
+@dataclass
+class ThermalPlant:
+    """Simulated heater-pad + DIMM thermal mass.
+
+    Attributes:
+        ambient_c: ambient temperature.
+        heater_gain_c: temperature rise above ambient at 100% duty.
+        tau_s: first-order time constant (seconds).
+        noise_c: standard deviation of per-step process noise.
+        temperature_c: current chip temperature (state).
+    """
+
+    ambient_c: float = 25.0
+    heater_gain_c: float = 0.6
+    tau_s: float = 30.0
+    noise_c: float = 0.02
+    temperature_c: float = 25.0
+    seed: int = 0
+    _gen: np.random.Generator = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.tau_s <= 0:
+            raise ValueError("tau_s must be positive")
+        self._gen = rng.stream("thermal-plant", self.seed)
+
+    def step(self, heater_duty: float, dt: float) -> float:
+        """Advance the plant by ``dt`` seconds at the given heater duty.
+
+        ``heater_duty`` is clamped to [0, 100].  Returns the new
+        temperature.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        duty = max(0.0, min(100.0, heater_duty))
+        target = self.ambient_c + self.heater_gain_c * duty
+        # Exact solution of the linear ODE over the step.
+        decay = np.exp(-dt / self.tau_s)
+        self.temperature_c = target + (self.temperature_c - target) * decay
+        if self.noise_c:
+            self.temperature_c += float(self._gen.normal(0.0, self.noise_c))
+        return self.temperature_c

@@ -1,0 +1,97 @@
+"""Tests for measurement aggregation."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import (
+    aggregate_acmin,
+    aggregate_direction_fraction,
+    aggregate_overlap,
+    aggregate_time_ms,
+    per_t_aggregates,
+)
+from repro.core.bitflips import BitflipCensus
+from repro.core.results import DieMeasurement, ResultSet
+
+
+def meas(acmin=100, time_ns=1e6, t_on=36.0, die=0, trial=0, pattern="combined",
+         ones=frozenset(), zeros=frozenset()):
+    return DieMeasurement(
+        module_key="S0",
+        manufacturer="S",
+        die=die,
+        pattern=pattern,
+        t_on=t_on,
+        trial=trial,
+        acmin=acmin,
+        time_to_first_ns=time_ns,
+        census=BitflipCensus(frozenset(ones), frozenset(zeros)),
+    )
+
+
+def test_acmin_mean_std():
+    rs = ResultSet([meas(acmin=100), meas(acmin=200, die=1)])
+    point = aggregate_acmin(rs)
+    assert point.mean == 150
+    assert point.std == pytest.approx(50.0)
+    assert point.n == point.n_total == 2
+
+
+def test_censored_measurements_excluded_but_counted():
+    rs = ResultSet([meas(acmin=100), meas(acmin=None, time_ns=None, die=1)])
+    point = aggregate_acmin(rs)
+    assert point.mean == 100
+    assert point.n == 1
+    assert point.n_total == 2
+    assert not point.all_flipped
+
+
+def test_empty_aggregate_is_nan():
+    point = aggregate_acmin(ResultSet([meas(acmin=None, time_ns=None)]))
+    assert math.isnan(point.mean)
+    assert point.n == 0
+
+
+def test_time_aggregate_in_ms():
+    rs = ResultSet([meas(time_ns=2e6), meas(time_ns=4e6, die=1)])
+    assert aggregate_time_ms(rs).mean == pytest.approx(3.0)
+
+
+def test_direction_fraction_aggregate():
+    rs = ResultSet([
+        meas(ones={(1, 1)}, zeros={(1, 2)}),          # 0.5
+        meas(ones={(2, 1)}, die=1),                   # 1.0
+        meas(die=2),                                  # empty: excluded
+    ])
+    point = aggregate_direction_fraction(rs)
+    assert point.mean == pytest.approx(0.75)
+    assert point.n == 2
+
+
+def test_overlap_aggregate_matches_pairs():
+    combined = ResultSet([
+        meas(pattern="combined", ones={(1, 1), (1, 2)}),
+        meas(pattern="combined", die=1, ones={(9, 9)}),
+    ])
+    conventional = ResultSet([
+        meas(pattern="double-sided", ones={(1, 2)}),
+        meas(pattern="double-sided", die=1, ones={(1, 1)}),
+    ])
+    point = aggregate_overlap(combined, conventional)
+    # die 0: overlap 1.0 (conv's single flip is shared); die 1: 0.0.
+    assert point.mean == pytest.approx(0.5)
+
+
+def test_overlap_skips_unmatched_measurements():
+    combined = ResultSet([meas(pattern="combined", die=5, ones={(1, 1)})])
+    conventional = ResultSet([meas(pattern="double-sided", die=0, ones={(1, 1)})])
+    point = aggregate_overlap(combined, conventional)
+    assert point.n == 0
+
+
+def test_per_t_aggregates():
+    rs = ResultSet([meas(t_on=36.0, acmin=10), meas(t_on=636.0, acmin=20)])
+    table = per_t_aggregates(rs, aggregate_acmin)
+    assert table[36.0].mean == 10
+    assert table[636.0].mean == 20

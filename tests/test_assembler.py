@@ -1,0 +1,97 @@
+"""Tests for the DRAM Bender text assembler."""
+
+import pytest
+
+from repro.bender.assembler import assemble, disassemble
+from repro.bender.interpreter import Interpreter
+from repro.bender.isa import Loop, Opcode
+from repro.bender.program import ProgramBuilder
+from repro.errors import ProgramError
+from repro.testing import make_synthetic_chip
+
+KERNEL = """
+# combined RH+RP kernel
+LOOP 10
+    ACT 0 20
+    WAIT 7800
+    PRE 0
+    WAIT 15
+    ACT 0 22
+    WAIT 36
+    PRE 0
+    WAIT 15
+ENDLOOP
+"""
+
+
+def test_assemble_basic_kernel():
+    program = assemble(KERNEL)
+    assert isinstance(program.nodes[0], Loop)
+    assert program.nodes[0].count == 10
+    assert program.dynamic_instruction_count() == 80
+
+
+def test_assembled_program_executes():
+    chip = make_synthetic_chip(theta_scale=1e9, rows=64)
+    result = Interpreter(chip).run(assemble(KERNEL))
+    assert result.activations == 20
+    assert result.elapsed_ns == pytest.approx(10 * (7_815.0 + 51.0))
+
+
+def test_nested_loops():
+    program = assemble("LOOP 3\nLOOP 2\nREF\nENDLOOP\nENDLOOP\n")
+    assert program.dynamic_instruction_count() == 6
+
+
+def test_comments_and_blank_lines():
+    program = assemble("# nothing\n\nREF  # trailing comment\n")
+    ops = [i.opcode for i in program.flat()]
+    assert ops == [Opcode.REF]
+
+
+def test_roundtrip_stable():
+    program = assemble(KERNEL)
+    text = disassemble(program)
+    again = assemble(text)
+    assert disassemble(again) == text
+    assert again.dynamic_instruction_count() == program.dynamic_instruction_count()
+
+
+def test_roundtrip_from_builder():
+    builder = ProgramBuilder()
+    with builder.loop(5):
+        builder.act(0, 7).wait(36.0).pre(0).wait(15.0)
+    builder.ref()
+    program = builder.build()
+    assert assemble(disassemble(program)).dynamic_instruction_count() == (
+        program.dynamic_instruction_count()
+    )
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "ACT 0\n",  # missing operand
+        "ACT 0 1 2\n",  # extra operand
+        "ENDLOOP\n",  # unmatched
+        "LOOP 5\nREF\n",  # unterminated
+        "JMP 3\n",  # unknown op
+        "WAIT -5\n",  # negative wait
+        "WAIT abc\n",  # non-numeric
+        "ACT x 1\n",  # non-integer bank
+        "WR 0 0\n",  # WR not expressible
+    ],
+)
+def test_assemble_rejects_malformed(bad):
+    with pytest.raises(ProgramError):
+        assemble(bad)
+
+
+def test_disassemble_rejects_wr():
+    builder = ProgramBuilder()
+    builder.act(0, 1).wait(13.5)
+    import numpy as np
+
+    builder.wr(0, np.zeros(4, dtype=np.uint8))
+    with pytest.raises(ProgramError):
+        disassemble(builder.build())

@@ -1,0 +1,91 @@
+"""Tests for bitflip censuses, direction fractions, and the overlap metric."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitflips import BitflipCensus, direction_fraction_1_to_0
+from repro.core.overlap import overlap_ratio
+
+
+def census(ones=(), zeros=()):
+    return BitflipCensus(frozenset(ones), frozenset(zeros))
+
+
+def test_counts_and_union_of_directions():
+    c = census(ones=[(1, 2), (1, 3)], zeros=[(2, 0)])
+    assert c.n_flips == 3
+    assert c.all_flips == {(1, 2), (1, 3), (2, 0)}
+
+
+def test_direction_fraction():
+    c = census(ones=[(1, 2), (1, 3)], zeros=[(2, 0)])
+    assert direction_fraction_1_to_0(c) == pytest.approx(2 / 3)
+
+
+def test_direction_fraction_empty_is_nan():
+    assert math.isnan(direction_fraction_1_to_0(census()))
+
+
+def test_union_of_censuses():
+    a = census(ones=[(1, 1)])
+    b = census(zeros=[(2, 2)])
+    u = BitflipCensus.union([a, b])
+    assert u.all_flips == {(1, 1), (2, 2)}
+    assert BitflipCensus.union([]).n_flips == 0
+
+
+def test_overlap_paper_definition():
+    """Overlap = |combined AND conventional| / |conventional| (Section 4)."""
+    combined = census(ones=[(1, 1), (1, 2)])
+    conventional = census(ones=[(1, 2)], zeros=[(3, 3)])
+    assert overlap_ratio(combined, conventional) == pytest.approx(0.5)
+
+
+def test_overlap_identical_sets_is_one():
+    c = census(ones=[(1, 1)], zeros=[(2, 2)])
+    assert overlap_ratio(c, c) == 1.0
+
+
+def test_overlap_disjoint_sets_is_zero():
+    assert overlap_ratio(census(ones=[(1, 1)]), census(ones=[(9, 9)])) == 0.0
+
+
+def test_overlap_undefined_for_empty_conventional():
+    assert overlap_ratio(census(ones=[(1, 1)]), census()) is None
+
+
+def test_overlap_direction_insensitive():
+    # The paper counts unique bitflips; a cell flipping 1->0 in one
+    # pattern and 0->1 in the other still overlaps (different data
+    # patterns are not compared, but direction bookkeeping must not
+    # split the key space).
+    a = census(ones=[(5, 5)])
+    b = census(zeros=[(5, 5)])
+    assert overlap_ratio(a, b) == 1.0
+
+
+keys = st.tuples(st.integers(0, 20), st.integers(0, 20))
+
+
+@given(
+    combined=st.frozensets(keys, max_size=30),
+    conventional=st.frozensets(keys, min_size=1, max_size=30),
+)
+def test_overlap_always_in_unit_interval(combined, conventional):
+    ratio = overlap_ratio(
+        BitflipCensus(combined, frozenset()),
+        BitflipCensus(conventional, frozenset()),
+    )
+    assert 0.0 <= ratio <= 1.0
+
+
+@given(conventional=st.frozensets(keys, min_size=1, max_size=30))
+def test_overlap_is_one_when_combined_superset(conventional):
+    superset = conventional | {(99, 99)}
+    ratio = overlap_ratio(
+        BitflipCensus(superset, frozenset()),
+        BitflipCensus(conventional, frozenset()),
+    )
+    assert ratio == 1.0

@@ -1,0 +1,76 @@
+"""Tests for the end-to-end characterization campaign."""
+
+import pytest
+
+from repro.core.campaign import Campaign, CampaignPlan, MappingCheck
+from repro.errors import ExperimentError
+from repro.patterns import COMBINED, DOUBLE_SIDED
+
+
+def test_campaign_runs_full_workflow(s0_module, fast_config):
+    plan = CampaignPlan(
+        t_values=(36.0, 7_800.0),
+        patterns=(DOUBLE_SIDED, COMBINED),
+        trials=1,
+    )
+    result = Campaign(s0_module, fast_config, plan).run()
+    assert result.module_key == "S0"
+    assert result.settle_steps > 0
+    assert abs(result.final_temperature_c - 50.0) <= 0.2
+    # 8 dies x 2 patterns x 2 t values x 1 trial.
+    assert len(result.results) == 32
+    assert result.mapping_verified  # no probes requested: trivially true
+
+
+def test_campaign_verifies_row_mapping(s0_module, fast_config):
+    """The mapping probe hammers through the command path and recovers
+    the Samsung scramble's physical neighbors."""
+    plan = CampaignPlan(
+        t_values=(36.0,),
+        patterns=(DOUBLE_SIDED,),
+        trials=1,
+        verify_mapping_rows=(40, 41),
+        mapping_probe_iterations=60_000,
+    )
+    result = Campaign(s0_module, fast_config, plan).run()
+    assert len(result.mapping_checks) == 2
+    assert result.mapping_verified
+    for check in result.mapping_checks:
+        assert len(check.observed_neighbors) == 2
+
+
+def test_campaign_probe_uses_separate_bank(s0_module, fast_config):
+    """Mapping probes must not contaminate the characterized bank: the
+    characterization results with and without probing are identical."""
+    base = Campaign(
+        s0_module,
+        fast_config,
+        CampaignPlan(t_values=(7_800.0,), patterns=(COMBINED,), trials=1),
+    ).run()
+    probed = Campaign(
+        s0_module,
+        fast_config,
+        CampaignPlan(
+            t_values=(7_800.0,),
+            patterns=(COMBINED,),
+            trials=1,
+            verify_mapping_rows=(40,),
+            mapping_probe_iterations=60_000,
+        ),
+    ).run()
+    base_values = sorted(m.acmin for m in base.results)
+    probed_values = sorted(m.acmin for m in probed.results)
+    assert base_values == probed_values
+
+
+def test_campaign_rejects_temperature_mismatch(s0_module, fast_config):
+    plan = CampaignPlan(temperature_c=80.0)
+    with pytest.raises(ExperimentError):
+        Campaign(s0_module, fast_config, plan)
+
+
+def test_mapping_check_consistency():
+    good = MappingCheck(5, (4, 6), (6, 4))
+    bad = MappingCheck(5, (4, 7), (4, 6))
+    assert good.consistent
+    assert not bad.consistent

@@ -1,0 +1,53 @@
+"""Tests for JEDEC constants and timing parameters."""
+
+import pytest
+
+from repro.constants import (
+    DDR4Timings,
+    DEFAULT_TIMINGS,
+    ITERATION_RUNTIME_BOUND,
+    MS,
+    T_AGG_ON_9TREFI,
+    T_AGG_ON_TRAS,
+    T_AGG_ON_TREFI,
+    US,
+)
+
+
+def test_default_timings_match_jedec():
+    assert DEFAULT_TIMINGS.tRAS == 36.0
+    assert DEFAULT_TIMINGS.tRP == 15.0
+    assert DEFAULT_TIMINGS.tREFI == 7.8 * US
+    assert DEFAULT_TIMINGS.tREFW == 64.0 * MS
+
+
+def test_anchor_on_times():
+    assert T_AGG_ON_TRAS == 36.0
+    assert T_AGG_ON_TREFI == 7_800.0
+    assert T_AGG_ON_9TREFI == pytest.approx(70_200.0)
+
+
+def test_nine_trefi_property():
+    assert DEFAULT_TIMINGS.t_nine_refi == pytest.approx(9 * 7_800.0)
+
+
+def test_iteration_bound_inside_refresh_window():
+    # Methodology (Section 3.1): stay strictly below tREFW.
+    assert ITERATION_RUNTIME_BOUND < DEFAULT_TIMINGS.tREFW
+
+
+def test_validate_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        DDR4Timings(tRAS=0.0).validate()
+    with pytest.raises(ValueError):
+        DDR4Timings(tRP=-1.0).validate()
+
+
+def test_validate_rejects_refi_beyond_refw():
+    with pytest.raises(ValueError):
+        DDR4Timings(tREFI=1e9, tREFW=1e6).validate()
+
+
+def test_timings_are_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_TIMINGS.tRAS = 1.0

@@ -1,0 +1,74 @@
+"""Tests for data patterns (paper Section 3.4: checkerboard 0xAA/0x55)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.datapattern import (
+    CHECKERBOARD,
+    CHECKERBOARD_INVERTED,
+    DATA_PATTERNS,
+    DataPattern,
+    ROW_STRIPE,
+    SOLID_ONE,
+    SOLID_ZERO,
+    _expand_byte,
+)
+
+
+def test_checkerboard_bytes_match_paper():
+    assert CHECKERBOARD.aggressor_byte == 0xAA
+    assert CHECKERBOARD.victim_even_byte == 0x55
+
+
+def test_expand_byte_msb_first():
+    bits = _expand_byte(0xAA, 8)
+    assert bits.tolist() == [1, 0, 1, 0, 1, 0, 1, 0]
+
+
+def test_expand_byte_truncates_to_requested_bits():
+    assert _expand_byte(0xFF, 13).shape == (13,)
+    assert _expand_byte(0xFF, 13).sum() == 13
+
+
+def test_expand_byte_rejects_out_of_range():
+    with pytest.raises(ValueError):
+        _expand_byte(256, 8)
+
+
+def test_checkerboard_victim_half_ones():
+    bits = CHECKERBOARD.victim_bits(0, 64)
+    assert bits.sum() == 32
+
+
+def test_inverted_checkerboard_complements():
+    a = CHECKERBOARD.victim_bits(0, 64)
+    b = CHECKERBOARD_INVERTED.victim_bits(0, 64)
+    assert ((a + b) == 1).all()
+
+
+def test_row_stripe_alternates_by_row():
+    even = ROW_STRIPE.victim_bits(0, 16)
+    odd = ROW_STRIPE.victim_bits(1, 16)
+    assert even.sum() == 0
+    assert odd.sum() == 16
+
+
+def test_solid_patterns():
+    assert SOLID_ZERO.victim_bits(5, 32).sum() == 0
+    assert SOLID_ONE.victim_bits(5, 32).sum() == 32
+
+
+def test_registry_contains_all_named_patterns():
+    assert "checkerboard" in DATA_PATTERNS
+    assert len(DATA_PATTERNS) == 6
+
+
+@given(byte=st.integers(0, 255), n=st.integers(1, 200))
+def test_expand_byte_periodic(byte, n):
+    bits = _expand_byte(byte, n)
+    assert bits.shape == (n,)
+    assert set(np.unique(bits)) <= {0, 1}
+    # The pattern repeats with period 8.
+    if n > 8:
+        assert (bits[8:] == bits[: n - 8]).all()

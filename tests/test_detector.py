@@ -1,0 +1,99 @@
+"""Tests for the open-time-aware disturbance-risk detector."""
+
+import pytest
+
+from repro.bender.softmc import SoftMCSession
+from repro.constants import DEFAULT_TIMINGS
+from repro.errors import MitigationError
+from repro.mc.detector import (
+    DisturbanceDetector,
+    ReferenceDisturbance,
+    VictimAlarm,
+)
+from repro.patterns import COMBINED, DOUBLE_SIDED
+from repro.patterns.compiler import compile_hammer_loop
+from repro.testing import make_synthetic_chip
+
+
+def run_pattern(detector, pattern, t_on, iterations):
+    chip = make_synthetic_chip(theta_scale=1e9, rows=64)
+    session = SoftMCSession(chip)
+    session.add_observer(detector.observe)
+    placement = pattern.place(10, t_on, chip.geometry.rows)
+    session.run(compile_hammer_loop(placement, iterations))
+    detector.finish(session.now)
+    return detector
+
+
+def test_reference_risk_grows_with_open_time():
+    ref = ReferenceDisturbance()
+    assert ref.activation_risk(36.0) == pytest.approx(1.0)
+    assert ref.activation_risk(7_800.0) == pytest.approx(7.47, rel=0.01)
+    assert ref.activation_risk(7_800.0) > 5 * ref.activation_risk(36.0)
+
+
+def test_threshold_validation():
+    with pytest.raises(MitigationError):
+        DisturbanceDetector(alarm_threshold=0.0, rows=64)
+
+
+def test_hammer_raises_risk_on_both_neighbors():
+    detector = DisturbanceDetector(alarm_threshold=1e9, rows=64)
+    run_pattern(detector, DOUBLE_SIDED, 36.0, iterations=100)
+    # Inner victim 11 sees both aggressors; outer victims one each.
+    assert detector.risk_of(0, 11) == pytest.approx(200.0, rel=0.01)
+    assert detector.risk_of(0, 9) == pytest.approx(100.0, rel=0.01)
+    assert detector.risk_of(0, 13) == pytest.approx(100.0, rel=0.01)
+
+
+def test_press_risk_counted_without_many_activations():
+    """The detector's whole point: 50 long-open activations carry the
+    risk of hundreds of short ones."""
+    detector = DisturbanceDetector(alarm_threshold=1e9, rows=64)
+    run_pattern(detector, COMBINED, 7_800.0, iterations=50)
+    long_side = detector.risk_of(0, 11)
+    detector2 = DisturbanceDetector(alarm_threshold=1e9, rows=64)
+    run_pattern(detector2, DOUBLE_SIDED, 36.0, iterations=50)
+    short_side = detector2.risk_of(0, 11)
+    assert long_side > 4 * short_side
+
+
+def test_alarm_fires_and_resets():
+    detector = DisturbanceDetector(alarm_threshold=150.0, rows=64)
+    run_pattern(detector, DOUBLE_SIDED, 36.0, iterations=100)
+    victims = {(a.bank, a.row) for a in detector.alarms}
+    assert (0, 11) in victims
+    inner_alarms = [a for a in detector.alarms if a.row == 11]
+    # 200 risk units at threshold 150: exactly one alarm, then reset.
+    assert len(inner_alarms) == 1
+    assert inner_alarms[0].risk >= 150.0
+    assert detector.risk_of(0, 11) < 150.0
+
+
+def test_credit_refresh_clears_risk():
+    detector = DisturbanceDetector(alarm_threshold=1e9, rows=64)
+    run_pattern(detector, DOUBLE_SIDED, 36.0, iterations=50)
+    assert detector.risk_of(0, 11) > 0
+    detector.credit_refresh(0, 11)
+    assert detector.risk_of(0, 11) == 0.0
+
+
+def test_hottest_victims_ranking():
+    detector = DisturbanceDetector(alarm_threshold=1e9, rows=64)
+    run_pattern(detector, DOUBLE_SIDED, 36.0, iterations=50)
+    ranking = detector.hottest_victims(3)
+    assert ranking[0][0] == (0, 11)  # double-coupled inner victim first
+    assert ranking[0][1] >= ranking[1][1] >= ranking[2][1]
+
+
+def test_activation_counter_blindspot():
+    """An activation-counting detector (Graphene's observable) cannot see
+    the combined pattern's press half; the open-time-aware reference
+    can.  Same activation count, ~5x the estimated risk."""
+    ref = ReferenceDisturbance()
+    acts = 100
+    hammer_risk = acts * ref.activation_risk(36.0)
+    combined_risk = (acts // 2) * (
+        ref.activation_risk(7_800.0) + ref.activation_risk(36.0)
+    )
+    assert combined_risk > 4 * hammer_risk

@@ -1,0 +1,100 @@
+"""Tests for the on-die ECC model (Hamming SEC + behavioural filter)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.ecc import (
+    CODEWORD_BITS,
+    DATA_BITS,
+    OnDieEcc,
+    decode_word,
+    encode_word,
+)
+
+
+def random_word(seed: int) -> np.ndarray:
+    gen = np.random.default_rng(seed)
+    return gen.integers(0, 2, DATA_BITS).astype(np.uint8)
+
+
+@given(seed=st.integers(0, 1000))
+def test_encode_decode_roundtrip(seed):
+    data = random_word(seed)
+    decoded, corrected = decode_word(encode_word(data))
+    assert not corrected
+    assert (decoded == data).all()
+
+
+@given(seed=st.integers(0, 500), pos=st.integers(0, CODEWORD_BITS - 1))
+def test_single_error_corrected(seed, pos):
+    data = random_word(seed)
+    code = encode_word(data)
+    code[pos] ^= 1
+    decoded, corrected = decode_word(code)
+    assert corrected
+    assert (decoded == data).all()
+
+
+def test_double_error_not_silently_corrected():
+    data = random_word(1)
+    code = encode_word(data)
+    code[0] ^= 1
+    code[1] ^= 1
+    decoded, _ = decode_word(code)
+    # SEC miscorrects or passes through double errors -- either way the
+    # data cannot be trusted; here it must differ from the original.
+    assert (decoded != data).any()
+
+
+def test_encode_rejects_wrong_width():
+    with pytest.raises(ValueError):
+        encode_word(np.zeros(8, dtype=np.uint8))
+
+
+def test_decode_rejects_wrong_width():
+    with pytest.raises(ValueError):
+        decode_word(np.zeros(8, dtype=np.uint8))
+
+
+# --------------------------------------------------------------- flip filter
+
+
+def test_filter_masks_single_flip_per_word():
+    ecc = OnDieEcc()
+    flips = np.zeros(128, dtype=bool)
+    flips[3] = True  # single flip in word 0
+    assert not ecc.filter_flips(flips).any()
+
+
+def test_filter_passes_double_flips():
+    ecc = OnDieEcc()
+    flips = np.zeros(128, dtype=bool)
+    flips[3] = flips[7] = True  # two flips in word 0
+    out = ecc.filter_flips(flips)
+    assert out[3] and out[7]
+
+
+def test_filter_words_are_independent():
+    ecc = OnDieEcc()
+    flips = np.zeros(128, dtype=bool)
+    flips[3] = True  # single flip in word 0: corrected
+    flips[64] = flips[70] = True  # double flip in word 1: kept
+    out = ecc.filter_flips(flips)
+    assert not out[3]
+    assert out[64] and out[70]
+
+
+def test_filter_handles_partial_tail_word():
+    ecc = OnDieEcc()
+    flips = np.zeros(70, dtype=bool)
+    flips[69] = True  # single flip in the 6-bit tail
+    assert not ecc.filter_flips(flips).any()
+
+
+@given(data=st.lists(st.integers(0, 255), min_size=1, max_size=8))
+def test_filter_never_adds_flips(data):
+    flips = np.array([b % 2 == 1 for b in data * 16], dtype=bool)
+    ecc = OnDieEcc()
+    out = ecc.filter_flips(flips)
+    assert not (out & ~flips).any()

@@ -1,0 +1,23 @@
+"""The exception hierarchy is catchable as a single family."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.TimingViolationError,
+        errors.ProgramError,
+        errors.DeviceStateError,
+        errors.CalibrationError,
+        errors.ProfileError,
+        errors.ExperimentError,
+        errors.MitigationError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")

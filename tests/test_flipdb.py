@@ -1,0 +1,103 @@
+"""Tests for the SQLite bitflip database."""
+
+import pytest
+
+from repro.core.bitflips import BitflipCensus
+from repro.core.flipdb import BitflipDatabase
+from repro.core.results import DieMeasurement, ResultSet
+from repro.errors import ExperimentError
+
+
+def meas(die=0, trial=0, t_on=7_800.0, pattern="combined", acmin=100,
+         ones=((11, 3), (11, 4)), zeros=((9, 0),)):
+    return DieMeasurement(
+        module_key="S0",
+        manufacturer="S",
+        die=die,
+        pattern=pattern,
+        t_on=t_on,
+        trial=trial,
+        acmin=acmin,
+        time_to_first_ns=None if acmin is None else acmin * 1000.0,
+        census=BitflipCensus(frozenset(ones), frozenset(zeros)),
+    )
+
+
+@pytest.fixture
+def db():
+    with BitflipDatabase(":memory:") as database:
+        yield database
+
+
+def test_store_and_roundtrip(db):
+    db.store(meas())
+    restored = list(db.measurements(module="S0"))[0]
+    assert restored.acmin == 100
+    assert restored.census.flips_1_to_0 == {(11, 3), (11, 4)}
+    assert restored.census.flips_0_to_1 == {(9, 0)}
+
+
+def test_duplicate_measurement_rejected(db):
+    db.store(meas())
+    with pytest.raises(ExperimentError):
+        db.store(meas())
+
+
+def test_no_bitflip_measurement_roundtrip(db):
+    db.store(meas(acmin=None, ones=(), zeros=()))
+    restored = list(db.measurements())[0]
+    assert restored.acmin is None
+    assert restored.census.n_flips == 0
+
+
+def test_filters(db):
+    db.store_results(ResultSet([
+        meas(die=0, pattern="combined"),
+        meas(die=1, pattern="combined"),
+        meas(die=0, pattern="double-sided"),
+        meas(die=0, pattern="combined", t_on=36.0),
+    ]))
+    assert db.n_measurements() == 4
+    assert len(db.measurements(die=0)) == 3
+    assert len(db.measurements(pattern="combined")) == 3
+    assert len(db.measurements(pattern="combined", t_on=7_800.0)) == 2
+
+
+def test_unique_flips_across_measurements(db):
+    db.store(meas(die=0, ones=((11, 3),), zeros=()))
+    db.store(meas(die=1, ones=((11, 3), (11, 4)), zeros=()))
+    flips = db.unique_flips("S0", "combined", 7_800.0)
+    assert flips == {(11, 3), (11, 4)}
+    assert db.unique_flips("S0", "combined", 7_800.0, die=0) == {(11, 3)}
+
+
+def test_repeatability_metric(db):
+    db.store(meas(trial=0, ones=((11, 3), (11, 4)), zeros=()))
+    db.store(meas(trial=1, ones=((11, 3), (11, 5)), zeros=()))
+    # intersection {3} over union {3,4,5}.
+    assert db.repeatability("S0", 0, "combined", 7_800.0) == pytest.approx(1 / 3)
+
+
+def test_repeatability_needs_two_trials(db):
+    db.store(meas(trial=0))
+    assert db.repeatability("S0", 0, "combined", 7_800.0) is None
+
+
+def test_repeatability_on_calibrated_module(s0_module, fast_runner, db):
+    """Trial jitter keeps most flips but not all: repeatability lands
+    strictly between 0 and 1, as real chips show."""
+    results = fast_runner.characterize_module(
+        s0_module, [7_800.0], dies=[0], trials=3
+    )
+    db.store_results(results)
+    value = db.repeatability("S0", 0, "combined", 7_800.0)
+    assert value is not None
+    assert 0.2 < value < 1.0
+
+
+def test_file_backed_database(tmp_path):
+    path = str(tmp_path / "flips.sqlite")
+    with BitflipDatabase(path) as db1:
+        db1.store(meas())
+    with BitflipDatabase(path) as db2:
+        assert db2.n_measurements() == 1

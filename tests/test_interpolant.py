@@ -1,0 +1,79 @@
+"""Tests for the log-time interpolant."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disturb.interpolant import LogTimeInterpolant
+from repro.errors import CalibrationError
+
+ANCHORS = [(636.0, 0.4), (7_800.0, 1.0), (70_200.0, 9.0)]
+
+
+def test_hits_anchors_exactly():
+    f = LogTimeInterpolant(ANCHORS, zero_at=36.0)
+    for t, v in ANCHORS:
+        assert f(t) == pytest.approx(v)
+
+
+def test_zero_at_and_below():
+    f = LogTimeInterpolant(ANCHORS, zero_at=36.0)
+    assert f(36.0) == 0.0
+    assert f(10.0) == 0.0
+
+
+def test_leading_segment_rises_from_zero():
+    f = LogTimeInterpolant(ANCHORS, zero_at=36.0)
+    assert 0.0 < f(100.0) < f(300.0) < 0.4
+
+
+def test_clamps_without_zero_at():
+    f = LogTimeInterpolant([(636.0, 0.5), (70_200.0, 0.9)])
+    assert f(36.0) == 0.5
+    assert f(1e6) == 0.9
+
+
+def test_extrapolates_log_log_slope():
+    f = LogTimeInterpolant(ANCHORS, zero_at=36.0, extrapolate=True)
+    beyond = f(300_000.0)
+    assert beyond > 9.0
+    # The final segment slope is log(9)/log(9) = 1 => ~linear in t.
+    assert beyond == pytest.approx(9.0 * (300_000.0 / 70_200.0), rel=0.05)
+
+
+def test_single_anchor_constant():
+    f = LogTimeInterpolant([(36.0, 0.7)])
+    assert f(10.0) == f(36.0) == f(1e6) == 0.7
+
+
+def test_rejects_unsorted_anchors():
+    with pytest.raises(CalibrationError):
+        LogTimeInterpolant([(100.0, 1.0), (50.0, 2.0)])
+
+
+def test_rejects_negative_values():
+    with pytest.raises(CalibrationError):
+        LogTimeInterpolant([(100.0, -1.0)])
+
+
+def test_rejects_zero_at_after_first_anchor():
+    with pytest.raises(CalibrationError):
+        LogTimeInterpolant([(100.0, 1.0)], zero_at=200.0)
+
+
+def test_rejects_nonpositive_time():
+    f = LogTimeInterpolant(ANCHORS)
+    with pytest.raises(ValueError):
+        f(0.0)
+
+
+@given(t=st.floats(36.0, 70_200.0))
+def test_monotone_between_increasing_anchors(t):
+    f = LogTimeInterpolant(ANCHORS, zero_at=36.0)
+    t2 = min(t * 1.5, 70_200.0)
+    assert f(t) <= f(t2) + 1e-12
+
+
+@given(t=st.floats(1.0, 1e6))
+def test_always_within_anchor_range_when_clamped(t):
+    f = LogTimeInterpolant(ANCHORS, zero_at=36.0, extrapolate=False)
+    assert 0.0 <= f(t) <= 9.0 + 1e-12

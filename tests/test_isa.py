@@ -1,0 +1,63 @@
+"""Tests for the DRAM Bender ISA and program trees."""
+
+import pytest
+
+from repro.bender.isa import Instruction, Loop, Opcode, Program
+from repro.errors import ProgramError
+
+
+def test_instruction_operand_arity_checked():
+    Instruction(Opcode.ACT, (0, 5))
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.ACT, (0,))
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.REF, (1,))
+
+
+def test_wait_rejects_negative_duration():
+    with pytest.raises(ProgramError):
+        Instruction(Opcode.WAIT, (-1.0,))
+
+
+def test_loop_rejects_negative_count():
+    with pytest.raises(ProgramError):
+        Loop(count=-1, body=())
+
+
+def test_flatten_unrolls_loops():
+    body = (Instruction(Opcode.ACT, (0, 1)), Instruction(Opcode.PRE, (0,)))
+    program = Program(nodes=[Loop(count=3, body=body)])
+    flat = list(program.flat())
+    assert len(flat) == 6
+    assert flat[0].opcode is Opcode.ACT
+    assert flat[1].opcode is Opcode.PRE
+
+
+def test_nested_loops():
+    inner = Loop(count=2, body=(Instruction(Opcode.REF, ()),))
+    program = Program(nodes=[Loop(count=3, body=(inner,))])
+    assert program.dynamic_instruction_count() == 6
+    assert program.static_instruction_count() == 1
+
+
+def test_flatten_is_lazy():
+    # A million-iteration loop must not materialize a million instructions.
+    body = (Instruction(Opcode.ACT, (0, 1)),)
+    program = Program(nodes=[Loop(count=1_000_000, body=body)])
+    gen = program.flat()
+    assert next(gen).opcode is Opcode.ACT
+    assert program.dynamic_instruction_count() == 1_000_000
+
+
+def test_payload_registry():
+    program = Program()
+    idx = program.add_payload([1, 2, 3])
+    assert program.payload(idx) == [1, 2, 3]
+    with pytest.raises(ProgramError):
+        program.payload(idx + 1)
+
+
+def test_invalid_node_rejected_on_flatten():
+    program = Program(nodes=["not an instruction"])
+    with pytest.raises(ProgramError):
+        list(program.flat())

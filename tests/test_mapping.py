@@ -1,0 +1,75 @@
+"""Tests for logical/physical row remapping (vendor scrambles)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.mapping import (
+    BlockInvertMapping,
+    IdentityMapping,
+    XorScrambleMapping,
+    vendor_mapping,
+)
+from repro.errors import ProfileError
+
+MAPPINGS = [
+    IdentityMapping(),
+    XorScrambleMapping(trigger_mask=0x8, xor_mask=0x6),
+    XorScrambleMapping(trigger_mask=0x10, xor_mask=0x3),
+    BlockInvertMapping(block_size=16),
+    BlockInvertMapping(block_size=4),
+]
+
+
+@pytest.mark.parametrize("mapping", MAPPINGS)
+@given(row=st.integers(0, 4095))
+def test_mapping_is_bijective_involution(mapping, row):
+    phys = mapping.to_physical(row)
+    assert mapping.to_logical(phys) == row
+    # All our scrambles are involutions.
+    assert mapping.to_physical(phys) == row
+
+
+@pytest.mark.parametrize("mapping", MAPPINGS)
+def test_mapping_is_permutation_of_a_block(mapping):
+    images = {mapping.to_physical(r) for r in range(64)}
+    assert images == set(range(64))
+
+
+def test_xor_scramble_rejects_overlapping_masks():
+    with pytest.raises(ProfileError):
+        XorScrambleMapping(trigger_mask=0x8, xor_mask=0xC)
+
+
+def test_block_invert_rejects_non_power_of_two():
+    with pytest.raises(ProfileError):
+        BlockInvertMapping(block_size=12)
+
+
+def test_samsung_scramble_moves_some_rows():
+    mapping = vendor_mapping("S")
+    assert any(mapping.to_physical(r) != r for r in range(32))
+
+
+def test_vendor_mapping_unknown():
+    with pytest.raises(ProfileError):
+        vendor_mapping("X")
+
+
+def test_physical_neighbors():
+    mapping = IdentityMapping()
+    below, above = mapping.physical_neighbors(5, rows=10)
+    assert (below, above) == (4, 6)
+    below, above = mapping.physical_neighbors(0, rows=10)
+    assert below is None and above == 1
+    below, above = mapping.physical_neighbors(9, rows=10)
+    assert below == 8 and above is None
+
+
+def test_physical_neighbors_through_scramble():
+    mapping = BlockInvertMapping(block_size=4)
+    # Logical 4 maps to physical 7; its physical neighbors are 6 and 8,
+    # which are logical 5 and 8.
+    assert mapping.to_physical(4) == 7
+    below, above = mapping.physical_neighbors(4, rows=16)
+    assert below == 5
+    assert above == 8

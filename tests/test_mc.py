@@ -1,0 +1,202 @@
+"""Tests for the memory-controller substrate."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_TIMINGS
+from repro.errors import ExperimentError
+from repro.mc import (
+    Access,
+    ClosedPagePolicy,
+    MemRequest,
+    MemoryController,
+    OpenPagePolicy,
+)
+from repro.testing import make_synthetic_chip
+
+COLS = 64
+
+
+def rd(arrival, row, bank=0):
+    return MemRequest(arrival_ns=arrival, access=Access.READ, bank=bank, row=row)
+
+
+def wr(arrival, row, bank=0, value=1):
+    return MemRequest(
+        arrival_ns=arrival,
+        access=Access.WRITE,
+        bank=bank,
+        row=row,
+        data=np.full(COLS, value, dtype=np.uint8),
+    )
+
+
+def make_controller(policy=None, refresh=True, theta=1e9):
+    chip = make_synthetic_chip(theta_scale=theta, rows=64, cols=COLS)
+    return MemoryController(chip, policy=policy, refresh_enabled=refresh)
+
+
+def test_write_then_read_roundtrip():
+    mc = make_controller()
+    reads = mc.process([wr(0.0, 5, value=1), rd(1_000.0, 5)])
+    assert len(reads) == 1
+    assert (reads[0] == 1).all()
+
+
+def test_request_validation():
+    with pytest.raises(ExperimentError):
+        MemRequest(arrival_ns=-1.0, access=Access.READ, bank=0, row=1)
+    with pytest.raises(ExperimentError):
+        MemRequest(arrival_ns=0.0, access=Access.WRITE, bank=0, row=1)
+
+
+def test_row_hit_avoids_reactivation():
+    mc = make_controller(policy=OpenPagePolicy())
+    mc.process([wr(0.0, 5), rd(500.0, 5), rd(900.0, 5)])
+    assert mc.stats.activations == 1
+    assert mc.stats.row_hits == 2
+
+
+def test_closed_page_reactivates_every_access():
+    mc = make_controller(policy=ClosedPagePolicy())
+    mc.process([wr(0.0, 5), rd(500.0, 5), rd(1_000.0, 5)])
+    assert mc.stats.activations == 3
+    assert mc.stats.row_hits == 0
+
+
+def test_row_conflict_closes_and_opens():
+    mc = make_controller(policy=OpenPagePolicy())
+    mc.process([wr(0.0, 5), wr(500.0, 9)])
+    assert mc.stats.row_conflicts == 1
+    assert mc.stats.activations == 2
+
+
+def test_open_page_timeout_forces_precharge():
+    mc = make_controller(policy=OpenPagePolicy(timeout_ns=5_000.0))
+    mc.process([wr(0.0, 5)])
+    mc.drain(20_000.0)
+    assert mc.stats.forced_precharges >= 1
+    assert mc.stats.max_row_open_ns <= 5_000.0 + 1.0
+
+
+def test_refresh_issued_every_trefi():
+    mc = make_controller(refresh=True)
+    mc.drain(5 * DEFAULT_TIMINGS.tREFI)
+    assert mc.stats.refreshes == 5
+
+
+def test_refresh_disabled_for_characterization_mode():
+    mc = make_controller(refresh=False)
+    mc.drain(5 * DEFAULT_TIMINGS.tREFI)
+    assert mc.stats.refreshes == 0
+
+
+def test_open_page_exposure_tracks_idle_gaps():
+    """The RowPress exposure: with open-page, the idle gap between
+    accesses becomes aggressor row-open time."""
+    mc = make_controller(policy=OpenPagePolicy())
+    mc.process([wr(0.0, 9), wr(500.0, 5), rd(30_000.0, 5), rd(31_000.0, 9)])
+    # With refresh on, the REF at tREFI closes the row: the exposure per
+    # stretch is bounded by ~tREFI (still 200x tRAS!).
+    assert 6_000.0 < mc.stats.max_row_open_ns <= DEFAULT_TIMINGS.tREFI
+
+    mc = make_controller(policy=OpenPagePolicy(), refresh=False)
+    mc.process([wr(0.0, 9), wr(500.0, 5), rd(30_000.0, 5), rd(31_000.0, 9)])
+    # Without refresh the row stays open across the whole idle gap.
+    assert mc.stats.max_row_open_ns > 25_000.0
+
+
+def test_closed_page_has_minimal_exposure():
+    mc = make_controller(policy=ClosedPagePolicy())
+    mc.process([wr(0.0, 9), wr(500.0, 5), rd(30_000.0, 5), rd(31_000.0, 9)])
+    assert mc.stats.max_row_open_ns <= 2 * DEFAULT_TIMINGS.tRAS
+
+
+def test_fr_fcfs_prefers_row_hit():
+    mc = make_controller(policy=OpenPagePolicy())
+    mc.process([wr(0.0, 5), wr(500.0, 9)])  # row 9 left open
+    assert mc.stats.row_conflicts == 1
+    # Two simultaneous reads: FR-FCFS serves the row hit (9) before the
+    # earlier-listed conflict (5), so only one extra conflict occurs.
+    reads = mc.process([rd(1_000.0, 5), rd(1_000.0, 9)])
+    assert len(reads) == 2
+    assert mc.stats.row_hits == 1
+    assert mc.stats.row_conflicts == 2
+
+
+def test_past_arrival_rejected():
+    mc = make_controller()
+    mc.drain(10_000.0)
+    with pytest.raises(ExperimentError):
+        mc.process([rd(1_000.0, 5)])
+
+
+def test_most_activated_row_stat():
+    mc = make_controller(policy=ClosedPagePolicy())
+    mc.process([wr(0.0, 5)] + [rd(1_000.0 * (i + 1), 5) for i in range(4)])
+    (bank_row, count) = mc.stats.most_activated_row()
+    assert bank_row == (0, 5)
+    assert count == 5
+
+
+def test_refresh_postponement_extends_exposure():
+    """JEDEC allows postponing up to 8 REFs: the open-page exposure per
+    stretch extends from ~tREFI to ~9 x tREFI (the paper's 70.2 us
+    anchor)."""
+    mc = make_controller(policy=OpenPagePolicy())
+    mc8 = MemoryController(
+        make_synthetic_chip(theta_scale=1e9, rows=64, cols=COLS),
+        policy=OpenPagePolicy(),
+        max_postponed_refreshes=8,
+    )
+    for controller in (mc, mc8):
+        controller.process(
+            [wr(0.0, 9), wr(500.0, 5), rd(69_000.0, 5), rd(70_000.0, 9)]
+        )
+    assert mc.stats.max_row_open_ns <= DEFAULT_TIMINGS.tREFI
+    assert mc8.stats.max_row_open_ns > 8 * DEFAULT_TIMINGS.tREFI
+    assert mc8.stats.postponed_refreshes == 8
+    # The postponed refreshes are made up in a burst once the row closes
+    # (no net refresh loss).
+    mc8.drain(mc8.now + 2 * DEFAULT_TIMINGS.tREFI)
+    assert mc8.stats.refreshes >= mc8.stats.postponed_refreshes + 1
+
+
+def test_postponement_capped_at_jedec_limit():
+    with pytest.raises(ExperimentError):
+        MemoryController(
+            make_synthetic_chip(rows=64, cols=COLS),
+            max_postponed_refreshes=9,
+        )
+
+
+def test_no_postponement_when_banks_idle():
+    mc = MemoryController(
+        make_synthetic_chip(theta_scale=1e9, rows=64, cols=COLS),
+        policy=ClosedPagePolicy(),
+        max_postponed_refreshes=8,
+    )
+    mc.drain(5 * DEFAULT_TIMINGS.tREFI)
+    assert mc.stats.postponed_refreshes == 0
+    assert mc.stats.refreshes == 5
+
+
+def test_controller_induces_real_disturbance():
+    """Hammering through ordinary requests flips victim cells."""
+    chip = make_synthetic_chip(theta_scale=60.0, rows=64, cols=COLS)
+    mc = MemoryController(chip, policy=ClosedPagePolicy(), refresh_enabled=False)
+    victim_data = np.ones(COLS, dtype=np.uint8)
+    mc.process([
+        MemRequest(0.0, Access.WRITE, 0, 11, data=victim_data),
+        wr(100.0, 10),
+        wr(200.0, 12),
+    ])
+    # Alternate reads to rows 10 and 12: double-sided RowHammer via the MC.
+    requests = []
+    t = 1_000.0
+    for i in range(400):
+        requests.append(rd(t, 10 if i % 2 == 0 else 12))
+        t += 120.0
+    mc.process(requests)
+    readback = mc.process([rd(t + 1_000.0, 11)])[0]
+    assert (readback != victim_data).any()

@@ -1,0 +1,152 @@
+"""Tests for TRR / PARA / Graphene and the mitigation evaluator."""
+
+import pytest
+
+from repro.bender.softmc import SoftMCSession
+from repro.core.honest import measure_location_honest
+from repro.dram.datapattern import CHECKERBOARD
+from repro.errors import MitigationError
+from repro.mitigations import Graphene, MitigationEvaluator, Para, TrrSampler
+from repro.patterns import COMBINED, DOUBLE_SIDED
+
+from tests.conftest import make_synthetic_chip
+
+THETA = 120.0
+BASE_ROW = 10
+
+
+def chip_factory():
+    return make_synthetic_chip(theta_scale=THETA, rows=64)
+
+
+@pytest.fixture
+def evaluator():
+    return MitigationEvaluator(chip_factory, BASE_ROW)
+
+
+def bare_acmin_iterations(pattern, t_on):
+    session = SoftMCSession(chip_factory())
+    honest = measure_location_honest(
+        session, pattern, BASE_ROW, t_on, CHECKERBOARD, max_budget_iterations=20_000
+    )
+    return honest.iterations
+
+
+# ---------------------------------------------------------------------- TRR
+
+
+def test_trr_never_triggers_without_ref(evaluator):
+    """Methodology Section 3.1: no REF commands => TRR stays dormant."""
+    trr = TrrSampler()
+    result = evaluator.run(DOUBLE_SIDED, 7_800.0, trr, iterations=2_000)
+    assert trr.targeted_refreshes == 0
+    assert not result.protected  # the pattern flips unhindered
+
+
+def test_trr_protects_with_regular_refresh():
+    chip = chip_factory()
+    session = SoftMCSession(chip)
+    trr = TrrSampler(n_counters=4, trr_every=1)
+    trr.attach(session)
+    # Interleave hammering with REFs the way a normal controller would.
+    from repro.bender.program import ProgramBuilder
+
+    init_iters = bare_acmin_iterations(DOUBLE_SIDED, 7_800.0)
+    session.write_row(BASE_ROW + 1, CHECKERBOARD.victim_bits(BASE_ROW + 1, 64))
+    builder = ProgramBuilder()
+    with builder.loop(2 * init_iters):
+        builder.act(0, BASE_ROW).wait(7_800.0).pre(0).wait(15.0)
+        builder.act(0, BASE_ROW + 2).wait(7_800.0).pre(0).wait(15.0)
+        builder.ref()
+        builder.wait(15.0)
+    session.run(builder.build())
+    assert trr.targeted_refreshes > 0
+    expected = CHECKERBOARD.victim_bits(BASE_ROW + 1, 64)
+    assert (session.read_row(BASE_ROW + 1) == expected).all()
+
+
+def test_trr_parameter_validation():
+    with pytest.raises(MitigationError):
+        TrrSampler(n_counters=0)
+    with pytest.raises(MitigationError):
+        TrrSampler(sample_probability=1.5)
+
+
+def test_mitigation_attach_once():
+    trr = TrrSampler()
+    session = SoftMCSession(chip_factory())
+    trr.attach(session)
+    with pytest.raises(MitigationError):
+        trr.attach(session)
+
+
+# --------------------------------------------------------------------- PARA
+
+
+def test_para_zero_probability_is_no_protection(evaluator):
+    result = evaluator.run(DOUBLE_SIDED, 7_800.0, Para(0.0), iterations=2_000)
+    assert not result.protected
+    assert result.neighbor_refreshes == 0
+
+
+def test_para_full_probability_protects(evaluator):
+    result = evaluator.run(DOUBLE_SIDED, 7_800.0, Para(1.0), iterations=2_000)
+    assert result.protected
+    assert result.neighbor_refreshes > 0
+
+
+def test_para_probability_validated():
+    with pytest.raises(MitigationError):
+        Para(1.5)
+
+
+# ----------------------------------------------------------------- Graphene
+
+
+def test_graphene_low_threshold_protects(evaluator):
+    result = evaluator.run(DOUBLE_SIDED, 7_800.0, Graphene(threshold=8),
+                           iterations=2_000)
+    assert result.protected
+    assert result.neighbor_refreshes > 0
+
+
+def test_graphene_huge_threshold_fails(evaluator):
+    iters = bare_acmin_iterations(DOUBLE_SIDED, 7_800.0)
+    result = evaluator.run(
+        DOUBLE_SIDED, 7_800.0, Graphene(threshold=10 * iters), iterations=2 * iters
+    )
+    assert not result.protected
+
+
+def test_graphene_critical_threshold_tracks_acmin(evaluator):
+    """The safe Graphene threshold must shrink as tAggON grows -- the
+    architectural implication of RowPress/combined patterns."""
+    thr_hammer = evaluator.critical_graphene_threshold(
+        DOUBLE_SIDED, 36.0, iterations=bare_acmin_iterations(DOUBLE_SIDED, 36.0) * 2
+    )
+    thr_press = evaluator.critical_graphene_threshold(
+        DOUBLE_SIDED, 70_200.0,
+        iterations=bare_acmin_iterations(DOUBLE_SIDED, 70_200.0) * 2,
+    )
+    assert thr_press < thr_hammer
+
+
+def test_graphene_validation():
+    with pytest.raises(MitigationError):
+        Graphene(threshold=0)
+
+
+# --------------------------------------------------------------- evaluator
+
+
+def test_evaluator_unprotected_baseline(evaluator):
+    result = evaluator.run(COMBINED, 7_800.0, mitigation=None, iterations=2_000)
+    assert not result.protected
+    assert result.n_flips > 0
+
+
+def test_critical_para_probability_is_reproducible(evaluator):
+    p = evaluator.critical_para_probability(
+        DOUBLE_SIDED, 7_800.0, iterations=500, tolerance=0.1, trials=2
+    )
+    assert 0.0 < p <= 1.0

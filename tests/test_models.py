@@ -1,0 +1,99 @@
+"""Tests for the disturbance models (calibrated, mechanistic, temperature)."""
+
+import pytest
+
+from repro.constants import DEFAULT_TIMINGS
+from repro.disturb.calibrated import CalibratedDisturbanceModel
+from repro.disturb.mechanistic import MechanisticDisturbanceModel
+from repro.disturb.model import TemperatureScaling
+from repro.errors import CalibrationError
+
+
+def test_calibrated_press_zero_at_tras():
+    model = CalibratedDisturbanceModel()
+    assert model.press_loss(DEFAULT_TIMINGS.tRAS) == 0.0
+
+
+def test_calibrated_press_monotone():
+    model = CalibratedDisturbanceModel()
+    values = [model.press_loss(t) for t in (100.0, 636.0, 7_800.0, 70_200.0)]
+    assert values == sorted(values)
+
+
+def test_calibrated_hammer_constant_in_time():
+    model = CalibratedDisturbanceModel()
+    assert model.hammer_kick() == model.hammer_kick()
+
+
+def test_solo_hammer_factor_below_one():
+    # Single-sided RowHammer needs several times more activations than
+    # double-sided; the solo factor encodes that.
+    assert CalibratedDisturbanceModel().solo_hammer_factor < 1.0
+
+
+def test_temperature_scaling_reference_point():
+    scaling = TemperatureScaling()
+    assert scaling.hammer_factor(50.0) == pytest.approx(1.0)
+    assert scaling.press_factor(50.0) == pytest.approx(1.0)
+
+
+def test_press_more_temperature_sensitive_than_hammer():
+    scaling = TemperatureScaling()
+    assert scaling.press_factor(80.0) > scaling.hammer_factor(80.0)
+    assert scaling.press_factor(20.0) < scaling.hammer_factor(20.0)
+
+
+def test_model_applies_temperature():
+    model = CalibratedDisturbanceModel()
+    assert model.press_loss(7_800.0, 80.0) > model.press_loss(7_800.0, 50.0)
+    assert model.hammer_kick(80.0) > model.hammer_kick(50.0)
+
+
+# ------------------------------------------------------------- mechanistic
+
+
+def test_mechanistic_press_zero_at_tras():
+    model = MechanisticDisturbanceModel()
+    assert model.press_loss(DEFAULT_TIMINGS.tRAS) == 0.0
+
+
+def test_mechanistic_press_saturates_then_drifts():
+    model = MechanisticDisturbanceModel(c_fast=5.0, tau=1_000.0, c_slow=1e-4)
+    fast_region = model.press_loss(5_000.0) - model.press_loss(1_000.0)
+    drift_region = model.press_loss(100_000.0) - model.press_loss(96_000.0)
+    # Equal-width windows: the early (trap-fill) window gains much more.
+    assert fast_region > drift_region
+
+
+def test_mechanistic_rejects_bad_params():
+    with pytest.raises(CalibrationError):
+        MechanisticDisturbanceModel(tau=-1.0)
+    with pytest.raises(CalibrationError):
+        MechanisticDisturbanceModel(c_fast=-0.1)
+
+
+def test_mechanistic_constant_alpha_gamma():
+    model = MechanisticDisturbanceModel(alpha_const=0.3, gamma_const=1.2)
+    assert model.alpha(100.0) == model.alpha(1e5) == 0.3
+    assert model.solo_press_gamma(100.0) == 1.2
+
+
+def test_fit_to_anchors_reproduces_curve():
+    truth = MechanisticDisturbanceModel(c_fast=4.0, tau=3_000.0, c_slow=8e-4)
+    anchors = [(t, truth.press_loss(t)) for t in (636.0, 7_800.0, 70_200.0)]
+    fitted = MechanisticDisturbanceModel.fit_to_anchors(anchors)
+    for t, v in anchors:
+        assert fitted.press_loss(t) == pytest.approx(v, rel=0.15)
+
+
+def test_fit_rejects_too_few_anchors():
+    with pytest.raises(CalibrationError):
+        MechanisticDisturbanceModel.fit_to_anchors([(100.0, 1.0)])
+
+
+def test_fit_to_calibrated_model_anchors():
+    calibrated = CalibratedDisturbanceModel()
+    anchors = list(calibrated.press.anchors)
+    fitted = MechanisticDisturbanceModel.fit_to_anchors(anchors)
+    for t, v in anchors:
+        assert fitted.press_loss(t) == pytest.approx(v, rel=0.5)

@@ -1,0 +1,65 @@
+"""Tests for module assembly (dies, scales, vendor mapping)."""
+
+import pytest
+
+from repro.disturb.calibrated import CalibratedDisturbanceModel
+from repro.disturb.population import PopulationParams
+from repro.dram.mapping import BlockInvertMapping, XorScrambleMapping
+from repro.dram.module import Module
+from repro.dram.profiles import get_profile
+from repro.dram.topology import BankGeometry
+from repro.errors import ProfileError
+
+GEOM = BankGeometry(rows=256, cols_simulated=32)
+
+
+def make_module(key="S0", die_scales=None, press_scales=None):
+    profile = get_profile(key)
+    scales = die_scales or [1.0] * profile.n_dies
+    return Module(
+        profile=profile,
+        geometry=GEOM,
+        model=CalibratedDisturbanceModel(),
+        population=PopulationParams(),
+        die_scales=scales,
+        die_press_scales=press_scales,
+    )
+
+
+def test_module_has_profile_die_count():
+    module = make_module("S0")
+    assert module.n_dies == 8
+    assert len(module.chips) == 8
+
+
+def test_wrong_die_scale_count_rejected():
+    with pytest.raises(ProfileError):
+        make_module("S0", die_scales=[1.0, 1.0])
+
+
+def test_wrong_press_scale_count_rejected():
+    with pytest.raises(ProfileError):
+        make_module("S0", press_scales=[1.0])
+
+
+def test_die_scales_reach_populations():
+    module = make_module("S0", die_scales=[0.5] + [1.0] * 6 + [1.5])
+    assert module.chip(0).population.die_scale == 0.5
+    assert module.chip(7).population.die_scale == 1.5
+
+
+def test_press_scales_reach_populations():
+    module = make_module("S0", press_scales=[2.0] + [1.0] * 7)
+    assert module.chip(0).population.press_scale == 2.0
+    assert module.chip(1).population.press_scale == 1.0
+
+
+def test_vendor_mapping_selected_by_manufacturer():
+    assert isinstance(make_module("S0").mapping, XorScrambleMapping)
+    assert isinstance(make_module("M4").mapping, BlockInvertMapping)
+
+
+def test_chips_share_module_mapping():
+    module = make_module("S0")
+    for chip in module.chips:
+        assert chip.mapping is module.mapping

@@ -1,0 +1,96 @@
+"""Tests for many-sided (TRRespass-style) patterns."""
+
+import pytest
+
+from repro.bender.softmc import SoftMCSession
+from repro.constants import DEFAULT_TIMINGS
+from repro.core.honest import measure_location_honest
+from repro.dram.datapattern import CHECKERBOARD
+from repro.errors import ExperimentError
+from repro.mitigations import TrrSampler
+from repro.patterns import DOUBLE_SIDED, ManySidedPattern
+from repro.testing import make_synthetic_chip
+
+
+def test_placement_geometry():
+    pattern = ManySidedPattern(4)
+    placement = pattern.place(10, 36.0, rows_in_bank=64)
+    assert [r for r, _ in placement.aggressors] == [10, 12, 14, 16]
+    assert placement.victims == (9, 11, 13, 15, 17)
+    assert placement.acts_per_iteration == 4
+
+
+def test_two_sided_equals_paper_double_sided():
+    a = ManySidedPattern(2).place(10, 7_800.0, 64)
+    b = DOUBLE_SIDED.place(10, 7_800.0, 64)
+    assert a.aggressors == b.aggressors
+    assert a.victims == b.victims
+
+
+def test_combined_variant_presses_only_first_aggressor():
+    placement = ManySidedPattern(3, combined=True).place(10, 7_800.0, 64)
+    on_times = [t for _, t in placement.aggressors]
+    assert on_times == [7_800.0, DEFAULT_TIMINGS.tRAS, DEFAULT_TIMINGS.tRAS]
+
+
+def test_validation():
+    with pytest.raises(ExperimentError):
+        ManySidedPattern(0)
+    with pytest.raises(ExperimentError):
+        ManySidedPattern(8).place(60, 36.0, rows_in_bank=64)
+    with pytest.raises(ExperimentError):
+        ManySidedPattern(2).place(10, 10.0, rows_in_bank=64)
+
+
+def test_solo_only_for_one_sided():
+    assert ManySidedPattern(1).solo
+    assert not ManySidedPattern(3).solo
+
+
+def test_honest_path_measures_nsided_acmin():
+    chip = make_synthetic_chip(theta_scale=120.0)
+    session = SoftMCSession(chip)
+    result = measure_location_honest(
+        session,
+        ManySidedPattern(4),
+        10,
+        36.0,
+        CHECKERBOARD,
+        max_budget_iterations=2_000,
+    )
+    assert result.acmin is not None
+    assert result.acmin % 4 == 0  # counted in whole iterations
+
+
+def test_many_sided_thrashes_trr_sampler():
+    """TRRespass shape: with more aggressors than TRR counters, the
+    sampler's targeted refreshes miss aggressors and bitflips survive a
+    refresh-on controller; the 2-sided pattern is caught."""
+
+    def run(n_sides):
+        chip = make_synthetic_chip(theta_scale=120.0, rows=64)
+        session = SoftMCSession(chip)
+        trr = TrrSampler(n_counters=2, trr_every=1, sample_probability=1.0)
+        trr.attach(session)
+        pattern = ManySidedPattern(n_sides)
+        placement = pattern.place(10, 36.0, chip.geometry.rows)
+        from repro.bender.program import ProgramBuilder
+        from repro.patterns.compiler import compile_init, compile_readback
+
+        session.run(compile_init(placement, CHECKERBOARD, 64))
+        builder = ProgramBuilder()
+        with builder.loop(800):
+            for row, t_on in placement.aggressors:
+                builder.act(0, row).wait(t_on).pre(0).wait(15.0)
+            builder.ref()
+            builder.wait(15.0)
+        session.run(builder.build())
+        result = session.run(compile_readback(placement))
+        flips = 0
+        for _bank, row, bits in result.reads:
+            expected = CHECKERBOARD.victim_bits(row, 64)
+            flips += int((bits != expected).sum())
+        return flips
+
+    assert run(2) == 0  # TRR with 2 counters tracks 2 aggressors
+    assert run(6) > 0  # ... but is thrashed by 6

@@ -1,0 +1,93 @@
+"""Tests for the per-cell susceptibility populations."""
+
+import numpy as np
+import pytest
+
+from repro.disturb.population import (
+    PopulationParams,
+    trial_jitter,
+    victim_row_cells,
+)
+
+
+def cells(params=None, row=5):
+    return victim_row_cells("S0", 0, row, 2048, params or PopulationParams())
+
+
+def test_deterministic_generation():
+    a, b = cells(), cells()
+    for field in ("theta", "g_h_lo", "g_p_hi", "solo_press_exp"):
+        assert (getattr(a, field) == getattr(b, field)).all()
+
+
+def test_theta_scale_is_multiplicative():
+    base = cells(PopulationParams(theta_scale=1.0))
+    scaled = cells(PopulationParams(theta_scale=3.0))
+    assert np.allclose(scaled.theta, 3.0 * base.theta)
+    # Couplings are unaffected by the threshold scale.
+    assert (scaled.g_p_lo == base.g_p_lo).all()
+
+
+def test_die_scale_multiplies_theta():
+    base = cells(PopulationParams())
+    die = cells(PopulationParams(die_scale=0.5))
+    assert np.allclose(die.theta, 0.5 * base.theta)
+
+
+def test_press_scale_multiplies_press_couplings_only():
+    base = cells(PopulationParams())
+    pressed = cells(PopulationParams(press_scale=4.0))
+    assert np.allclose(pressed.g_p_lo, 4.0 * base.g_p_lo)
+    assert np.allclose(pressed.g_p_hi, 4.0 * base.g_p_hi)
+    assert (pressed.g_h_lo == base.g_h_lo).all()
+    assert (pressed.theta == base.theta).all()
+
+
+def test_press_sides_share_cell_strength():
+    # Press couplings of the two sides must be strongly correlated (shared
+    # intrinsic leakage) while hammer couplings are independent.
+    c = cells()
+    press_corr = np.corrcoef(np.log(c.g_p_lo), np.log(c.g_p_hi))[0, 1]
+    hammer_corr = np.corrcoef(np.log(c.g_h_lo), np.log(c.g_h_hi))[0, 1]
+    assert press_corr > 0.9
+    assert abs(hammer_corr) < 0.1
+
+
+def test_anti_cell_fraction_respected():
+    few = cells(PopulationParams(anti_cell_fraction=0.03))
+    many = cells(PopulationParams(anti_cell_fraction=0.75))
+    assert few.anti.mean() < 0.08
+    assert 0.65 < many.anti.mean() < 0.85
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        PopulationParams(anti_cell_fraction=2.0)
+    with pytest.raises(ValueError):
+        PopulationParams(sigma_press=-0.1)
+    with pytest.raises(ValueError):
+        PopulationParams(theta_scale=0.0)
+
+
+def test_replace_creates_modified_copy():
+    params = PopulationParams()
+    other = params.replace(sigma_press=0.5)
+    assert other.sigma_press == 0.5
+    assert params.sigma_press != 0.5
+
+
+def test_trial_zero_jitter_is_identity():
+    assert (trial_jitter("S0", 0, 5, 100, trial=0) == 1.0).all()
+
+
+def test_trial_jitter_deterministic_and_small():
+    a = trial_jitter("S0", 0, 5, 1000, trial=1, sigma=0.02)
+    b = trial_jitter("S0", 0, 5, 1000, trial=1, sigma=0.02)
+    assert (a == b).all()
+    assert 0.9 < a.min() and a.max() < 1.1
+
+
+def test_trial_jitter_varies_across_trials():
+    a = trial_jitter("S0", 0, 5, 100, trial=1)
+    b = trial_jitter("S0", 0, 5, 100, trial=2)
+    assert not (a == b).all()

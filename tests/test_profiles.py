@@ -1,0 +1,107 @@
+"""Tests for the Table 1/2 module profiles."""
+
+import pytest
+
+from repro.dram.profiles import (
+    MANUFACTURERS,
+    MFR_TEXT_ANCHORS,
+    MODULE_PROFILES,
+    get_profile,
+    profiles_by_manufacturer,
+    total_chips,
+)
+from repro.errors import ProfileError
+
+
+def test_all_fourteen_modules_present():
+    assert len(MODULE_PROFILES) == 14
+    assert set(MODULE_PROFILES) == {
+        "S0", "S1", "S2", "S3", "S4",
+        "H0", "H1", "H2", "H3",
+        "M0", "M1", "M2", "M3", "M4",
+    }
+
+
+def test_total_chip_count_matches_paper():
+    # The paper characterizes 84 DDR4 chips (abstract, Section 3.2).
+    assert total_chips() == 84
+
+
+def test_manufacturer_grouping():
+    assert len(profiles_by_manufacturer("S")) == 5
+    assert len(profiles_by_manufacturer("H")) == 4
+    assert len(profiles_by_manufacturer("M")) == 5
+
+
+def test_unknown_module_rejected():
+    with pytest.raises(ProfileError):
+        get_profile("Z9")
+
+
+def test_unknown_manufacturer_rejected():
+    with pytest.raises(ProfileError):
+        profiles_by_manufacturer("Q")
+
+
+def test_press_immune_modules():
+    assert get_profile("M1").press_immune
+    assert get_profile("M2").press_immune
+    assert not get_profile("M0").press_immune
+
+
+def test_press_immune_have_no_press_anchors():
+    for key in ("M1", "M2"):
+        profile = get_profile(key)
+        assert all(v is None for v in profile.acmin_rp.values())
+        assert all(v is None for v in profile.acmin_combined.values())
+
+
+def test_min_never_exceeds_avg():
+    for profile in MODULE_PROFILES.values():
+        avg, mn = profile.acmin_rh36
+        assert mn <= avg
+        for table in (profile.acmin_rp, profile.acmin_combined):
+            for pair in table.values():
+                if pair is not None:
+                    assert pair[1] <= pair[0]
+
+
+def test_die_spread_ratio_in_unit_interval():
+    for profile in MODULE_PROFILES.values():
+        assert 0.0 < profile.die_spread_ratio <= 1.0
+
+
+def test_micron_anti_cell_majority_except_16gb_bdie():
+    # Fig. 5 footnote: Mfr. M dies show the opposite directionality trend
+    # except the 16 Gb B-die (M3).
+    assert get_profile("M0").anti_cell_fraction > 0.5
+    assert get_profile("M4").anti_cell_fraction > 0.5
+    assert get_profile("M3").anti_cell_fraction < 0.5
+    for key in ("S0", "S4", "H0", "H3"):
+        assert get_profile(key).anti_cell_fraction < 0.5
+
+
+def test_text_anchors_cover_all_manufacturers():
+    assert set(MFR_TEXT_ANCHORS) == set(MANUFACTURERS)
+
+
+def test_text_anchor_values_match_observations():
+    # Observation 2 percentages.
+    assert MFR_TEXT_ANCHORS["S"].comb_reduction_636 == pytest.approx(0.405)
+    assert MFR_TEXT_ANCHORS["M"].ds_rp_reduction_636 == pytest.approx(0.543)
+    # Observation 1/3 single-sided times.
+    assert MFR_TEXT_ANCHORS["H"].ss_time_ms_636 == pytest.approx(37.1)
+    assert MFR_TEXT_ANCHORS["H"].ss_time_ms_70p2 == pytest.approx(29.9)
+
+
+def test_estimated_anchor_flagged():
+    # S2's RowPress 70.2 us average is illegible in the source scan and
+    # therefore estimated; the profile must say so.
+    assert "rp_70p2_avg" in get_profile("S2").estimated_anchors
+
+
+def test_profile_validation_rejects_min_above_avg():
+    import dataclasses
+    profile = get_profile("S0")
+    with pytest.raises(ProfileError):
+        dataclasses.replace(profile, acmin_rh36=(100.0, 200.0))

@@ -1,0 +1,64 @@
+"""Tests for the program builder API."""
+
+import numpy as np
+import pytest
+
+from repro.bender.isa import Loop, Opcode
+from repro.bender.program import ProgramBuilder
+from repro.errors import ProgramError
+
+
+def test_basic_sequence():
+    builder = ProgramBuilder()
+    builder.act(0, 5).wait(36.0).pre(0).wait(15.0)
+    program = builder.build()
+    ops = [i.opcode for i in program.flat()]
+    assert ops == [Opcode.ACT, Opcode.WAIT, Opcode.PRE, Opcode.WAIT]
+
+
+def test_loop_context_manager():
+    builder = ProgramBuilder()
+    with builder.loop(10):
+        builder.act(0, 5)
+        builder.pre(0)
+    program = builder.build()
+    assert isinstance(program.nodes[0], Loop)
+    assert program.dynamic_instruction_count() == 20
+
+
+def test_nested_loop_building():
+    builder = ProgramBuilder()
+    with builder.loop(3):
+        with builder.loop(4):
+            builder.ref()
+    assert builder.build().dynamic_instruction_count() == 12
+
+
+def test_wr_registers_payload():
+    builder = ProgramBuilder()
+    builder.act(0, 1)
+    builder.wr(0, np.array([1, 0, 1], dtype=np.uint8))
+    program = builder.build()
+    wr = [i for i in program.flat() if i.opcode is Opcode.WR][0]
+    assert (program.payload(wr.operands[1]) == [1, 0, 1]).all()
+
+
+def test_build_inside_loop_rejected():
+    builder = ProgramBuilder()
+    with pytest.raises(ProgramError):
+        with builder.loop(2):
+            builder.build()
+
+
+def test_double_build_rejected():
+    builder = ProgramBuilder()
+    builder.build()
+    with pytest.raises(ProgramError):
+        builder.build()
+
+
+def test_emit_after_build_rejected():
+    builder = ProgramBuilder()
+    builder.build()
+    with pytest.raises(ProgramError):
+        builder.ref()

@@ -1,0 +1,176 @@
+"""Property-based fuzzing across the stack.
+
+These tests generate random-but-legal model parameters, on-times and
+programs and assert structural invariants that must hold for *any* input:
+the closed form agrees with the command-level tracker, ACmin responds
+monotonically to its inputs, and the interpreter either executes a legal
+program exactly or rejects an illegal one -- never corrupts state
+silently.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bender.interpreter import Interpreter
+from repro.bender.program import ProgramBuilder
+from repro.constants import DEFAULT_TIMINGS
+from repro.core.acmin import analyze_die
+from repro.core.stacked import build_stacked_die
+from repro.disturb.calibrated import CalibratedDisturbanceModel
+from repro.disturb.interpolant import LogTimeInterpolant
+from repro.dram.datapattern import CHECKERBOARD
+from repro.dram.rowselect import RowSelection
+from repro.errors import ReproError
+from repro.patterns import ALL_PATTERNS, COMBINED, DOUBLE_SIDED
+from repro.testing import make_synthetic_chip
+
+SEL = RowSelection(locations_per_region=2, n_regions=1, stride=8)
+
+model_params = st.fixed_dictionaries(
+    {
+        "p636": st.floats(0.01, 2.0),
+        "p78": st.floats(2.0, 5.0),
+        "p702": st.floats(5.0, 50.0),
+        "alpha": st.floats(0.05, 1.0),
+        "gamma": st.floats(0.2, 2.0),
+    }
+)
+
+
+def model_from(params) -> CalibratedDisturbanceModel:
+    return CalibratedDisturbanceModel(
+        press=LogTimeInterpolant(
+            [(636.0, params["p636"]), (7_800.0, params["p78"]),
+             (70_200.0, params["p702"])],
+            zero_at=36.0,
+            extrapolate=True,
+        ),
+        alpha_curve=LogTimeInterpolant([(636.0, params["alpha"])]),
+        gamma_curve=LogTimeInterpolant([(636.0, params["gamma"])]),
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=model_params, t_on=st.floats(36.0, 200_000.0))
+def test_acmin_is_positive_multiple_of_acts(params, t_on):
+    model = model_from(params)
+    chip = make_synthetic_chip(theta_scale=500.0, rows=64, cols=32, model=model)
+    stacked = build_stacked_die(chip, 0, SEL, CHECKERBOARD)
+    for pattern in ALL_PATTERNS:
+        analysis = analyze_die(stacked, pattern, t_on, model)
+        acmin = analysis.acmin()
+        if acmin is not None:
+            assert acmin > 0
+            assert acmin % analysis.acts_per_iteration == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=model_params)
+def test_acmin_monotone_in_press_strength(params):
+    """Scaling every press anchor up can only lower (or keep) ACmin."""
+    weak = model_from(params)
+    strong_params = dict(params)
+    for key in ("p636", "p78", "p702"):
+        strong_params[key] = params[key] * 3.0
+    strong = model_from(strong_params)
+    chip = make_synthetic_chip(theta_scale=500.0, rows=64, cols=32, model=weak)
+    stacked = build_stacked_die(chip, 0, SEL, CHECKERBOARD)
+    for t_on in (636.0, 7_800.0):
+        a_weak = analyze_die(stacked, DOUBLE_SIDED, t_on, weak).die_min_iters()
+        a_strong = analyze_die(stacked, DOUBLE_SIDED, t_on, strong).die_min_iters()
+        assert a_strong <= a_weak + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(params=model_params, theta=st.floats(50.0, 5_000.0))
+def test_acmin_scales_linearly_with_threshold(params, theta):
+    model = model_from(params)
+    chip_1 = make_synthetic_chip(theta_scale=theta, rows=64, cols=32, model=model)
+    chip_2 = make_synthetic_chip(theta_scale=2 * theta, rows=64, cols=32, model=model)
+    s1 = build_stacked_die(chip_1, 0, SEL, CHECKERBOARD)
+    s2 = build_stacked_die(chip_2, 0, SEL, CHECKERBOARD)
+    a1 = analyze_die(s1, COMBINED, 7_800.0, model).die_min_iters()
+    a2 = analyze_die(s2, COMBINED, 7_800.0, model).die_min_iters()
+    assert a2 == pytest.approx(2 * a1, rel=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    params=model_params,
+    t_on=st.sampled_from([36.0, 636.0, 7_800.0]),
+    pattern=st.sampled_from([DOUBLE_SIDED, COMBINED]),
+)
+def test_closed_form_agrees_with_tracker_under_fuzz(params, t_on, pattern):
+    """For any model parameters, hammering exactly ceil(min_iters)
+    iterations through the command path flips the victim, and one fewer
+    does not (two-sided patterns; boundary-exact)."""
+    import math
+
+    from repro.bender.softmc import SoftMCSession
+    from repro.core.honest import HonestLocationProbe
+
+    model = model_from(params)
+    chip = make_synthetic_chip(theta_scale=300.0, rows=64, cols=32, model=model)
+    stacked = build_stacked_die(chip, 0, SEL, CHECKERBOARD)
+    analysis = analyze_die(stacked, pattern, t_on, model)
+    iters = math.ceil(analysis.die_min_iters())
+    # Pick the location that owns the minimum.
+    loc = int(np.argmin(analysis.min_iters_per_location()))
+    base = stacked.base_rows[loc]
+    session = SoftMCSession(
+        make_synthetic_chip(theta_scale=300.0, rows=64, cols=32, model=model)
+    )
+    prober = HonestLocationProbe(session, pattern, base, t_on, CHECKERBOARD)
+    assert prober.probe(iters).n_flips >= 1
+    if iters > 1:
+        assert prober.probe(iters - 1).n_flips == 0
+
+
+# --------------------------------------------------------------- interpreter
+
+
+legal_iteration = st.tuples(
+    st.integers(1, 5),  # row offset
+    st.floats(36.0, 10_000.0),  # on-time
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(legal_iteration, min_size=1, max_size=10))
+def test_interpreter_time_accounting_exact(iterations):
+    """Any legal ACT/WAIT/PRE/WAIT sequence consumes exactly the sum of
+    its waits."""
+    chip = make_synthetic_chip(theta_scale=1e9, rows=64, cols=32)
+    interp = Interpreter(chip)
+    builder = ProgramBuilder()
+    expected = 0.0
+    for offset, t_on in iterations:
+        builder.act(0, 10 + offset).wait(t_on).pre(0).wait(15.0)
+        expected += t_on + 15.0
+    result = interp.run(builder.build())
+    assert result.elapsed_ns == pytest.approx(expected)
+    assert result.activations == len(iterations)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    t_open=st.floats(0.0, 35.9),
+    t_closed=st.floats(0.0, 14.9),
+)
+def test_interpreter_rejects_all_short_timings(t_open, t_closed):
+    """Every under-tRAS open or under-tRP gap is rejected, regardless of
+    the exact duration."""
+    chip = make_synthetic_chip(theta_scale=1e9, rows=64, cols=32)
+    interp = Interpreter(chip)
+    builder = ProgramBuilder()
+    builder.act(0, 10).wait(t_open).pre(0)
+    with pytest.raises(ReproError):
+        interp.run(builder.build())
+    interp2 = Interpreter(make_synthetic_chip(theta_scale=1e9, rows=64, cols=32))
+    builder2 = ProgramBuilder()
+    builder2.act(0, 10).wait(36.0).pre(0).wait(t_closed).act(0, 11)
+    with pytest.raises(ReproError):
+        interp2.run(builder2.build())

@@ -1,0 +1,131 @@
+"""Tests for the rank-level view and rank SECDED behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.bender.program import ProgramBuilder
+from repro.bender.softmc import SoftMCSession
+from repro.dram.rank import RankView, rank_flip_summary
+from repro.errors import ExperimentError
+
+from repro.core.experiment import CharacterizationConfig
+from repro.dram.rowselect import RowSelection
+from repro.dram.topology import BankGeometry
+from repro.system import build_module
+
+
+@pytest.fixture(scope="module")
+def rank_module():
+    """A small calibrated module with weak dies (fast flips)."""
+    config = CharacterizationConfig(
+        geometry=BankGeometry(rows=512, cols_simulated=64),
+        selection=RowSelection(locations_per_region=4, n_regions=3, stride=8),
+        trials=1,
+    )
+    return build_module("S1", config), config
+
+
+def test_rank_needs_two_chips(rank_module):
+    module, _ = rank_module
+    view = RankView(module)
+    assert view.bus_width == module.n_dies
+
+
+def test_write_read_stripe_roundtrip(rank_module):
+    module, _ = rank_module
+    view = RankView(module)
+    bits = np.tile(np.array([1, 0], dtype=np.uint8), 32)
+    view.write_row(100, bits, now=0.0)
+    words = view.read_row(100, now=1_000.0)
+    assert words.shape == (64, module.n_dies)
+    for lane in range(module.n_dies):
+        assert (words[:, lane] == bits).all()
+
+
+def test_clean_readback_has_no_flips(rank_module):
+    module, _ = rank_module
+    view = RankView(module)
+    bits = np.zeros(64, dtype=np.uint8)
+    view.write_row(200, bits, now=0.0)
+    readback = view.readback_with_ecc(200, bits, now=1_000.0)
+    assert readback.raw_flips == 0
+    assert readback.flips_after_ecc == 0
+
+
+def _hammer_all_chips(module, aggressor, iterations, t_on):
+    for chip in module.chips:
+        session = SoftMCSession(chip)
+        builder = ProgramBuilder()
+        with builder.loop(iterations):
+            builder.act(0, chip.to_logical(aggressor))
+            builder.wait(t_on)
+            builder.pre(0)
+            builder.wait(15.0)
+        session.run(builder.build())
+
+
+def test_rank_secded_corrects_isolated_flip(rank_module):
+    """A single weak chip's flip is repaired by rank SECDED: hammer just
+    past the weakest die's flip point."""
+    module, _ = rank_module
+    view = RankView(module, bank=2)
+    victim = 301
+    bits = np.ones(64, dtype=np.uint8)
+    for chip in module.chips:
+        bank = chip.bank(2)
+        bank.activate(victim, 0.0)
+        bank.write(victim, bits, 1.0)
+        bank.precharge(40.0)
+    # Press the aggressor below the victim on every chip, ramping until
+    # the weakest die(s) flip a cell or two.
+    iterations = 200
+    readback = view.readback_with_ecc(victim, bits, now=1e9)
+    while readback.raw_flips == 0 and iterations <= 3_200:
+        _hammer_all_chips_bank2(module, victim - 1, iterations)
+        readback = view.readback_with_ecc(victim, bits, now=1e9)
+        iterations *= 2
+    assert readback.raw_flips > 0
+    # Most corrupted words carry a single flip: SECDED removes them.
+    assert readback.flips_after_ecc < readback.raw_flips
+
+
+def _hammer_all_chips_bank2(module, aggressor, iterations):
+    for chip in module.chips:
+        session = SoftMCSession(chip, bank=2)
+        builder = ProgramBuilder()
+        with builder.loop(iterations):
+            builder.act(2, chip.to_logical(aggressor))
+            builder.wait(70_200.0)
+            builder.pre(2)
+            builder.wait(15.0)
+        session.run(builder.build())
+
+
+def test_rank_secded_defeated_by_heavy_press(rank_module):
+    """Press far past ACmin on every chip: words collect multiple flips
+    and SECDED passes corruption through."""
+    module, _ = rank_module
+    view = RankView(module, bank=3)
+    victim = 401
+    bits = np.ones(64, dtype=np.uint8)
+    for chip in module.chips:
+        bank = chip.bank(3)
+        bank.activate(victim, 0.0)
+        bank.write(victim, bits, 1.0)
+        bank.precharge(40.0)
+    for chip in module.chips:
+        session = SoftMCSession(chip, bank=3)
+        builder = ProgramBuilder()
+        with builder.loop(3_000):
+            builder.act(3, chip.to_logical(victim - 1))
+            builder.wait(70_200.0)
+            builder.pre(3)
+            builder.wait(15.0)
+        session.run(builder.build())
+    readback = view.readback_with_ecc(victim, bits, now=1e12)
+    assert readback.raw_flips > 0
+    assert readback.flips_after_ecc > 0  # multi-flip words survive SECDED
+    raw, after, words = rank_flip_summary(view, [victim], bits, now=1e12)
+    assert raw == readback.raw_flips
+    assert after == readback.flips_after_ecc
+    assert words > 0

@@ -1,0 +1,80 @@
+"""Tests for measurement records and result sets."""
+
+import pytest
+
+from repro.core.bitflips import BitflipCensus
+from repro.core.results import DieMeasurement, ResultSet
+
+
+def meas(module="S0", mfr="S", die=0, pattern="combined", t_on=36.0, trial=0,
+         acmin=100, time_ns=5e6):
+    return DieMeasurement(
+        module_key=module,
+        manufacturer=mfr,
+        die=die,
+        pattern=pattern,
+        t_on=t_on,
+        trial=trial,
+        acmin=acmin,
+        time_to_first_ns=time_ns,
+        census=BitflipCensus(frozenset({(1, 2)}), frozenset()),
+    )
+
+
+def test_time_ms_property():
+    assert meas(time_ns=5e6).time_to_first_ms == pytest.approx(5.0)
+    assert meas(acmin=None, time_ns=None).time_to_first_ms is None
+
+
+def test_flipped_property():
+    assert meas().flipped
+    assert not meas(acmin=None, time_ns=None).flipped
+
+
+def test_where_filters():
+    rs = ResultSet([
+        meas(module="S0", pattern="combined", t_on=36.0),
+        meas(module="S0", pattern="double-sided", t_on=36.0),
+        meas(module="H0", mfr="H", pattern="combined", t_on=636.0),
+    ])
+    assert len(rs.where(module_key="S0")) == 2
+    assert len(rs.where(pattern="combined")) == 2
+    assert len(rs.where(manufacturer="H", t_on=636.0)) == 1
+    assert len(rs.where(module_key="S0", pattern="combined")) == 1
+
+
+def test_value_enumerations():
+    rs = ResultSet([meas(t_on=36.0), meas(t_on=636.0), meas(pattern="x")])
+    assert rs.t_values() == [36.0, 636.0]
+    assert "x" in rs.patterns()
+    assert rs.module_keys() == ["S0"]
+
+
+def test_group_by():
+    rs = ResultSet([meas(die=0), meas(die=1), meas(die=1)])
+    groups = rs.group_by(lambda m: (m.die,))
+    assert len(groups[(0,)]) == 1
+    assert len(groups[(1,)]) == 2
+
+
+def test_json_roundtrip_without_census():
+    rs = ResultSet([meas(), meas(acmin=None, time_ns=None)])
+    restored = ResultSet.from_json(rs.to_json())
+    assert len(restored) == 2
+    values = [m.acmin for m in restored]
+    assert values == [100, None]
+    # Censuses were omitted.
+    assert all(m.census.n_flips == 0 for m in restored)
+
+
+def test_json_roundtrip_with_census():
+    rs = ResultSet([meas()])
+    restored = ResultSet.from_json(rs.to_json(include_census=True))
+    assert list(restored)[0].census.flips_1_to_0 == frozenset({(1, 2)})
+
+
+def test_extend_and_iter():
+    rs = ResultSet()
+    rs.add(meas())
+    rs.extend([meas(die=1), meas(die=2)])
+    assert len(list(rs)) == 3

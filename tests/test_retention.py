@@ -1,0 +1,57 @@
+"""Tests for the retention-failure model (methodology Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_TIMINGS, ITERATION_RUNTIME_BOUND
+from repro.dram.retention import RetentionModel
+
+
+def make_model(**kwargs):
+    return RetentionModel("S0", 0, n_cells=4096, **kwargs)
+
+
+def test_no_failures_within_refresh_window():
+    model = make_model()
+    bits = np.ones(4096, dtype=np.uint8)
+    mask = model.failure_mask(0, DEFAULT_TIMINGS.tREFW, bits)
+    assert not mask.any()
+
+
+def test_no_failures_within_methodology_bound():
+    # The 60 ms iteration bound guarantees zero retention contamination.
+    model = make_model()
+    bits = np.ones(4096, dtype=np.uint8)
+    assert not model.failure_mask(0, ITERATION_RUNTIME_BOUND, bits).any()
+
+
+def test_failures_appear_beyond_window():
+    model = make_model(weak_cell_fraction=0.05)
+    bits = np.ones(4096, dtype=np.uint8)
+    long_after = 10 * DEFAULT_TIMINGS.tREFW
+    assert model.failure_mask(0, long_after, bits).any()
+
+
+def test_failures_grow_with_elapsed_time():
+    model = make_model(weak_cell_fraction=0.05)
+    bits = np.ones(4096, dtype=np.uint8)
+    n2 = model.failure_mask(0, 2 * DEFAULT_TIMINGS.tREFW, bits).sum()
+    n8 = model.failure_mask(0, 8 * DEFAULT_TIMINGS.tREFW, bits).sum()
+    assert n8 >= n2
+
+
+def test_retention_times_deterministic():
+    a = make_model().retention_times(3)
+    b = make_model().retention_times(3)
+    assert (a == b).all()
+
+
+def test_weak_fraction_validated():
+    with pytest.raises(ValueError):
+        make_model(weak_cell_fraction=1.5)
+
+
+def test_guaranteed_minimum_retention():
+    times = make_model(weak_cell_fraction=0.1).retention_times(0)
+    finite = times[np.isfinite(times)]
+    assert (finite > DEFAULT_TIMINGS.tREFW).all()

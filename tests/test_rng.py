@@ -1,0 +1,28 @@
+"""Tests for deterministic named RNG streams."""
+
+from repro import rng
+
+
+def test_same_keys_same_stream():
+    a = rng.stream("cells", "S0", 0, 42).random(8)
+    b = rng.stream("cells", "S0", 0, 42).random(8)
+    assert (a == b).all()
+
+
+def test_different_keys_different_stream():
+    a = rng.stream("cells", "S0", 0, 42).random(8)
+    b = rng.stream("cells", "S0", 0, 43).random(8)
+    assert not (a == b).all()
+
+
+def test_key_order_matters():
+    assert rng.derive_seed("a", "b") != rng.derive_seed("b", "a")
+
+
+def test_int_and_str_keys_distinct():
+    assert rng.derive_seed(1) != rng.derive_seed("1")
+
+
+def test_seed_is_64_bit():
+    seed = rng.derive_seed("x")
+    assert 0 <= seed < 2**64

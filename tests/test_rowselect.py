@@ -1,0 +1,66 @@
+"""Tests for the characterization row selection (three bank regions)."""
+
+import pytest
+
+from repro.dram.rowselect import FAST_SELECTION, PAPER_SELECTION, RowSelection
+from repro.dram.topology import BankGeometry
+from repro.errors import ExperimentError
+
+
+def test_base_rows_count():
+    sel = RowSelection(locations_per_region=5, n_regions=3, stride=8)
+    rows = sel.base_rows(BankGeometry(rows=4096))
+    assert len(rows) == 15
+    assert sel.total_locations == 15
+
+
+def test_locations_do_not_share_victims():
+    sel = RowSelection(locations_per_region=10, n_regions=3, stride=8)
+    rows = sel.base_rows(BankGeometry(rows=4096))
+    # A location spans [base-1, base+3]; stride 8 keeps spans disjoint.
+    spans = sorted(rows)
+    for a, b in zip(spans, spans[1:]):
+        assert b - a >= 6
+
+
+def test_all_locations_fit_in_bank():
+    geom = BankGeometry(rows=1024)
+    sel = RowSelection(locations_per_region=8, n_regions=3, stride=8)
+    for base in sel.base_rows(geom):
+        assert base >= 1
+        assert base + 3 < geom.rows
+
+
+def test_regions_spread_over_bank():
+    geom = BankGeometry(rows=65_536)
+    rows = FAST_SELECTION.base_rows(geom)
+    assert min(rows) < geom.rows // 10
+    assert max(rows) > geom.rows * 9 // 10
+
+
+def test_rejects_small_stride():
+    with pytest.raises(ExperimentError):
+        RowSelection(stride=4)
+
+
+def test_rejects_zero_locations():
+    with pytest.raises(ExperimentError):
+        RowSelection(locations_per_region=0)
+
+
+def test_rejects_selection_larger_than_bank():
+    sel = RowSelection(locations_per_region=100, n_regions=3, stride=8)
+    with pytest.raises(ExperimentError):
+        sel.base_rows(BankGeometry(rows=512))
+
+
+def test_paper_selection_matches_3k_rows():
+    # 341 triples per region x 3 regions ~ 1K victim rows per region.
+    assert PAPER_SELECTION.total_locations == 1023
+
+
+def test_single_region():
+    sel = RowSelection(locations_per_region=4, n_regions=1, stride=8)
+    rows = sel.base_rows(BankGeometry(rows=256))
+    assert len(rows) == 4
+    assert rows[0] == 1

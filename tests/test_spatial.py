@@ -1,0 +1,71 @@
+"""Tests for the spatial bitflip analysis."""
+
+import pytest
+
+from repro.analysis.spatial import (
+    column_histogram,
+    column_spread_is_uniform,
+    flips_per_row,
+    role_breakdown,
+)
+from repro.core.bitflips import BitflipCensus
+from repro.errors import ExperimentError
+
+
+def census(keys):
+    return BitflipCensus(frozenset(keys), frozenset())
+
+
+def test_role_breakdown_classification():
+    # Locations at base rows 10 and 20: inner victims 11/21, outers 9/13/19/23.
+    c = census([(11, 0), (11, 3), (21, 1), (9, 0), (23, 2), (50, 0)])
+    breakdown = role_breakdown(c, base_rows=[10, 20])
+    assert breakdown.inner == 3
+    assert breakdown.outer == 2
+    assert breakdown.elsewhere == 1
+    assert breakdown.total == 6
+    assert breakdown.inner_fraction == pytest.approx(0.5)
+
+
+def test_role_breakdown_rejects_overlapping_locations():
+    with pytest.raises(ExperimentError):
+        role_breakdown(census([]), base_rows=[10, 12])
+
+
+def test_flips_per_row():
+    c = census([(5, 0), (5, 1), (7, 0)])
+    assert flips_per_row(c) == {5: 2, 7: 1}
+
+
+def test_column_histogram_bins():
+    c = census([(1, 0), (1, 1), (1, 62), (1, 63)])
+    hist = column_histogram(c, n_cols=64, n_bins=4)
+    assert hist == (2, 0, 0, 2)
+
+
+def test_column_histogram_validation():
+    with pytest.raises(ExperimentError):
+        column_histogram(census([]), n_cols=4, n_bins=8)
+    with pytest.raises(ExperimentError):
+        column_histogram(census([(1, 99)]), n_cols=64, n_bins=4)
+
+
+def test_uniformity_check():
+    assert column_spread_is_uniform((10, 11, 9, 10))
+    assert not column_spread_is_uniform((100, 0, 0, 0))
+    assert column_spread_is_uniform(())
+    assert column_spread_is_uniform((0, 0, 0))
+
+
+def test_inner_victims_dominate_on_calibrated_module(s0_module, fast_runner):
+    """Blast-radius sanity on a calibrated module: the inner victim (hit
+    from both sides) collects the large majority of combined-pattern
+    bitflips."""
+    from repro.patterns import COMBINED
+
+    measurement = fast_runner.measure(s0_module, 0, COMBINED, 7_800.0)
+    stacked = fast_runner.stacked_die(s0_module, 0)
+    breakdown = role_breakdown(measurement.census, stacked.base_rows)
+    assert breakdown.total > 0
+    assert breakdown.elsewhere == 0  # blast radius 1
+    assert breakdown.inner_fraction > 0.6

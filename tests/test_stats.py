@@ -1,0 +1,102 @@
+"""Tests for the statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.stats import (
+    BootstrapCI,
+    bootstrap_mean_ci,
+    censored_mean,
+    fit_weibull,
+    geometric_mean,
+)
+from repro.errors import ExperimentError
+
+
+def weibull_sample(shape, scale, n, seed=0):
+    gen = np.random.default_rng(seed)
+    return scale * gen.weibull(shape, n)
+
+
+def test_weibull_fit_recovers_parameters():
+    data = weibull_sample(shape=3.0, scale=10_000.0, n=4_000)
+    fit = fit_weibull(data)
+    assert fit.shape == pytest.approx(3.0, rel=0.1)
+    assert fit.scale == pytest.approx(10_000.0, rel=0.05)
+    assert fit.n == 4_000
+
+
+def test_weibull_quantile_and_mean():
+    fit = fit_weibull(weibull_sample(2.0, 100.0, 2_000))
+    assert fit.quantile(0.01) < fit.quantile(0.5) < fit.quantile(0.99)
+    assert fit.mean() == pytest.approx(100.0 * math.gamma(1.5), rel=0.1)
+
+
+def test_weibull_fit_validation():
+    with pytest.raises(ExperimentError):
+        fit_weibull([1.0, 2.0])
+    with pytest.raises(ExperimentError):
+        fit_weibull([1.0, -2.0, 3.0])
+    with pytest.raises(ExperimentError):
+        fit_weibull(weibull_sample(2.0, 1.0, 10)).quantile(1.5)
+
+
+def test_bootstrap_ci_brackets_mean():
+    data = [10.0, 12.0, 9.0, 11.0, 10.5, 13.0, 9.5, 11.5]
+    ci = bootstrap_mean_ci(data, confidence=0.95)
+    assert ci.low <= ci.estimate <= ci.high
+    assert ci.estimate == pytest.approx(np.mean(data))
+
+
+def test_bootstrap_is_deterministic():
+    data = [1.0, 5.0, 3.0, 4.0]
+    a = bootstrap_mean_ci(data, seed=7)
+    b = bootstrap_mean_ci(data, seed=7)
+    assert (a.low, a.high) == (b.low, b.high)
+
+
+def test_bootstrap_validation():
+    with pytest.raises(ExperimentError):
+        bootstrap_mean_ci([1.0])
+    with pytest.raises(ExperimentError):
+        bootstrap_mean_ci([1.0, 2.0], confidence=1.5)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1.0, 100.0]) == pytest.approx(10.0)
+    with pytest.raises(ExperimentError):
+        geometric_mean([])
+    with pytest.raises(ExperimentError):
+        geometric_mean([1.0, 0.0])
+
+
+def test_censored_mean_semantics():
+    mean, n, total = censored_mean([10.0, 20.0, None, 1_000.0], limit=100.0)
+    assert mean == pytest.approx(15.0)
+    assert (n, total) == (2, 4)
+
+
+def test_censored_mean_empty():
+    mean, n, total = censored_mean([None, 1_000.0], limit=100.0)
+    assert math.isnan(mean)
+    assert (n, total) == (0, 2)
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(1.0, 1e6), min_size=3, max_size=50))
+def test_weibull_fit_is_finite_on_any_positive_sample(values):
+    fit = fit_weibull(values)
+    assert math.isfinite(fit.shape) and fit.shape > 0
+    assert math.isfinite(fit.scale) and fit.scale > 0
+
+
+@settings(max_examples=50)
+@given(st.lists(st.floats(0.1, 1e6), min_size=2, max_size=30))
+def test_bootstrap_ci_ordering_property(values):
+    ci = bootstrap_mean_ci(values, n_resamples=200)
+    assert ci.low <= ci.high
+    assert min(values) - 1e-9 <= ci.low
+    assert ci.high <= max(values) + 1e-9

@@ -1,0 +1,70 @@
+"""Tests for the module factory and the command-line interface."""
+
+import pytest
+
+from repro.cli import main, sweep_points
+from repro.system import build_module, build_modules
+
+
+def test_build_module_uses_calibration(fast_config):
+    module = build_module("S0", fast_config)
+    assert module.key == "S0"
+    assert module.n_dies == 8
+    assert module.model.press(7_800.0) == pytest.approx(1.0)
+
+
+def test_build_modules_multiple(fast_config):
+    modules = build_modules(["S0", "M1"], fast_config)
+    assert [m.key for m in modules] == ["S0", "M1"]
+
+
+def test_sweep_points_include_anchors():
+    points = sweep_points(5, t_max=70_200.0)
+    for anchor in (36.0, 636.0, 7_800.0, 70_200.0):
+        assert anchor in points
+    assert points == sorted(points)
+
+
+def test_cli_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Samsung" in out
+    assert "M393A2K40CB2-CTD" in out
+
+
+def test_cli_fig5_csv(capsys):
+    code = main([
+        "fig5", "--modules", "S0", "--points", "2", "--trials", "1",
+        "--t-max", "7800", "--csv",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("label,t_agg_on_ns")
+    assert "S0" in out
+
+
+def test_cli_report(capsys):
+    code = main(["report", "--modules", "S1", "--trials", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "S1 RH @ 36ns" in out
+    assert "cells match within" in out
+
+
+def test_cli_campaign(capsys):
+    code = main(["campaign", "--modules", "S1", "--trials", "1"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "settled in" in out
+    assert "S1 RH @ 36ns" in out
+
+
+def test_cli_fig6_ascii(capsys):
+    code = main([
+        "fig6", "--modules", "S0", "--points", "2", "--trials", "1",
+        "--t-max", "7800",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Fig. 6" in out
+    assert "single-sided" in out

@@ -1,0 +1,114 @@
+"""Tests for the PID temperature-control substrate."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.thermal.controller import TEMPERATURE_TOLERANCE_C, TemperatureController
+from repro.thermal.pid import PIDController
+from repro.thermal.plant import ThermalPlant
+
+
+# ------------------------------------------------------------------- PID
+
+
+def test_pid_pushes_toward_setpoint():
+    pid = PIDController(setpoint=50.0)
+    assert pid.update(measurement=25.0, dt=1.0) > 0.0
+
+
+def test_pid_output_saturates():
+    pid = PIDController(setpoint=50.0, output_max=100.0)
+    assert pid.update(measurement=-500.0, dt=1.0) == 100.0
+    pid.reset()
+    assert pid.update(measurement=500.0, dt=1.0) == 0.0
+
+
+def test_pid_integral_antiwindup():
+    pid = PIDController(setpoint=50.0, ki=1.0, integral_limit=10.0)
+    for _ in range(100):
+        pid.update(measurement=0.0, dt=10.0)
+    assert pid._integral == 10.0  # clamped, not 50 * 1000
+
+
+def test_pid_rejects_bad_dt():
+    with pytest.raises(ValueError):
+        PIDController().update(25.0, dt=0.0)
+
+
+def test_pid_reset_clears_state():
+    pid = PIDController()
+    pid.update(25.0, dt=1.0)
+    pid.reset()
+    assert pid._integral == 0.0
+    assert pid._last_error is None
+
+
+# ------------------------------------------------------------------ plant
+
+
+def test_plant_relaxes_to_ambient_without_heat():
+    plant = ThermalPlant(ambient_c=25.0, temperature_c=60.0, noise_c=0.0)
+    for _ in range(100):
+        plant.step(heater_duty=0.0, dt=10.0)
+    assert plant.temperature_c == pytest.approx(25.0, abs=0.5)
+
+
+def test_plant_heats_up_under_duty():
+    plant = ThermalPlant(ambient_c=25.0, noise_c=0.0)
+    for _ in range(100):
+        plant.step(heater_duty=100.0, dt=10.0)
+    assert plant.temperature_c == pytest.approx(25.0 + 0.6 * 100.0, abs=1.0)
+
+
+def test_plant_clamps_duty():
+    plant = ThermalPlant(ambient_c=25.0, noise_c=0.0)
+    plant.step(heater_duty=1e9, dt=1000.0)
+    assert plant.temperature_c <= 25.0 + 0.6 * 100.0 + 1e-6
+
+
+def test_plant_rejects_bad_dt():
+    with pytest.raises(ValueError):
+        ThermalPlant().step(0.0, dt=-1.0)
+
+
+def test_plant_noise_is_deterministic():
+    a = ThermalPlant(seed=1)
+    b = ThermalPlant(seed=1)
+    for _ in range(5):
+        a.step(50.0, 1.0)
+        b.step(50.0, 1.0)
+    assert a.temperature_c == b.temperature_c
+
+
+# ------------------------------------------------------- closed-loop control
+
+
+def test_controller_settles_to_50c():
+    controller = TemperatureController(setpoint_c=50.0)
+    steps = controller.settle()
+    assert controller.settled
+    assert abs(controller.read() - 50.0) <= TEMPERATURE_TOLERANCE_C
+    assert steps < 3600
+
+
+def test_controller_holds_within_paper_tolerance():
+    # The paper reports +/- 0.2 C over 24 hours; hold for a while and
+    # verify the ripple stays in band.
+    controller = TemperatureController(setpoint_c=50.0)
+    controller.settle()
+    readings = [controller.step() for _ in range(600)]
+    assert max(abs(r - 50.0) for r in readings) <= TEMPERATURE_TOLERANCE_C
+
+
+def test_controller_raises_when_unsettleable():
+    # A heater too weak to ever reach the setpoint must raise, not hang.
+    plant = ThermalPlant(ambient_c=25.0, heater_gain_c=0.05, noise_c=0.0)
+    controller = TemperatureController(setpoint_c=90.0, plant=plant)
+    with pytest.raises(ExperimentError):
+        controller.settle(max_steps=500)
+
+
+def test_controller_serves_readings_for_sessions():
+    controller = TemperatureController(setpoint_c=50.0)
+    controller.settle()
+    assert isinstance(controller.read(), float)

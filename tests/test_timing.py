@@ -1,0 +1,126 @@
+"""Tests for the JEDEC timing validator."""
+
+import pytest
+
+from repro.bender.timing import TimingChecker
+from repro.constants import DDR4Timings
+from repro.errors import TimingViolationError
+
+
+def test_tras_violation_detected():
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_pre(0, now=20.0)  # < tRAS = 36 ns
+
+
+def test_tras_exact_boundary_ok():
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    checker.check_pre(0, now=36.0)
+
+
+def test_trp_violation_detected():
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    checker.check_pre(0, now=36.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_act(0, now=40.0)  # < tRP after PRE
+
+
+def test_trcd_violation_detected():
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_column(0, now=5.0, what="RD")
+    checker.check_column(0, now=13.5, what="RD")
+
+
+def test_banks_are_independent_beyond_trrd():
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    # Bank 1 has no row history, but cross-bank ACTs must respect tRRD_L
+    # (same bank group).
+    checker.check_act(1, now=5.0)
+
+
+def test_trrd_violations_detected():
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_act(1, now=1.0)  # same group: < tRRD_L
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_act(4, now=2.0)  # other group: < tRRD_S
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    checker.check_act(4, now=3.5)  # other group: >= tRRD_S
+
+
+def test_tfaw_limits_activation_rate():
+    checker = TimingChecker()
+    # Four ACTs, 6 ns apart (legal: tRRD_L = 4.9 ns).
+    for i, bank in enumerate((0, 1, 2, 3)):
+        checker.check_act(bank, now=6.0 * i)
+    # A fifth ACT inside the 30 ns window is rejected ...
+    with pytest.raises(TimingViolationError):
+        checker.check_act(0, now=24.0)
+    # ... but legal once the window has rolled past the first ACT.
+    checker2 = TimingChecker()
+    for i, bank in enumerate((0, 1, 2, 3)):
+        checker2.check_act(bank, now=6.0 * i)
+    checker2.check_act(4, now=31.0)
+
+
+def test_same_bank_reactivation_not_subject_to_trrd():
+    # Same-bank ACT-to-ACT is governed by tRAS+tRP, not tRRD.
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    checker.check_pre(0, now=36.0)
+    checker.check_act(0, now=51.0)
+
+
+def test_refresh_blocks_commands_for_trfc():
+    checker = TimingChecker()
+    done = checker.check_ref(now=0.0)
+    assert done == pytest.approx(350.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_act(0, now=100.0)
+    checker.check_act(0, now=done)
+
+
+def test_long_open_time_is_legal():
+    # RowPress: arbitrarily long row-open times are timing-legal.
+    checker = TimingChecker()
+    checker.check_act(0, now=0.0)
+    checker.check_pre(0, now=300_000.0)
+
+
+def test_custom_timings():
+    checker = TimingChecker(DDR4Timings(tRAS=100.0))
+    checker.check_act(0, now=0.0)
+    with pytest.raises(TimingViolationError):
+        checker.check_pre(0, now=50.0)
+
+
+def test_activation_rate_bounds():
+    from repro.bender.timing import (
+        max_activation_rate,
+        max_activations_per_refresh_window,
+    )
+    from repro.constants import DEFAULT_TIMINGS
+
+    single = max_activation_rate(DEFAULT_TIMINGS, n_banks=1)
+    assert single == pytest.approx(1.0 / 51.0)
+    multi = max_activation_rate(DEFAULT_TIMINGS, n_banks=16)
+    # Multi-bank is tFAW-bound: 4 ACTs / 30 ns.
+    assert multi == pytest.approx(4.0 / 30.0)
+    assert multi > single
+    # Hammer budget per refresh window: ~1.25M single-bank ACTs --
+    # RowHammer ACmin values (tens of thousands) sit far below it.
+    per_window = max_activations_per_refresh_window(DEFAULT_TIMINGS, 1)
+    assert per_window == int(64e6 / 51.0)
+    assert per_window > 40 * 20_200  # even the weakest module's ACmin fits
+    with pytest.raises(ValueError):
+        max_activation_rate(DEFAULT_TIMINGS, n_banks=0)

@@ -1,0 +1,41 @@
+"""Tests for bank/module geometry."""
+
+import pytest
+
+from repro.dram.topology import BankGeometry, ModuleOrganization
+
+
+def test_bank_contains_row():
+    geom = BankGeometry(rows=128, cols_simulated=32)
+    assert geom.contains_row(0)
+    assert geom.contains_row(127)
+    assert not geom.contains_row(128)
+    assert not geom.contains_row(-1)
+
+
+def test_bank_rejects_tiny_geometry():
+    with pytest.raises(ValueError):
+        BankGeometry(rows=4)
+    with pytest.raises(ValueError):
+        BankGeometry(cols_simulated=0)
+
+
+def test_organization_label():
+    assert ModuleOrganization(width=8).org_label == "x8"
+    assert ModuleOrganization(width=16).org_label == "x16"
+
+
+@pytest.mark.parametrize("density", [1, 3, 32])
+def test_organization_rejects_bad_density(density):
+    with pytest.raises(ValueError):
+        ModuleOrganization(density_gbit=density)
+
+
+def test_organization_rejects_bad_width():
+    with pytest.raises(ValueError):
+        ModuleOrganization(width=12)
+
+
+def test_organization_rejects_no_chips():
+    with pytest.raises(ValueError):
+        ModuleOrganization(n_chips=0)

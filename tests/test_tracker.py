@@ -1,0 +1,141 @@
+"""Tests for the command-level disturbance tracker."""
+
+import numpy as np
+import pytest
+
+from repro.disturb.population import PopulationParams, victim_row_cells
+from repro.disturb.tracker import DisturbanceTracker
+
+from tests.conftest import make_synthetic_model
+
+N_ROWS = 32
+N_CELLS = 256
+
+
+def make_tracker(model=None):
+    model = model or make_synthetic_model()
+    params = PopulationParams(theta_scale=50.0)
+
+    def provider(row):
+        return victim_row_cells("T", 0, row, N_CELLS, params)
+
+    return DisturbanceTracker(model, provider, N_ROWS), provider
+
+
+def test_no_flips_initially():
+    tracker, provider = make_tracker()
+    bits = np.ones(N_CELLS, dtype=np.uint8)
+    assert not tracker.flip_mask(5, bits).any()
+    assert list(tracker.disturbed_rows()) == []
+
+
+def test_activation_disturbs_both_neighbors():
+    tracker, _ = make_tracker()
+    tracker.on_activation(10, t_on=7_800.0, solo=False)
+    assert list(tracker.disturbed_rows()) == [9, 11]
+
+
+def test_edge_rows_have_one_neighbor():
+    tracker, _ = make_tracker()
+    tracker.on_activation(0, t_on=36.0, solo=False)
+    assert list(tracker.disturbed_rows()) == [1]
+    tracker.reset()
+    tracker.on_activation(N_ROWS - 1, t_on=36.0, solo=False)
+    assert list(tracker.disturbed_rows()) == [N_ROWS - 2]
+
+
+def test_press_flips_charged_cells_and_direction():
+    # Hammer disabled: only the press mechanism can flip, and it flips
+    # *charged* cells exclusively (1->0 in true cells).
+    import dataclasses
+
+    model = dataclasses.replace(make_synthetic_model(), hammer=0.0)
+    tracker, provider = make_tracker(model)
+    victim = 11
+    cells = provider(victim)
+    ones = np.ones(N_CELLS, dtype=np.uint8)
+    for _ in range(400):
+        tracker.on_activation(10, t_on=7_800.0, solo=False)
+    flips = tracker.flip_mask(victim, ones)
+    assert flips.any()
+    charged = cells.charged_mask(ones)
+    assert (charged[flips]).all()
+    # Cells storing 0 in an anti-cell (charged, stores 0) can flip 0->1;
+    # true cells storing 1 flip 1->0.  Either way: charged only.
+    assert not tracker.flip_mask(victim, 1 - ones)[~cells.anti].any()
+
+
+def test_hammer_flips_discharged_cells():
+    # Press disabled at tRAS (press_loss(36 ns) == 0 by construction):
+    # only the hammer mechanism acts, and it flips *discharged* cells.
+    tracker, provider = make_tracker()
+    victim = 11
+    cells = provider(victim)
+    zeros = np.zeros(N_CELLS, dtype=np.uint8)
+    for _ in range(400):
+        tracker.on_activation(10, t_on=36.0, solo=False)
+    flips = tracker.flip_mask(victim, zeros)
+    assert flips.any()
+    charged = cells.charged_mask(zeros)
+    assert (~charged[flips]).all()
+
+
+def test_hypothesis1_asymmetry():
+    """Press from the aggressor below (victim above) dominates (alpha<1)."""
+    import dataclasses
+
+    model = dataclasses.replace(make_synthetic_model(alpha=0.3), hammer=0.0)
+    tracker, provider = make_tracker(model)
+    ones = np.ones(N_CELLS, dtype=np.uint8)
+    for _ in range(4):
+        tracker.on_activation(10, t_on=70_200.0, solo=False)
+    flips_above = tracker.flip_mask(11, ones).sum()  # dominant side
+    flips_below = tracker.flip_mask(9, ones).sum()  # alpha-attenuated side
+    assert flips_above > flips_below
+
+
+def test_solo_hammer_weaker_than_interleaved():
+    tracker_solo, _ = make_tracker()
+    tracker_duo, _ = make_tracker()
+    zeros = np.zeros(N_CELLS, dtype=np.uint8)
+    for _ in range(300):
+        tracker_solo.on_activation(10, t_on=36.0, solo=True)
+        tracker_duo.on_activation(10, t_on=36.0, solo=False)
+    assert (
+        tracker_solo.flip_mask(11, zeros).sum()
+        < tracker_duo.flip_mask(11, zeros).sum()
+    )
+
+
+def test_reset_single_row():
+    tracker, _ = make_tracker()
+    ones = np.ones(N_CELLS, dtype=np.uint8)
+    for _ in range(400):
+        tracker.on_activation(10, t_on=7_800.0, solo=False)
+    assert tracker.flip_mask(11, ones).any()
+    tracker.reset([11])
+    assert not tracker.flip_mask(11, ones).any()
+    # Row 9 still carries its disturbance.
+    assert 9 in tracker.disturbed_rows()
+
+
+def test_reset_all():
+    tracker, _ = make_tracker()
+    tracker.on_activation(10, t_on=36.0, solo=False)
+    tracker.reset()
+    assert list(tracker.disturbed_rows()) == []
+
+
+def test_accumulation_is_linear():
+    """Half the activations -> no cell that needed the full count flips."""
+    tracker_full, _ = make_tracker()
+    tracker_half, _ = make_tracker()
+    ones = np.ones(N_CELLS, dtype=np.uint8)
+    for i in range(400):
+        tracker_full.on_activation(10, t_on=7_800.0, solo=False)
+        if i < 200:
+            tracker_half.on_activation(10, t_on=7_800.0, solo=False)
+    full = tracker_full.flip_mask(11, ones)
+    half = tracker_half.flip_mask(11, ones)
+    assert half.sum() <= full.sum()
+    assert (full | ~half).all()  # half's flips are a subset of full's
