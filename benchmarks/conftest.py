@@ -12,6 +12,8 @@ arbitrary resolution.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.constants import T_AGG_ON_9TREFI
@@ -27,6 +29,16 @@ SWEEP_T_VALUES = [36.0, 120.0, 636.0, 2_000.0, 7_800.0, 30_000.0, 70_200.0]
 
 #: Table 2 anchor points.
 ANCHOR_T_VALUES = [36.0, 7_800.0, T_AGG_ON_9TREFI]
+
+
+def bench_workers() -> int:
+    """Sweep workers for the benchmark fixtures.
+
+    ``REPRO_BENCH_WORKERS`` selects the engine parallelism (0/1: serial;
+    N>1: process pool).  Results are executor-independent, so the
+    benchmark assertions hold at any setting.
+    """
+    return int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
 
 
 @pytest.fixture(scope="session")
@@ -52,12 +64,16 @@ def runner(bench_config) -> CharacterizationRunner:
 @pytest.fixture(scope="session")
 def sweep_results(modules, runner):
     """Full sweep: all modules x 3 patterns x 7 tAggON points."""
-    return runner.characterize(modules, SWEEP_T_VALUES, ALL_PATTERNS, trials=1)
+    return runner.characterize(
+        modules, SWEEP_T_VALUES, ALL_PATTERNS, trials=1, workers=bench_workers()
+    )
 
 
 @pytest.fixture(scope="session")
 def anchor_results(modules, runner):
     """Anchor-point measurements with the paper's 3 trials."""
-    return runner.characterize(modules, ANCHOR_T_VALUES, ALL_PATTERNS, trials=3)
+    return runner.characterize(
+        modules, ANCHOR_T_VALUES, ALL_PATTERNS, trials=3, workers=bench_workers()
+    )
 
 

@@ -66,6 +66,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=1, help="trials per measurement"
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="parallel sweep workers (0/1: serial; N>1: process pool "
+        "sharded by (module, die); results are identical to serial)",
+    )
+    parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of ASCII plots"
     )
     return parser
@@ -83,7 +90,8 @@ def main(argv: List[str] = None) -> int:
 
     if args.artifact == "table2":
         results = runner.characterize(
-            modules, [36.0, 7_800.0, 70_200.0], trials=args.trials
+            modules, [36.0, 7_800.0, 70_200.0], trials=args.trials,
+            workers=args.workers,
         )
         sys.stdout.write(format_table(table2_rows(results)))
         return 0
@@ -92,7 +100,8 @@ def main(argv: List[str] = None) -> int:
         from repro.analysis.report import full_report
 
         results = runner.characterize(
-            modules, [36.0, 636.0, 7_800.0, 70_200.0], trials=args.trials
+            modules, [36.0, 636.0, 7_800.0, 70_200.0], trials=args.trials,
+            workers=args.workers,
         )
         sys.stdout.write(full_report(results))
         return 0
@@ -118,7 +127,9 @@ def main(argv: List[str] = None) -> int:
         return 0
 
     t_values = sweep_points(args.points, args.t_max)
-    results = runner.characterize(modules, t_values, ALL_PATTERNS, trials=args.trials)
+    results = runner.characterize(
+        modules, t_values, ALL_PATTERNS, trials=args.trials, workers=args.workers
+    )
     if args.artifact == "fig4":
         for metric, logy in (("time", False), ("acmin", True)):
             series = fig4_series(results, metric=metric)

@@ -10,17 +10,34 @@
 * :mod:`repro.core.experiment` -- configuration of one characterization
   campaign (data pattern, row selection, trials, temperature, the 60 ms
   iteration bound).
-* :mod:`repro.core.runner` -- sweeps modules x patterns x tAggON.
+* :mod:`repro.core.engine` -- the sweep execution engine: work-list
+  enumeration, (module, die) shards, serial/thread/process executors with
+  deterministic canonical-order results.
+* :mod:`repro.core.runner` -- sweeps modules x patterns x tAggON (serial
+  facade over the engine).
 * :mod:`repro.core.overlap` / :mod:`repro.core.bitflips` -- the bitflip
   set metrics behind Figs. 5 and 6.
 """
 
 from repro.core.bitflips import BitflipCensus, direction_fraction_1_to_0
 from repro.core.stacked import RoleArrays, StackedDie, build_stacked_die, ROLE_OFFSETS
-from repro.core.acmin import DieAnalysis, analyze_die
+from repro.core.acmin import (
+    DieAnalysis,
+    DieSweepAnalyzer,
+    analyze_die,
+    analyze_die_batch,
+)
 from repro.core.experiment import CharacterizationConfig
 from repro.core.overlap import overlap_ratio
 from repro.core.results import DieMeasurement, ResultSet
+from repro.core.engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepEngine,
+    SweepPlan,
+    ThreadExecutor,
+    make_executor,
+)
 from repro.core.runner import CharacterizationRunner
 
 __all__ = [
@@ -31,10 +48,18 @@ __all__ = [
     "build_stacked_die",
     "ROLE_OFFSETS",
     "DieAnalysis",
+    "DieSweepAnalyzer",
     "analyze_die",
+    "analyze_die_batch",
     "CharacterizationConfig",
     "overlap_ratio",
     "DieMeasurement",
     "ResultSet",
+    "SweepEngine",
+    "SweepPlan",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
     "CharacterizationRunner",
 ]

@@ -15,13 +15,31 @@ measurement reports *No Bitflip*, exactly like the empty cells of Table 2.
 This module is the vectorized fast path; :mod:`repro.core.honest` performs
 the same measurement by actually executing DRAM Bender programs, and the
 test suite asserts the two agree.
+
+Multi-trial fast path
+---------------------
+
+Trial-to-trial variation is a multiplicative threshold jitter, so
+
+``n_trial(cell) = (theta * jitter) / denom = (theta / denom) * jitter``.
+
+:class:`DieSweepAnalyzer` and :func:`analyze_die_batch` exploit this: the
+base ``theta / denom`` division is computed once per (die, pattern,
+tAggON) and every trial is derived by scaling with its jitter field.
+:func:`analyze_die` routes through the same code, so the per-trial and
+batched paths are bit-identical by construction.  The per-role pattern
+weights are memoized per (pattern, tAggON, model, temperature, timings)
+-- they are pattern geometry, not die state -- and the hammer-gain
+arrays, which do not depend on tAggON, are cached per pattern across a
+sweep of one die.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -32,7 +50,7 @@ from repro.constants import (
     ITERATION_RUNTIME_BOUND,
 )
 from repro.core.bitflips import BitflipCensus
-from repro.core.stacked import ROLE_OFFSETS, StackedDie
+from repro.core.stacked import ROLE_OFFSETS, ROLE_ORDER, StackedDie
 from repro.disturb.model import DisturbanceModel
 from repro.patterns.base import AccessPattern
 
@@ -64,6 +82,24 @@ def _role_weights(
     return placement, weights
 
 
+@lru_cache(maxsize=8192)
+def _cached_role_weights(
+    pattern: AccessPattern,
+    t_on: float,
+    model: DisturbanceModel,
+    temperature_c: float,
+    timings: DDR4Timings,
+):
+    """Memoized role weights.
+
+    The weights are pattern geometry evaluated through the model's scalar
+    responses -- they do not depend on any die state, yet the seed runner
+    recomputed them for every (die, trial).  Models hash by identity, so
+    entries are exact; the cache is bounded and shared process-wide.
+    """
+    return _role_weights(pattern, t_on, model, temperature_c, timings)
+
+
 @dataclass
 class DieAnalysis:
     """Per-die closed-form analysis of one (pattern, tAggON, trial) point.
@@ -73,19 +109,35 @@ class DieAnalysis:
             to first flip (``inf`` for cells the pattern cannot flip).
         acts_per_iteration: aggressor activations per pattern iteration.
         iteration_latency_ns: simulated time per iteration.
+        fused: the role-fused ``(3 * n_locations, n_cells)`` n_iters stack
+            (roles the pattern does not disturb are ``inf``); the per-role
+            ``n_iters`` entries are views into it.  ``None`` when the
+            analysis was constructed from per-role arrays directly, in
+            which case the aggregate methods fall back to the dict.
     """
 
     stacked: StackedDie
     n_iters: Dict[str, np.ndarray]
     acts_per_iteration: int
     iteration_latency_ns: float
+    fused: Optional[np.ndarray] = None
+    _loc_min: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------- aggregates
 
     def min_iters_per_location(self) -> np.ndarray:
         """Weakest-cell iteration count per location (float, inf-safe)."""
-        mins = [arr.min(axis=1) for arr in self.n_iters.values()]
-        return np.minimum.reduce(mins)
+        if self._loc_min is None:
+            if self.fused is not None:
+                n_loc = len(self.stacked.base_rows)
+                n_roles = self.fused.shape[0] // n_loc
+                self._loc_min = self.fused.reshape(
+                    n_roles, n_loc, self.fused.shape[1]
+                ).min(axis=(0, 2))
+            else:
+                mins = [arr.min(axis=1) for arr in self.n_iters.values()]
+                self._loc_min = np.minimum.reduce(mins)
+        return self._loc_min
 
     def die_min_iters(self) -> float:
         return float(self.min_iters_per_location().min())
@@ -133,28 +185,273 @@ class DieAnalysis:
         """
         budget = self.budget_iterations(runtime_bound_ns)
         loc_min = self.min_iters_per_location()
+        finite = np.isfinite(loc_min)
+        if not finite.any():
+            # No location flips within the bound: nothing to census.
+            return BitflipCensus(frozenset(), frozenset())
         with np.errstate(invalid="ignore"):
             loc_census_iters = np.minimum(
-                np.where(np.isfinite(loc_min), np.ceil(loc_min * multiplier), 0.0),
+                np.where(finite, np.ceil(loc_min * multiplier), 0.0),
                 budget,
             )
-        ones = []
-        zeros = []
+        if self.fused is not None:
+            n_loc = loc_census_iters.size
+            n_cells = self.fused.shape[1]
+            n_roles = self.fused.shape[0] // n_loc
+            arrays = self.stacked.fused
+            live = np.flatnonzero(loc_census_iters > 0.0)
+            if 2 * live.size < n_loc:
+                # Few locations flip at this point: compare only their
+                # rows (across every role block) instead of scanning the
+                # whole stack.
+                row_sel = (live[None, :] + n_loc * np.arange(n_roles)[:, None]).ravel()
+                arr = self.fused[row_sel]
+                cutoff = np.tile(loc_census_iters[live], n_roles)[:, None]
+                loc_map = row_sel
+            else:
+                # Broadcast the per-location cutoffs across the role
+                # blocks via a 3-D view: no tiled copy.
+                arr = self.fused.reshape(n_roles, n_loc, n_cells)
+                cutoff = loc_census_iters[None, :, None]
+                loc_map = None
+            # ravel().nonzero() is an order of magnitude faster than a
+            # 2-D np.nonzero for these mask shapes; recover (loc, col)
+            # from the flat index afterwards.
+            (flat,) = (arr <= cutoff).ravel().nonzero()
+            if not flat.size:
+                return BitflipCensus(frozenset(), frozenset())
+            loc_idx, col_idx = np.divmod(flat, n_cells)
+            if loc_map is not None:
+                loc_idx = loc_map[loc_idx]
+            stored = arrays.stored_bool[loc_idx, col_idx]
+            rows = arrays.rows[loc_idx]
+            unstored = ~stored
+            return BitflipCensus(
+                frozenset(zip(rows[stored].tolist(), col_idx[stored].tolist())),
+                frozenset(zip(rows[unstored].tolist(), col_idx[unstored].tolist())),
+            )
+        ones: List = []
+        zeros: List = []
         for role, arr in self.n_iters.items():
-            role_arrays = self.stacked.roles[role]
-            flips = arr <= loc_census_iters[:, None]
-            if not flips.any():
+            arrays = self.stacked.roles[role]
+            (flat,) = (arr <= loc_census_iters[:, None]).ravel().nonzero()
+            if not flat.size:
                 continue
-            loc_idx, col_idx = np.nonzero(flips)
-            rows = role_arrays.rows[loc_idx]
-            stored = role_arrays.stored[loc_idx, col_idx]
-            for row, col, bit in zip(rows, col_idx, stored):
-                key = (int(row), int(col))
-                if bit:
-                    ones.append(key)
-                else:
-                    zeros.append(key)
+            loc_idx, col_idx = np.divmod(flat, arr.shape[1])
+            stored = arrays.stored_bool[loc_idx, col_idx]
+            rows = arrays.rows[loc_idx]
+            ones.extend(zip(rows[stored].tolist(), col_idx[stored].tolist()))
+            unstored = ~stored
+            zeros.extend(zip(rows[unstored].tolist(), col_idx[unstored].tolist()))
         return BitflipCensus(frozenset(ones), frozenset(zeros))
+
+
+class DieSweepAnalyzer:
+    """Amortizes closed-form analysis across a sweep of one die.
+
+    Three quantities are reused across the points of a sweep:
+
+    * the per-role pattern weights (memoized process-wide, see
+      :func:`_cached_role_weights`);
+    * the hammer-gain arrays, which are independent of ``tAggON`` and are
+      cached per pattern for the analyzer's lifetime;
+    * the base ``theta / denom`` division of a (pattern, tAggON) point,
+      from which all trials are derived by jitter scaling
+      (:meth:`analyze_batch`).  Bases are kept in a bounded FIFO cache so
+      a later campaign revisiting the same points (anchor sweeps re-tread
+      the tAggON sweep) skips the division entirely.
+
+    The analyzer holds references to one die's stacked arrays; create one
+    per (die, sweep), or keep it alive across campaigns of the same
+    configuration to reuse its caches.
+    """
+
+    #: Bound of the per-analyzer base cache (FIFO-evicted).  A base array
+    #: is ~0.4 MB at the default geometry; the bound caps an analyzer at
+    #: a few tens of MB even under very fine tAggON grids.
+    BASE_CACHE_POINTS = 64
+
+    def __init__(
+        self,
+        stacked: StackedDie,
+        model: DisturbanceModel,
+        temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+        timings: DDR4Timings = DEFAULT_TIMINGS,
+    ) -> None:
+        self._stacked = stacked
+        self._model = model
+        self._temperature_c = temperature_c
+        self._timings = timings
+        self._gains: Dict[str, np.ndarray] = {}
+        self._bases: Dict[Tuple[str, float], np.ndarray] = {}
+
+    # -------------------------------------------------------------- internals
+
+    def _active_rows(self, weights) -> int:
+        """Rows of the fused stack covering every role the pattern touches.
+
+        Roles are fused in :data:`ROLE_ORDER`; a pattern that leaves the
+        trailing role(s) undisturbed (single-sided has no ``outer_hi``)
+        only needs the leading prefix of the stack, and every whole-array
+        op below shrinks accordingly.  Trailing absent roles simply never
+        enter the computation -- their n_iters would be uniformly inf.
+        """
+        n_active = 1 + max(ROLE_ORDER.index(role) for role in weights)
+        return n_active * self._stacked.n_locations
+
+    def _weight_cols(self, weights, n_rows: int):
+        """Per-row weight columns for the leading ``n_rows`` fused rows.
+
+        Roles absent from ``weights`` (the pattern does not disturb them)
+        get zero weights: their denominator is 0 and their n_iters inf.
+        """
+        n_loc = self._stacked.n_locations
+        per_role = [
+            weights.get(role, (0.0, 0.0, 0.0, 0.0))
+            for role in ROLE_ORDER[: n_rows // n_loc]
+        ]
+        cols = np.repeat(np.array(per_role), n_loc, axis=0)
+        return cols[:, 0:1], cols[:, 1:2], cols[:, 2:3], cols[:, 3:4]
+
+    def _pattern_gains(self, pattern: AccessPattern, weights, n_rows: int):
+        """Fused hammer-gain stack (tAggON-independent, cached).
+
+        The gains are pre-masked to discharged cells so the denominator of
+        :meth:`_base` is a plain ``press + gain`` sum (press is masked to
+        charged cells at build time): no per-point ``np.where`` select.
+        """
+        cached = self._gains.get(pattern.name)
+        if cached is None:
+            fused = self._stacked.fused
+            w_lo, w_hi, _v_lo, _v_hi = self._weight_cols(weights, n_rows)
+            gain = w_lo * fused.g_h_lo[:n_rows] + w_hi * fused.g_h_hi[:n_rows]
+            if pattern.solo:
+                gain = (
+                    gain
+                    * self._model.solo_hammer_factor
+                    * fused.solo_hammer_mod[:n_rows]
+                )
+            cached = np.where(fused.charged[:n_rows], 0.0, gain)
+            self._gains[pattern.name] = cached
+        return cached
+
+    def _base(self, pattern: AccessPattern, t_on: float):
+        """Placement, role weights, and the trial-0 fused n_iters stack."""
+        placement, weights = _cached_role_weights(
+            pattern, t_on, self._model, self._temperature_c, self._timings
+        )
+        cached = self._bases.get((pattern.name, t_on))
+        if cached is not None:
+            return placement, weights, cached
+        n_rows = self._active_rows(weights)
+        gain = self._pattern_gains(pattern, weights, n_rows)
+        fused = self._stacked.fused
+        if any(v_lo or v_hi for (_, _, v_lo, v_hi) in weights.values()):
+            _w_lo, _w_hi, v_lo, v_hi = self._weight_cols(weights, n_rows)
+            press = v_lo * fused.press_lo[:n_rows] + v_hi * fused.press_hi[:n_rows]
+            if pattern.solo:
+                gamma = self._model.solo_press_gamma(t_on)
+                if gamma > 0.0:
+                    # gamma ** e == exp(e * ln gamma); the exp form is
+                    # several times faster than npy pow on the stack.
+                    press *= np.exp(math.log(gamma) * fused.solo_press_exp[:n_rows])
+                else:
+                    press *= gamma ** fused.solo_press_exp[:n_rows]
+            denom = press + gain
+        else:
+            # All press weights are zero (minimal tAggON): the
+            # denominator is the cached gain stack itself.
+            denom = gain
+        # Cells the pattern cannot disturb have denom == 0; division
+        # yields inf there (theta is strictly positive), matching the
+        # "never flips" semantics without a masked divide.
+        with np.errstate(divide="ignore"):
+            base = fused.theta[:n_rows] / denom
+        if len(self._bases) >= self.BASE_CACHE_POINTS:
+            self._bases.pop(next(iter(self._bases)))
+        self._bases[(pattern.name, t_on)] = base
+        return placement, weights, base
+
+    def _analysis(
+        self,
+        placement,
+        weights,
+        fused_n_iters: np.ndarray,
+    ) -> DieAnalysis:
+        n_loc = self._stacked.n_locations
+        n_iters = {
+            role: fused_n_iters[k * n_loc : (k + 1) * n_loc]
+            for k, role in enumerate(ROLE_ORDER)
+            if role in weights
+        }
+        return DieAnalysis(
+            stacked=self._stacked,
+            n_iters=n_iters,
+            acts_per_iteration=placement.acts_per_iteration,
+            iteration_latency_ns=placement.iteration_latency(self._timings),
+            fused=fused_n_iters,
+        )
+
+    def _jittered(
+        self, base: np.ndarray, trial: int, jitter_sigma: float
+    ) -> np.ndarray:
+        if trial == 0 or jitter_sigma == 0.0:
+            return base
+        jitter = self._stacked.fused_jitter(trial, sigma=jitter_sigma)
+        if jitter.shape[0] != base.shape[0]:  # role-prefix-trimmed base
+            jitter = jitter[: base.shape[0]]
+        return base * jitter
+
+    # ------------------------------------------------------------------- API
+
+    def analyze(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        trial: int = 0,
+        jitter_sigma: float = 0.02,
+    ) -> DieAnalysis:
+        """Closed-form analysis of one (pattern, tAggON, trial) point."""
+        placement, weights, base = self._base(pattern, t_on)
+        return self._analysis(
+            placement, weights, self._jittered(base, trial, jitter_sigma)
+        )
+
+    def analyze_batch(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        trials: int,
+        jitter_sigma: float = 0.02,
+    ) -> List[DieAnalysis]:
+        """Analyses of trials ``0 .. trials-1`` of one (pattern, tAggON).
+
+        The base division is performed once; each trial applies its jitter
+        as a multiplicative scale.  Bit-identical to calling
+        :meth:`analyze` per trial.
+        """
+        return self.analyze_trials(pattern, t_on, range(trials), jitter_sigma)
+
+    def analyze_trials(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        trials: Sequence[int],
+        jitter_sigma: float = 0.02,
+    ) -> List[DieAnalysis]:
+        """Analyses of arbitrary trial indices of one (pattern, tAggON).
+
+        Like :meth:`analyze_batch` but for any trial subset (the engine
+        uses this when some trials of a point are already memoized): one
+        base division, one jitter scale per requested trial.
+        """
+        placement, weights, base = self._base(pattern, t_on)
+        return [
+            self._analysis(
+                placement, weights, self._jittered(base, trial, jitter_sigma)
+            )
+            for trial in trials
+        ]
 
 
 def analyze_die(
@@ -168,29 +465,27 @@ def analyze_die(
     jitter_sigma: float = 0.02,
 ) -> DieAnalysis:
     """Closed-form analysis of one (die, pattern, tAggON, trial) point."""
-    placement, weights = _role_weights(pattern, t_on, model, temperature_c, timings)
-    solo = pattern.solo
-    if solo:
-        gamma = model.solo_press_gamma(t_on)
-        delta = model.solo_hammer_factor
-    n_iters: Dict[str, np.ndarray] = {}
-    for role, (w_lo, w_hi, v_lo, v_hi) in weights.items():
-        arrays = stacked.roles[role]
-        gain = w_lo * arrays.g_h_lo + w_hi * arrays.g_h_hi
-        loss = v_lo * arrays.g_p_lo + v_hi * arrays.g_p_hi
-        if solo:
-            gain = gain * delta * arrays.solo_hammer_mod
-            loss = loss * gamma**arrays.solo_press_exp
-        theta = arrays.theta
-        if trial != 0:
-            theta = theta * stacked.jitter(role, trial, sigma=jitter_sigma)
-        denom = np.where(arrays.charged, loss, gain)
-        out = np.full(theta.shape, np.inf)
-        np.divide(theta, denom, out=out, where=denom > 0)
-        n_iters[role] = out
-    return DieAnalysis(
-        stacked=stacked,
-        n_iters=n_iters,
-        acts_per_iteration=placement.acts_per_iteration,
-        iteration_latency_ns=placement.iteration_latency(timings),
+    return DieSweepAnalyzer(stacked, model, temperature_c, timings).analyze(
+        pattern, t_on, trial, jitter_sigma
+    )
+
+
+def analyze_die_batch(
+    stacked: StackedDie,
+    pattern: AccessPattern,
+    t_on: float,
+    model: DisturbanceModel,
+    temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+    timings: DDR4Timings = DEFAULT_TIMINGS,
+    trials: int = 1,
+    jitter_sigma: float = 0.02,
+) -> List[DieAnalysis]:
+    """Batched multi-trial analysis of one (die, pattern, tAggON) point.
+
+    Computes the base n_iters arrays once and derives each trial by
+    applying its multiplicative threshold jitter; exactly equivalent to
+    ``[analyze_die(..., trial=t) for t in range(trials)]``.
+    """
+    return DieSweepAnalyzer(stacked, model, temperature_c, timings).analyze_batch(
+        pattern, t_on, trials, jitter_sigma
     )

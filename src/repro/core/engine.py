@@ -1,0 +1,524 @@
+"""Parallel sweep execution engine.
+
+The engine turns a characterization campaign into an explicit work-list,
+executes it through a pluggable executor, and reassembles the results in
+a deterministic canonical order -- parallel and serial runs of the same
+campaign produce byte-identical :class:`~repro.core.results.ResultSet`s.
+
+Structure
+---------
+
+* :class:`SweepPlan` enumerates the full (module, die, pattern, tAggON,
+  trial) work-list up front and groups it into :class:`Shard`s, one per
+  (module, die).  A shard is the unit of dispatch: every measurement of a
+  shard reuses one :class:`~repro.core.stacked.StackedDie` and one
+  :class:`~repro.core.acmin.DieSweepAnalyzer`, so the expensive per-die
+  state is built exactly once per worker instead of being shipped across
+  an executor boundary.
+* Executors run shards: :class:`SerialExecutor` in-process in plan order,
+  :class:`ThreadExecutor` on a thread pool, and :class:`ProcessExecutor`
+  on a :class:`~concurrent.futures.ProcessPoolExecutor`.  The process
+  executor partitions shards into per-worker chunks along module
+  boundaries and rebuilds each module inside the worker from its profile
+  key -- cell arrays never cross the pool boundary.
+* Results stream back per shard and are reassembled in canonical order:
+  modules in call order, dies ascending, then patterns x tAggON x trials
+  exactly as the serial 5-deep loop would have emitted them.
+
+Determinism
+-----------
+
+Every stochastic quantity in a measurement derives from named RNG streams
+keyed by (module, die, row / role, trial), never from execution order, so
+a shard's measurements are independent of which worker runs it or when.
+The canonical-order merge then makes the full ResultSet identical across
+executors; ``tests/test_engine.py`` asserts this bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.acmin import DieAnalysis, DieSweepAnalyzer
+from repro.core.experiment import CharacterizationConfig
+from repro.core.results import DieMeasurement, ResultSet
+from repro.core.stacked import StackedDie, build_stacked_die
+from repro.dram.module import Module
+from repro.errors import ExperimentError
+from repro.patterns.base import ALL_PATTERNS, AccessPattern
+
+__all__ = [
+    "WorkUnit",
+    "Shard",
+    "SweepPlan",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "make_executor",
+    "SweepEngine",
+    "measurement_from_analysis",
+]
+
+
+# ---------------------------------------------------------------- work-list
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One (module, die, pattern, tAggON, trial) measurement to perform."""
+
+    module_key: str
+    die: int
+    pattern: AccessPattern
+    t_on: float
+    trial: int
+
+
+@dataclass(frozen=True)
+class Shard:
+    """All work units of one (module, die), in canonical order.
+
+    The shard is the dispatch granularity: one worker builds one
+    :class:`StackedDie` for it and measures every unit against it.
+    ``index`` is the shard's position in the plan's canonical order.
+    """
+
+    index: int
+    module_key: str
+    manufacturer: str
+    die: int
+    units: Tuple[WorkUnit, ...]
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """The fully enumerated work-list of one campaign."""
+
+    shards: Tuple[Shard, ...]
+
+    @property
+    def n_measurements(self) -> int:
+        return sum(len(s.units) for s in self.shards)
+
+    @staticmethod
+    def build(
+        modules: Sequence[Module],
+        t_values: Sequence[float],
+        patterns: Sequence[AccessPattern] = ALL_PATTERNS,
+        dies: Optional[Sequence[int]] = None,
+        trials: int = 1,
+    ) -> "SweepPlan":
+        """Enumerate the campaign in canonical order.
+
+        Canonical order is the serial 5-deep loop's: modules in call
+        order, dies ascending (or ``dies`` in call order), then patterns,
+        tAggON values, and trials in call order.
+        """
+        if trials < 1:
+            raise ExperimentError("need at least one trial")
+        shards: List[Shard] = []
+        for module in modules:
+            die_list = list(dies) if dies is not None else list(range(module.n_dies))
+            for die in die_list:
+                units = tuple(
+                    WorkUnit(module.key, die, pattern, t_on, trial)
+                    for pattern in patterns
+                    for t_on in t_values
+                    for trial in range(trials)
+                )
+                shards.append(
+                    Shard(
+                        index=len(shards),
+                        module_key=module.key,
+                        manufacturer=module.manufacturer,
+                        die=die,
+                        units=units,
+                    )
+                )
+        return SweepPlan(shards=tuple(shards))
+
+
+# ------------------------------------------------------------ shard running
+
+
+def measurement_from_analysis(
+    module_key: str,
+    manufacturer: str,
+    die: int,
+    pattern: AccessPattern,
+    t_on: float,
+    trial: int,
+    analysis: DieAnalysis,
+    config: CharacterizationConfig,
+) -> DieMeasurement:
+    """Materialize one :class:`DieMeasurement` from a die analysis."""
+    acmin = analysis.acmin(config.runtime_bound_ns)
+    time_to_first = (
+        None
+        if acmin is None
+        else (acmin / analysis.acts_per_iteration) * analysis.iteration_latency_ns
+    )
+    return DieMeasurement(
+        module_key=module_key,
+        manufacturer=manufacturer,
+        die=die,
+        pattern=pattern.name,
+        t_on=t_on,
+        trial=trial,
+        acmin=acmin,
+        time_to_first_ns=time_to_first,
+        census=analysis.census(config.census_multiplier, config.runtime_bound_ns),
+    )
+
+
+class ShardRunner:
+    """Executes shards against modules, caching one StackedDie per die.
+
+    ``module_provider`` maps a module key to its :class:`Module`; the
+    in-process executors use the caller's modules directly while process
+    workers rebuild them from the profile key.  ``stacked_cache`` /
+    ``analyzer_cache`` may be shared with a
+    :class:`~repro.core.runner.CharacterizationRunner` so engine and
+    facade reuse the same per-die populations and analyzer caches (the
+    analyzers carry the per-pattern gain and per-point base caches, which
+    later campaigns revisiting the same points hit instead of recomputing).
+    """
+
+    def __init__(
+        self,
+        config: CharacterizationConfig,
+        module_provider: Callable[[str], Module],
+        stacked_cache: Optional[Dict[Tuple[str, int], StackedDie]] = None,
+        measurement_cache: Optional[
+            Dict[Tuple[str, int, str, float, int], DieMeasurement]
+        ] = None,
+        analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
+    ) -> None:
+        self._config = config
+        self._module_provider = module_provider
+        self._stacked_cache = stacked_cache if stacked_cache is not None else {}
+        self._measurement_cache = measurement_cache
+        self._analyzer_cache = analyzer_cache if analyzer_cache is not None else {}
+
+    @property
+    def config(self) -> CharacterizationConfig:
+        return self._config
+
+    def stacked(self, module: Module, die: int) -> StackedDie:
+        key = (module.key, die)
+        stacked = self._stacked_cache.get(key)
+        if stacked is None:
+            stacked = build_stacked_die(
+                module.chip(die),
+                self._config.bank,
+                self._config.selection,
+                self._config.data_pattern,
+            )
+            self._stacked_cache[key] = stacked
+        return stacked
+
+    def analyzer(self, module: Module, die: int) -> DieSweepAnalyzer:
+        """The (cached) sweep analyzer of one die.
+
+        Each (module, die) belongs to exactly one shard of a plan, so a
+        shared cache is never contended for the same key even under the
+        thread executor.
+        """
+        key = (module.key, die)
+        analyzer = self._analyzer_cache.get(key)
+        if analyzer is None:
+            analyzer = DieSweepAnalyzer(
+                self.stacked(module, die),
+                module.model,
+                temperature_c=self._config.temperature_c,
+                timings=self._config.timings,
+            )
+            self._analyzer_cache[key] = analyzer
+        return analyzer
+
+    def run(self, shard: Shard) -> List[DieMeasurement]:
+        """Measure every unit of one shard, batching trials per point.
+
+        Measurements are pure functions of (config, module, die, pattern,
+        tAggON, trial); when a ``measurement_cache`` is attached, points
+        measured by an earlier campaign (e.g. anchor trials revisiting
+        sweep points) are returned from it, and only the missing trials
+        of a point are analyzed -- still off one base division.
+        """
+        cfg = self._config
+        cache = self._measurement_cache
+        analyzer: Optional[DieSweepAnalyzer] = None
+        out: List[DieMeasurement] = []
+        for pattern, t_on, trials in _grouped_points(shard.units):
+            measured: Dict[int, DieMeasurement] = {}
+            missing = trials
+            if cache is not None:
+                for trial in trials:
+                    key = (shard.module_key, shard.die, pattern.name, t_on, trial)
+                    hit = cache.get(key)
+                    if hit is not None:
+                        measured[trial] = hit
+                missing = [t for t in trials if t not in measured]
+            if missing:
+                if analyzer is None:  # lazily: fully cached shards skip it
+                    module = self._module_provider(shard.module_key)
+                    analyzer = self.analyzer(module, shard.die)
+                analyses = analyzer.analyze_trials(
+                    pattern, t_on, missing, cfg.jitter_sigma
+                )
+                for trial, analysis in zip(missing, analyses):
+                    measurement = measurement_from_analysis(
+                        shard.module_key,
+                        shard.manufacturer,
+                        shard.die,
+                        pattern,
+                        t_on,
+                        trial,
+                        analysis,
+                        cfg,
+                    )
+                    measured[trial] = measurement
+                    if cache is not None:
+                        cache[
+                            (shard.module_key, shard.die, pattern.name, t_on, trial)
+                        ] = measurement
+            out.extend(measured[trial] for trial in trials)
+        return out
+
+
+def _grouped_points(
+    units: Sequence[WorkUnit],
+) -> List[Tuple[AccessPattern, float, List[int]]]:
+    """Group consecutive units sharing (pattern, tAggON) into trial runs."""
+    groups: List[Tuple[AccessPattern, float, List[int]]] = []
+    for unit in units:
+        if groups and groups[-1][0] == unit.pattern and groups[-1][1] == unit.t_on:
+            groups[-1][2].append(unit.trial)
+        else:
+            groups.append((unit.pattern, unit.t_on, [unit.trial]))
+    return groups
+
+
+# ---------------------------------------------------------------- executors
+
+
+class SerialExecutor:
+    """Runs shards one after another in the calling process."""
+
+    name = "serial"
+
+    def map_shards(
+        self, plan: SweepPlan, runner: ShardRunner
+    ) -> List[List[DieMeasurement]]:
+        return [runner.run(shard) for shard in plan.shards]
+
+
+class ThreadExecutor:
+    """Runs shards on a thread pool (in-process, shared caches)."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or (os.cpu_count() or 1)
+
+    def map_shards(
+        self, plan: SweepPlan, runner: ShardRunner
+    ) -> List[List[DieMeasurement]]:
+        if not plan.shards:
+            return []
+        with ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(runner.run, plan.shards))
+
+
+class ProcessExecutor:
+    """Runs shards on a process pool.
+
+    Shards are partitioned into per-worker chunks along module boundaries
+    (so a worker rebuilds each of its modules once) and dispatched as
+    whole chunks; each worker process rebuilds its modules from the
+    profile key via :func:`repro.system.build_module` and builds one
+    StackedDie per shard.  Only measurement records cross the pool
+    boundary -- never cell arrays.
+
+    Because workers rebuild modules from profiles, this executor requires
+    modules built through :func:`repro.system.build_module` /
+    :func:`build_modules` with the same configuration the engine runs
+    under; passing hand-assembled modules raises
+    :class:`~repro.errors.ExperimentError`.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers or (os.cpu_count() or 1)
+
+    def map_shards(
+        self, plan: SweepPlan, runner: ShardRunner
+    ) -> List[List[DieMeasurement]]:
+        from repro.dram.profiles import MODULE_PROFILES
+
+        if not plan.shards:
+            return []
+        unknown = sorted(
+            {s.module_key for s in plan.shards} - set(MODULE_PROFILES)
+        )
+        if unknown:
+            raise ExperimentError(
+                f"process executor rebuilds modules from profiles, but "
+                f"{unknown} are not profiled module keys; use the serial or "
+                f"thread executor for hand-assembled modules"
+            )
+        chunks = _partition_shards(plan.shards, self.workers)
+        by_index: Dict[int, List[DieMeasurement]] = {}
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            futures = [
+                pool.submit(_run_shard_chunk, runner.config, chunk)
+                for chunk in chunks
+            ]
+            for future in futures:
+                for index, measurements in future.result():
+                    by_index[index] = measurements
+        return [by_index[shard.index] for shard in plan.shards]
+
+
+def _partition_shards(
+    shards: Sequence[Shard], workers: int
+) -> List[Tuple[Shard, ...]]:
+    """Partition shards into at most ``workers`` chunks.
+
+    Consecutive shards of the same module stay together so each worker
+    calibrates/rebuilds a module at most once; module groups are then
+    spread greedily onto the least-loaded chunk.  Deterministic, and
+    harmless to result order (shards carry their canonical index).
+    """
+    groups: List[List[Shard]] = []
+    for shard in shards:
+        if groups and groups[-1][0].module_key == shard.module_key:
+            groups[-1].append(shard)
+        else:
+            groups.append([shard])
+    n_chunks = max(1, min(workers, len(groups)))
+    chunks: List[List[Shard]] = [[] for _ in range(n_chunks)]
+    loads = [0] * n_chunks
+    for group in groups:
+        target = loads.index(min(loads))
+        chunks[target].extend(group)
+        loads[target] += len(group)
+    return [tuple(chunk) for chunk in chunks if chunk]
+
+
+#: Per-worker-process module cache (populated lazily by ``_worker_module``).
+_WORKER_MODULES: Dict[Tuple[str, CharacterizationConfig], Module] = {}
+
+
+def _worker_module(module_key: str, config: CharacterizationConfig) -> Module:
+    module = _WORKER_MODULES.get((module_key, config))
+    if module is None:
+        from repro.system import build_module  # local import: avoids cycle
+
+        module = build_module(module_key, config)
+        _WORKER_MODULES[(module_key, config)] = module
+    return module
+
+
+def _run_shard_chunk(
+    config: CharacterizationConfig, shards: Tuple[Shard, ...]
+) -> List[Tuple[int, List[DieMeasurement]]]:
+    """Worker entry point: run one chunk of shards, tagged by index."""
+    runner = ShardRunner(config, lambda key: _worker_module(key, config))
+    return [(shard.index, runner.run(shard)) for shard in shards]
+
+
+def make_executor(workers: Optional[int] = None, kind: Optional[str] = None):
+    """Build an executor from a worker count and optional kind.
+
+    ``workers`` of ``None``, 0, or 1 select the serial executor (one
+    worker has nothing to parallelize); more workers default to the
+    process executor, the only one that escapes the GIL.  ``kind`` forces
+    ``"serial"``, ``"thread"``, or ``"process"``.
+    """
+    if kind is None:
+        kind = "serial" if not workers or workers <= 1 else "process"
+    if kind == "serial":
+        return SerialExecutor()
+    if kind == "thread":
+        return ThreadExecutor(workers)
+    if kind == "process":
+        return ProcessExecutor(workers)
+    raise ExperimentError(
+        f"unknown executor kind {kind!r} (expected serial, thread, or process)"
+    )
+
+
+# ------------------------------------------------------------------- engine
+
+
+class SweepEngine:
+    """Executes characterization campaigns through a pluggable executor.
+
+    The engine is the execution substrate under
+    :class:`~repro.core.runner.CharacterizationRunner` (which remains the
+    serial facade): it plans the work-list, dispatches shards, and merges
+    the streamed-back measurements in canonical order.
+    """
+
+    def __init__(
+        self,
+        config: CharacterizationConfig,
+        executor=None,
+    ) -> None:
+        self._config = config
+        self._executor = executor if executor is not None else SerialExecutor()
+
+    @property
+    def config(self) -> CharacterizationConfig:
+        return self._config
+
+    @property
+    def executor(self):
+        return self._executor
+
+    def run(
+        self,
+        modules: Sequence[Module],
+        t_values: Sequence[float],
+        patterns: Sequence[AccessPattern] = ALL_PATTERNS,
+        dies: Optional[Sequence[int]] = None,
+        trials: Optional[int] = None,
+        stacked_cache: Optional[Dict[Tuple[str, int], StackedDie]] = None,
+        measurement_cache: Optional[
+            Dict[Tuple[str, int, str, float, int], DieMeasurement]
+        ] = None,
+        analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
+    ) -> ResultSet:
+        """Run a full campaign and return its canonical ResultSet."""
+        plan = SweepPlan.build(
+            modules,
+            t_values,
+            patterns,
+            dies=dies,
+            trials=trials if trials is not None else self._config.trials,
+        )
+        by_key = {module.key: module for module in modules}
+        runner = ShardRunner(
+            self._config,
+            by_key.__getitem__,
+            stacked_cache,
+            measurement_cache,
+            analyzer_cache,
+        )
+        results = ResultSet()
+        for measurements in self._executor.map_shards(plan, runner):
+            results.extend(measurements)
+        if measurement_cache is not None:
+            # Executors that run in other processes (the process pool)
+            # bypass the caller-side runner, so fold the streamed-back
+            # measurements into the cache here.
+            for m in results:
+                measurement_cache[
+                    (m.module_key, m.die, m.pattern, m.t_on, m.trial)
+                ] = m
+        return results

@@ -26,7 +26,9 @@ class DieMeasurement:
         acmin: minimum total activations to the first bitflip, or ``None``
             for "No Bitflip" within the runtime bound.
         time_to_first_ns: time to the first bitflip, or ``None``.
-        census: the bitflips observed around ACmin (for Figs. 5 and 6).
+        census: the bitflips observed around ACmin (for Figs. 5 and 6),
+            or ``None`` if the census was not recorded (e.g. restored
+            from a census-stripped dump) -- see :attr:`has_census`.
     """
 
     module_key: str
@@ -37,17 +39,46 @@ class DieMeasurement:
     trial: int
     acmin: Optional[int]
     time_to_first_ns: Optional[float]
-    census: BitflipCensus = field(default_factory=BitflipCensus)
+    census: Optional[BitflipCensus] = field(default_factory=BitflipCensus)
 
     @property
     def flipped(self) -> bool:
         return self.acmin is not None
 
     @property
+    def has_census(self) -> bool:
+        """Whether a bitflip census was recorded for this measurement.
+
+        ``False`` after a census-stripped serialization round-trip, which
+        is distinct from a recorded census with zero flips.
+        """
+        return self.census is not None
+
+    @property
     def time_to_first_ms(self) -> Optional[float]:
         if self.time_to_first_ns is None:
             return None
         return self.time_to_first_ns / 1e6
+
+
+def _census_from_record(
+    rec: Dict, census_included: Optional[bool]
+) -> Optional[BitflipCensus]:
+    """Restore a census from one dumped record.
+
+    ``census_included`` is the dump-level flag (``None`` for legacy flat
+    lists, which carried no flag: there, per-record census fields decide).
+    A dump without a recorded census restores ``None``, keeping "not
+    recorded" distinct from "recorded, zero flips".
+    """
+    ones = rec.get("flips_1_to_0")
+    zeros = rec.get("flips_0_to_1")
+    if census_included is False or (ones is None and zeros is None):
+        return None
+    return BitflipCensus(
+        frozenset(tuple(k) for k in ones or []),
+        frozenset(tuple(k) for k in zeros or []),
+    )
 
 
 class ResultSet:
@@ -114,7 +145,14 @@ class ResultSet:
     # ----------------------------------------------------------- serialization
 
     def to_json(self, include_census: bool = False) -> str:
-        """JSON dump (censuses omitted by default -- they can be large)."""
+        """JSON dump (censuses omitted by default -- they can be large).
+
+        The dump carries an explicit ``census_included`` flag so a
+        round-trip is lossless: restoring a census-stripped dump yields
+        measurements with ``census=None`` (census not recorded) instead of
+        silently resurrecting empty censuses indistinguishable from
+        "measured, zero flips".
+        """
         records = []
         for m in self._measurements:
             rec = {
@@ -128,20 +166,26 @@ class ResultSet:
                 "time_to_first_ns": m.time_to_first_ns,
             }
             if include_census:
-                rec["flips_1_to_0"] = sorted(m.census.flips_1_to_0)
-                rec["flips_0_to_1"] = sorted(m.census.flips_0_to_1)
+                has = m.census is not None
+                rec["flips_1_to_0"] = sorted(m.census.flips_1_to_0) if has else None
+                rec["flips_0_to_1"] = sorted(m.census.flips_0_to_1) if has else None
             records.append(rec)
-        return json.dumps(records, indent=2)
+        return json.dumps(
+            {"census_included": include_census, "measurements": records},
+            indent=2,
+        )
 
     @staticmethod
     def from_json(text: str) -> "ResultSet":
-        records = json.loads(text)
+        payload = json.loads(text)
+        if isinstance(payload, dict):
+            census_included = bool(payload.get("census_included", False))
+            records = payload["measurements"]
+        else:  # legacy flat-list dumps (no census_included flag)
+            census_included = None
+            records = payload
         out = ResultSet()
         for rec in records:
-            census = BitflipCensus(
-                frozenset(tuple(k) for k in rec.get("flips_1_to_0", [])),
-                frozenset(tuple(k) for k in rec.get("flips_0_to_1", [])),
-            )
             out.add(
                 DieMeasurement(
                     module_key=rec["module_key"],
@@ -152,7 +196,7 @@ class ResultSet:
                     trial=rec["trial"],
                     acmin=rec["acmin"],
                     time_to_first_ns=rec["time_to_first_ns"],
-                    census=census,
+                    census=_census_from_record(rec, census_included),
                 )
             )
         return out

@@ -1,16 +1,20 @@
 """Characterization runner: sweeps modules x patterns x tAggON x trials.
 
-The runner is the top of the fast (closed-form) path.  It caches the
-stacked per-die populations, honours the 60 ms iteration bound, and emits
+The runner is the serial facade over the sweep execution engine
+(:mod:`repro.core.engine`).  It caches the stacked per-die populations,
+honours the 60 ms iteration bound, and emits
 :class:`~repro.core.results.DieMeasurement` records that the analysis
-layer aggregates into the paper's tables and figures.
+layer aggregates into the paper's tables and figures.  Sweeps accept a
+``workers`` count (or an explicit executor) to run shards in parallel;
+parallel and serial runs produce identical ResultSets in identical order.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, Optional, Sequence, Tuple
 
-from repro.core.acmin import analyze_die
+from repro.core.acmin import DieSweepAnalyzer, analyze_die
+from repro.core.engine import SweepEngine, make_executor, measurement_from_analysis
 from repro.core.experiment import CharacterizationConfig
 from repro.core.results import DieMeasurement, ResultSet
 from repro.core.stacked import StackedDie, build_stacked_die
@@ -24,6 +28,10 @@ class CharacterizationRunner:
     def __init__(self, config: CharacterizationConfig) -> None:
         self._config = config
         self._stacked_cache: Dict[Tuple[str, int], StackedDie] = {}
+        self._measurement_cache: Dict[
+            Tuple[str, int, str, float, int], DieMeasurement
+        ] = {}
+        self._analyzer_cache: Dict[Tuple[str, int], DieSweepAnalyzer] = {}
 
     @property
     def config(self) -> CharacterizationConfig:
@@ -65,21 +73,16 @@ class CharacterizationRunner:
             trial=trial,
             jitter_sigma=cfg.jitter_sigma,
         )
-        acmin = analysis.acmin(cfg.runtime_bound_ns)
-        census = analysis.census(cfg.census_multiplier, cfg.runtime_bound_ns)
-        return DieMeasurement(
-            module_key=module.key,
-            manufacturer=module.manufacturer,
-            die=die,
-            pattern=pattern.name,
-            t_on=t_on,
-            trial=trial,
-            acmin=acmin,
-            time_to_first_ns=analysis.time_to_first_bitflip_ns(cfg.runtime_bound_ns),
-            census=census,
+        return measurement_from_analysis(
+            module.key, module.manufacturer, die, pattern, t_on, trial, analysis, cfg
         )
 
     # ----------------------------------------------------------------- sweeps
+
+    def _engine(self, workers: Optional[int], executor) -> SweepEngine:
+        if executor is None:
+            executor = make_executor(workers)
+        return SweepEngine(self._config, executor=executor)
 
     def characterize_module(
         self,
@@ -88,17 +91,20 @@ class CharacterizationRunner:
         patterns: Sequence[AccessPattern] = ALL_PATTERNS,
         dies: Optional[Iterable[int]] = None,
         trials: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor=None,
     ) -> ResultSet:
         """Full sweep over one module."""
-        results = ResultSet()
-        die_list = list(dies) if dies is not None else list(range(module.n_dies))
-        n_trials = trials if trials is not None else self._config.trials
-        for die in die_list:
-            for pattern in patterns:
-                for t_on in t_values:
-                    for trial in range(n_trials):
-                        results.add(self.measure(module, die, pattern, t_on, trial))
-        return results
+        return self._engine(workers, executor).run(
+            [module],
+            t_values,
+            patterns,
+            dies=list(dies) if dies is not None else None,
+            trials=trials,
+            stacked_cache=self._stacked_cache,
+            measurement_cache=self._measurement_cache,
+            analyzer_cache=self._analyzer_cache,
+        )
 
     def characterize(
         self,
@@ -106,11 +112,22 @@ class CharacterizationRunner:
         t_values: Sequence[float],
         patterns: Sequence[AccessPattern] = ALL_PATTERNS,
         trials: Optional[int] = None,
+        workers: Optional[int] = None,
+        executor=None,
     ) -> ResultSet:
-        """Full sweep over several modules."""
-        results = ResultSet()
-        for module in modules:
-            results.extend(
-                self.characterize_module(module, t_values, patterns, trials=trials)
-            )
-        return results
+        """Full sweep over several modules.
+
+        ``workers`` selects parallelism (0/1: serial in-process; more:
+        a process pool sharded by (module, die)); an explicit ``executor``
+        from :mod:`repro.core.engine` overrides it.  Results are identical
+        to the serial sweep regardless of executor.
+        """
+        return self._engine(workers, executor).run(
+            modules,
+            t_values,
+            patterns,
+            trials=trials,
+            stacked_cache=self._stacked_cache,
+            measurement_cache=self._measurement_cache,
+            analyzer_cache=self._analyzer_cache,
+        )

@@ -11,6 +11,13 @@ stacked into ``(n_locations, n_cells)`` arrays, so the per-measurement
 analysis (for any pattern / tAggON / trial) is a handful of whole-array
 numpy operations instead of a Python loop over locations.
 
+All three roles additionally live in one contiguous *fused* stack of
+shape ``(3 * n_locations, n_cells)`` (role-major: the rows of a role are
+a contiguous slice); the per-role :class:`RoleArrays` are views into it.
+The closed-form analysis operates on the fused stack -- one numpy
+dispatch per step instead of one per role -- while per-role consumers
+(tests, the honest-path comparisons) keep their familiar view.
+
 The arrays are byte-for-byte the same cell populations the command-level
 :class:`~repro.disturb.tracker.DisturbanceTracker` sees (both derive from
 :func:`repro.disturb.population.victim_row_cells` with the same seeds),
@@ -20,7 +27,7 @@ execution paths.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
 import numpy as np
@@ -28,10 +35,14 @@ import numpy as np
 from repro.dram.chip import Chip, _row_key
 from repro.dram.datapattern import DataPattern
 from repro.dram.rowselect import RowSelection
-from repro.disturb.population import trial_jitter
+from repro.disturb.population import trial_jitter, victim_rows_block
 
 #: Victim roles and their row offset from a location's base row.
 ROLE_OFFSETS: Dict[str, int] = {"outer_lo": -1, "inner": 1, "outer_hi": 3}
+
+#: Fixed role order of the fused stack (the iteration order of
+#: :data:`ROLE_OFFSETS`).
+ROLE_ORDER: Tuple[str, ...] = tuple(ROLE_OFFSETS)
 
 
 @dataclass(frozen=True)
@@ -39,6 +50,11 @@ class RoleArrays:
     """Cells of one victim role, stacked over all locations of a die.
 
     All 2-D arrays have shape ``(n_locations, n_cells)``.
+
+    ``press_lo`` / ``press_hi`` are the press couplings masked to charged
+    cells and ``stored_bool`` is ``stored`` as booleans -- derived once at
+    build time so the per-measurement analysis avoids re-deriving them for
+    every (pattern, tAggON, trial) point.
     """
 
     role: str
@@ -52,6 +68,9 @@ class RoleArrays:
     solo_press_exp: np.ndarray
     charged: np.ndarray  # bool: cell holds charge given the stored data
     stored: np.ndarray  # uint8 stored bits
+    press_lo: np.ndarray  # g_p_lo where charged, else 0 (press-only denom)
+    press_hi: np.ndarray  # g_p_hi where charged, else 0
+    stored_bool: np.ndarray  # bool view of ``stored``
 
     @property
     def n_locations(self) -> int:
@@ -64,30 +83,60 @@ class RoleArrays:
 
 @dataclass(frozen=True)
 class StackedDie:
-    """All victim roles of one die under one row selection."""
+    """All victim roles of one die under one row selection.
+
+    ``fused`` stacks the three roles (in :data:`ROLE_ORDER`) into single
+    ``(3 * n_locations, n_cells)`` arrays; ``roles`` holds per-role views
+    into it.
+    """
 
     module_key: str
     die_index: int
     bank: int
     base_rows: Tuple[int, ...]
     roles: Dict[str, RoleArrays]
+    fused: RoleArrays = None
+    _jitter_cache: Dict[Tuple, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def n_locations(self) -> int:
         return len(self.base_rows)
 
     def jitter(self, role: str, trial: int, sigma: float = 0.02) -> np.ndarray:
-        """Per-trial multiplicative threshold jitter for one role."""
-        arrays = self.roles[role]
-        flat = trial_jitter(
-            self.module_key,
-            self.die_index,
-            _jitter_key(self.bank, role),
-            arrays.theta.size,
-            trial,
-            sigma=sigma,
-        )
-        return flat.reshape(arrays.theta.shape)
+        """Per-trial multiplicative threshold jitter for one role.
+
+        The jitter depends only on (role, trial, sigma) -- not on the
+        pattern or tAggON -- so it is cached for the die's lifetime and
+        reused across every point of a sweep.
+        """
+        key = (role, trial, sigma)
+        cached = self._jitter_cache.get(key)
+        if cached is None:
+            arrays = self.roles[role]
+            flat = trial_jitter(
+                self.module_key,
+                self.die_index,
+                _jitter_key(self.bank, role),
+                arrays.theta.size,
+                trial,
+                sigma=sigma,
+            )
+            cached = flat.reshape(arrays.theta.shape)
+            self._jitter_cache[key] = cached
+        return cached
+
+    def fused_jitter(self, trial: int, sigma: float = 0.02) -> np.ndarray:
+        """Role-fused jitter stack (cached), matching ``fused`` row order."""
+        key = ("__fused__", trial, sigma)
+        cached = self._jitter_cache.get(key)
+        if cached is None:
+            cached = np.concatenate(
+                [self.jitter(role, trial, sigma) for role in ROLE_ORDER]
+            )
+            self._jitter_cache[key] = cached
+        return cached
 
 
 def build_stacked_die(
@@ -96,37 +145,69 @@ def build_stacked_die(
     selection: RowSelection,
     data_pattern: DataPattern,
 ) -> StackedDie:
-    """Materialize the stacked victim populations of one die."""
+    """Materialize the stacked victim populations of one die.
+
+    All ``3 * n_locations`` victim rows are generated in one bulk draw
+    (:func:`~repro.disturb.population.victim_rows_block`) directly into
+    the fused stack; the per-role arrays are views into it.
+    """
     base_rows = selection.base_rows(chip.geometry)
     n_cells = chip.geometry.cols_simulated
+    n_loc = len(base_rows)
+    rows_per_role = [
+        np.array([b + offset for b in base_rows]) for offset in ROLE_OFFSETS.values()
+    ]
+    all_rows = np.concatenate(rows_per_role)
+    block = victim_rows_block(
+        chip.module_key,
+        chip.die_index,
+        [_row_key(bank, int(r)) for r in all_rows],
+        n_cells,
+        chip.population,
+    )
+    # Stored bits depend only on row parity, so two template rows cover
+    # the whole stack.
+    stored = np.where(
+        (all_rows % 2 == 0)[:, None],
+        data_pattern.victim_bits(0, n_cells),
+        data_pattern.victim_bits(1, n_cells),
+    )
+    stored_bool = stored.astype(bool)
+    charged = stored_bool ^ block["anti"]
+    fused = RoleArrays(
+        role="__fused__",
+        rows=all_rows,
+        theta=block["theta"],
+        g_h_lo=block["g_h_lo"],
+        g_h_hi=block["g_h_hi"],
+        g_p_lo=block["g_p_lo"],
+        g_p_hi=block["g_p_hi"],
+        solo_hammer_mod=block["solo_hammer_mod"],
+        solo_press_exp=block["solo_press_exp"],
+        charged=charged,
+        stored=stored,
+        press_lo=np.where(charged, block["g_p_lo"], 0.0),
+        press_hi=np.where(charged, block["g_p_hi"], 0.0),
+        stored_bool=stored_bool,
+    )
     roles: Dict[str, RoleArrays] = {}
-    for role, offset in ROLE_OFFSETS.items():
-        rows = np.array([b + offset for b in base_rows])
-        cells_list = [chip.cells(bank, int(r)) for r in rows]
-        theta = np.stack([c.theta for c in cells_list])
-        g_h_lo = np.stack([c.g_h_lo for c in cells_list])
-        g_h_hi = np.stack([c.g_h_hi for c in cells_list])
-        g_p_lo = np.stack([c.g_p_lo for c in cells_list])
-        g_p_hi = np.stack([c.g_p_hi for c in cells_list])
-        solo_hammer_mod = np.stack([c.solo_hammer_mod for c in cells_list])
-        solo_press_exp = np.stack([c.solo_press_exp for c in cells_list])
-        anti = np.stack([c.anti for c in cells_list])
-        stored = np.stack(
-            [data_pattern.victim_bits(int(r), n_cells) for r in rows]
-        )
-        charged = stored.astype(bool) ^ anti
+    for k, role in enumerate(ROLE_ORDER):
+        sl = slice(k * n_loc, (k + 1) * n_loc)
         roles[role] = RoleArrays(
             role=role,
-            rows=rows,
-            theta=theta,
-            g_h_lo=g_h_lo,
-            g_h_hi=g_h_hi,
-            g_p_lo=g_p_lo,
-            g_p_hi=g_p_hi,
-            solo_hammer_mod=solo_hammer_mod,
-            solo_press_exp=solo_press_exp,
-            charged=charged,
-            stored=stored,
+            rows=fused.rows[sl],
+            theta=fused.theta[sl],
+            g_h_lo=fused.g_h_lo[sl],
+            g_h_hi=fused.g_h_hi[sl],
+            g_p_lo=fused.g_p_lo[sl],
+            g_p_hi=fused.g_p_hi[sl],
+            solo_hammer_mod=fused.solo_hammer_mod[sl],
+            solo_press_exp=fused.solo_press_exp[sl],
+            charged=fused.charged[sl],
+            stored=fused.stored[sl],
+            press_lo=fused.press_lo[sl],
+            press_hi=fused.press_hi[sl],
+            stored_bool=fused.stored_bool[sl],
         )
     return StackedDie(
         module_key=chip.module_key,
@@ -134,6 +215,7 @@ def build_stacked_die(
         bank=bank,
         base_rows=tuple(base_rows),
         roles=roles,
+        fused=fused,
     )
 
 

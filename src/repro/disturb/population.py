@@ -150,22 +150,32 @@ def victim_row_cells(
     """Generate the deterministic cell population of one victim row."""
     gen = rng.stream("cells", module_key, die_index, physical_row, n_cells)
     scale = params.theta_scale * params.die_scale
-    theta = scale * np.exp(gen.normal(0.0, params.sigma_theta, n_cells))
-    g_h_lo = np.exp(gen.normal(0.0, params.sigma_hammer, n_cells))
-    g_h_hi = np.exp(gen.normal(0.0, params.sigma_hammer, n_cells))
-    press_strength = np.exp(gen.normal(0.0, params.sigma_press, n_cells))
-    g_p_lo = (
-        params.press_scale
-        * press_strength
-        * np.exp(gen.normal(0.0, params.sigma_press_side, n_cells))
+    # One batched draw for all eight lognormal fields.  ``normal(0, s, n)``
+    # consumes exactly ``n`` samples of the underlying standard-normal
+    # stream scaled by ``s``, so scaling rows of a single
+    # ``standard_normal((8, n))`` block is bit-identical to eight
+    # sequential ``gen.normal`` calls (and several times faster).
+    sigmas = np.array(
+        [
+            params.sigma_theta,
+            params.sigma_hammer,
+            params.sigma_hammer,
+            params.sigma_press,
+            params.sigma_press_side,
+            params.sigma_press_side,
+            params.sigma_solo_hammer,
+            params.sigma_solo_press_exp,
+        ]
     )
-    g_p_hi = (
-        params.press_scale
-        * press_strength
-        * np.exp(gen.normal(0.0, params.sigma_press_side, n_cells))
-    )
-    solo_hammer_mod = np.exp(gen.normal(0.0, params.sigma_solo_hammer, n_cells))
-    solo_press_exp = np.exp(gen.normal(0.0, params.sigma_solo_press_exp, n_cells))
+    lognorm = np.exp(sigmas[:, None] * gen.standard_normal((8, n_cells)))
+    theta = scale * lognorm[0]
+    g_h_lo = lognorm[1]
+    g_h_hi = lognorm[2]
+    press_strength = lognorm[3]
+    g_p_lo = params.press_scale * press_strength * lognorm[4]
+    g_p_hi = params.press_scale * press_strength * lognorm[5]
+    solo_hammer_mod = lognorm[6]
+    solo_press_exp = lognorm[7]
     anti = gen.random(n_cells) < params.anti_cell_fraction
     return VictimRowCells(
         physical_row=physical_row,
@@ -177,6 +187,64 @@ def victim_row_cells(
         solo_hammer_mod=solo_hammer_mod,
         solo_press_exp=solo_press_exp,
         anti=anti,
+    )
+
+
+def victim_rows_block(
+    module_key: str,
+    die_index: int,
+    physical_rows,
+    n_cells: int,
+    params: PopulationParams,
+):
+    """Stacked cell populations of many victim rows at once.
+
+    Returns a dict of ``(n_rows, n_cells)`` arrays (same fields as
+    :class:`VictimRowCells`).  Bit-identical per row to
+    :func:`victim_row_cells`: each row consumes its own named stream in
+    the same draw order; only the post-draw arithmetic is hoisted out of
+    the per-row loop (the hoisted ops are elementwise in the same order,
+    so every float is reproduced exactly).  This is the bulk fast path
+    used to build stacked dies; the per-row function remains the
+    authoritative definition (and is what the command-level interpreter
+    uses), which the test suite asserts by comparing the two.
+    """
+    n_rows = len(physical_rows)
+    z = np.empty((n_rows, 8, n_cells))
+    anti_u = np.empty((n_rows, n_cells))
+    for i, row in enumerate(physical_rows):
+        gen = rng.stream("cells", module_key, die_index, int(row), n_cells)
+        gen.standard_normal(out=z[i])
+        gen.random(out=anti_u[i])
+    sigmas = np.array(
+        [
+            params.sigma_theta,
+            params.sigma_hammer,
+            params.sigma_hammer,
+            params.sigma_press,
+            params.sigma_press_side,
+            params.sigma_press_side,
+            params.sigma_solo_hammer,
+            params.sigma_solo_press_exp,
+        ]
+    )
+    np.multiply(z, sigmas[None, :, None], out=z)
+    np.exp(z, out=z)
+    # One strided pass makes every field contiguous at once; the per-field
+    # slices below are then free views (or cheap contiguous elementwise
+    # ops) instead of one strided copy each.
+    zf = np.ascontiguousarray(z.transpose(1, 0, 2))
+    scale = params.theta_scale * params.die_scale
+    press = params.press_scale * zf[3]
+    return dict(
+        theta=scale * zf[0],
+        g_h_lo=zf[1],
+        g_h_hi=zf[2],
+        g_p_lo=press * zf[4],
+        g_p_hi=press * zf[5],
+        solo_hammer_mod=zf[6],
+        solo_press_exp=zf[7],
+        anti=anti_u < params.anti_cell_fraction,
     )
 
 

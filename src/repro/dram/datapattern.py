@@ -11,21 +11,28 @@ column stripe.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 
+@lru_cache(maxsize=1024)
 def _expand_byte(byte: int, n_bits: int) -> np.ndarray:
     """Expand a repeating byte value into an array of ``n_bits`` bits.
 
     Bit 0 of the returned array is the MSB of the byte, matching the order
-    in which a DRAM burst places bits on the data bus.
+    in which a DRAM burst places bits on the data bus.  The result is
+    cached (and marked read-only so the cache cannot be corrupted): row
+    initialization asks for the same handful of byte values for every row
+    of every die.
     """
     if not 0 <= byte <= 0xFF:
         raise ValueError("byte value out of range")
     bits = np.unpackbits(np.frombuffer(bytes([byte]), dtype=np.uint8))
     reps = (n_bits + 7) // 8
-    return np.tile(bits, reps)[:n_bits].astype(np.uint8)
+    out = np.tile(bits, reps)[:n_bits].astype(np.uint8)
+    out.setflags(write=False)
+    return out
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,184 @@
+"""Tests for the parallel sweep execution engine.
+
+The engine's core guarantee: the same campaign produces bit-identical
+:class:`~repro.core.results.ResultSet`s (same measurements, same order)
+no matter which executor runs it.  These tests assert that on a
+2-module subset across the serial, thread, and process executors, plus
+the supporting invariants: canonical plan order, the seeded trial
+jitter's independence from execution context, and the runner-level
+measurement memoization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepEngine,
+    SweepPlan,
+    ThreadExecutor,
+    make_executor,
+)
+from repro.core.runner import CharacterizationRunner
+from repro.core.stacked import ROLE_ORDER, build_stacked_die
+from repro.disturb.population import trial_jitter
+from repro.patterns import ALL_PATTERNS
+
+T_VALUES = [36.0, 7_800.0]
+
+
+@pytest.fixture(scope="module")
+def two_modules(s0_module, m4_module):
+    return [s0_module, m4_module]
+
+
+def _run(config, modules, executor):
+    engine = SweepEngine(config, executor=executor)
+    return engine.run(modules, T_VALUES, ALL_PATTERNS, trials=2)
+
+
+# ------------------------------------------------------------- determinism
+
+
+def test_serial_thread_process_identical(fast_config, two_modules):
+    """All three executors produce bit-identical result sets."""
+    serial = _run(fast_config, two_modules, SerialExecutor())
+    threaded = _run(fast_config, two_modules, ThreadExecutor(workers=4))
+    pooled = _run(fast_config, two_modules, ProcessExecutor(workers=2))
+    assert list(serial) == list(threaded)
+    assert list(serial) == list(pooled)
+
+
+def test_engine_matches_runner_facade(fast_config, two_modules):
+    """The engine's canonical order is the serial facade's loop order."""
+    engine_results = _run(fast_config, two_modules, SerialExecutor())
+    runner = CharacterizationRunner(fast_config)
+    facade = runner.characterize(two_modules, T_VALUES, ALL_PATTERNS, trials=2)
+    assert list(engine_results) == list(facade)
+
+
+def test_plan_canonical_order(two_modules):
+    """The plan enumerates modules, dies, patterns, t, trials in order."""
+    plan = SweepPlan.build(two_modules, T_VALUES, ALL_PATTERNS, trials=2)
+    expected = [
+        (module.key, die, pattern.name, t_on, trial)
+        for module in two_modules
+        for die in range(module.n_dies)
+        for pattern in ALL_PATTERNS
+        for t_on in T_VALUES
+        for trial in range(2)
+    ]
+    flattened = [
+        (u.module_key, u.die, u.pattern.name, u.t_on, u.trial)
+        for shard in plan.shards
+        for u in shard.units
+    ]
+    assert flattened == expected
+    # One shard per (module, die), indexed in plan order.
+    assert [s.index for s in plan.shards] == list(range(len(plan.shards)))
+    assert len({(s.module_key, s.die) for s in plan.shards}) == len(plan.shards)
+
+
+# ------------------------------------------------------------ trial jitter
+
+
+def test_jitter_depends_only_on_role_trial_sigma(fast_config, s0_module):
+    """Trial jitter is a pure function of (die, role, trial, sigma).
+
+    Two independently built stacks of the same die produce identical
+    jitter arrays -- jitter never depends on pattern, tAggON, or when the
+    stack was built -- so every executor derives the same trials.
+    """
+    build = lambda: build_stacked_die(
+        s0_module.chip(0),
+        fast_config.bank,
+        fast_config.selection,
+        fast_config.data_pattern,
+    )
+    a, b = build(), build()
+    for role in ROLE_ORDER:
+        for trial in (0, 1, 2):
+            np.testing.assert_array_equal(
+                a.jitter(role, trial), b.jitter(role, trial)
+            )
+    # Trial 0 is the jitter-free reference; later trials perturb it.
+    assert np.all(a.jitter("inner", 0) == 1.0)
+    assert not np.all(a.jitter("inner", 1) == 1.0)
+    assert not np.array_equal(a.jitter("inner", 1), a.jitter("inner", 2))
+    # Sigma is part of the key: a different sigma rescales the jitter.
+    assert not np.array_equal(
+        a.jitter("inner", 1, sigma=0.02), a.jitter("inner", 1, sigma=0.05)
+    )
+
+
+def test_fused_jitter_matches_per_role_stack(fast_config, s0_module):
+    stacked = build_stacked_die(
+        s0_module.chip(0),
+        fast_config.bank,
+        fast_config.selection,
+        fast_config.data_pattern,
+    )
+    fused = stacked.fused_jitter(1)
+    per_role = np.concatenate([stacked.jitter(role, 1) for role in ROLE_ORDER])
+    np.testing.assert_array_equal(fused, per_role)
+
+
+def test_jitter_matches_population_stream(fast_config, s0_module):
+    """The stack's cached jitter is the population-level stream verbatim."""
+    stacked = build_stacked_die(
+        s0_module.chip(0),
+        fast_config.bank,
+        fast_config.selection,
+        fast_config.data_pattern,
+    )
+    arrays = stacked.roles["inner"]
+    from repro.core.stacked import _jitter_key
+
+    expected = trial_jitter(
+        stacked.module_key,
+        stacked.die_index,
+        _jitter_key(stacked.bank, "inner"),
+        arrays.theta.size,
+        2,
+        sigma=0.02,
+    ).reshape(arrays.theta.shape)
+    np.testing.assert_array_equal(stacked.jitter("inner", 2), expected)
+
+
+# ------------------------------------------------------------- memoization
+
+
+def test_measurement_cache_returns_identical_results(fast_config, s0_module):
+    """Re-running a campaign on one runner hits the measurement cache."""
+    runner = CharacterizationRunner(fast_config)
+    first = runner.characterize_module(s0_module, T_VALUES, dies=[0], trials=2)
+    second = runner.characterize_module(s0_module, T_VALUES, dies=[0], trials=2)
+    assert list(first) == list(second)
+    # The second run returns the memoized record objects themselves.
+    assert all(a is b for a, b in zip(first, second))
+
+
+def test_measurement_cache_consistent_with_fresh_runner(fast_config, s0_module):
+    """Cache reuse across campaigns never changes the reported values."""
+    warm = CharacterizationRunner(fast_config)
+    warm.characterize_module(s0_module, T_VALUES, dies=[0, 1], trials=1)
+    # Anchor-style revisit: same points plus extra trials, partially cached.
+    revisit = warm.characterize_module(s0_module, [36.0], dies=[0, 1], trials=3)
+    fresh = CharacterizationRunner(fast_config).characterize_module(
+        s0_module, [36.0], dies=[0, 1], trials=3
+    )
+    assert list(revisit) == list(fresh)
+
+
+# ---------------------------------------------------------------- executors
+
+
+def test_make_executor_selection():
+    assert isinstance(make_executor(None), SerialExecutor)
+    assert isinstance(make_executor(1), SerialExecutor)
+    assert isinstance(make_executor(4), ProcessExecutor)
+    assert isinstance(make_executor(4, kind="thread"), ThreadExecutor)
+    assert isinstance(make_executor(None, kind="process"), ProcessExecutor)

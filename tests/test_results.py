@@ -1,5 +1,7 @@
 """Tests for measurement records and result sets."""
 
+import json
+
 import pytest
 
 from repro.core.bitflips import BitflipCensus
@@ -63,14 +65,47 @@ def test_json_roundtrip_without_census():
     assert len(restored) == 2
     values = [m.acmin for m in restored]
     assert values == [100, None]
-    # Censuses were omitted.
-    assert all(m.census.n_flips == 0 for m in restored)
+    # Censuses were stripped: restored as "not recorded", which is
+    # distinct from a recorded census with zero flips.
+    assert all(m.census is None for m in restored)
+    assert not any(m.has_census for m in restored)
 
 
 def test_json_roundtrip_with_census():
     rs = ResultSet([meas()])
     restored = ResultSet.from_json(rs.to_json(include_census=True))
-    assert list(restored)[0].census.flips_1_to_0 == frozenset({(1, 2)})
+    first = list(restored)[0]
+    assert first.has_census
+    assert first.census.flips_1_to_0 == frozenset({(1, 2)})
+
+
+def test_json_census_included_flag():
+    rs = ResultSet([meas()])
+    stripped = json.loads(rs.to_json())
+    assert stripped["census_included"] is False
+    full = json.loads(rs.to_json(include_census=True))
+    assert full["census_included"] is True
+    assert full["measurements"][0]["flips_1_to_0"] == [[1, 2]]
+
+
+def test_json_legacy_flat_list_roundtrip():
+    # Pre-flag dumps were bare lists; per-record census fields decide.
+    legacy = json.dumps([
+        {
+            "module_key": "S0", "manufacturer": "S", "die": 0,
+            "pattern": "combined", "t_on": 36.0, "trial": 0,
+            "acmin": 10, "time_to_first_ns": 1.0,
+            "flips_1_to_0": [[3, 4]], "flips_0_to_1": [],
+        },
+        {
+            "module_key": "S0", "manufacturer": "S", "die": 1,
+            "pattern": "combined", "t_on": 36.0, "trial": 0,
+            "acmin": None, "time_to_first_ns": None,
+        },
+    ])
+    restored = list(ResultSet.from_json(legacy))
+    assert restored[0].census.flips_1_to_0 == frozenset({(3, 4)})
+    assert restored[1].census is None
 
 
 def test_extend_and_iter():
