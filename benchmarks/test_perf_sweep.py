@@ -34,6 +34,7 @@ import numpy as np
 import pytest
 
 from repro import rng
+from repro.atomicio import atomic_write_text
 from repro.constants import TRIALS_PER_MEASUREMENT
 from repro.core import acmin as acmin_mod
 from repro.core.bitflips import BitflipCensus
@@ -384,7 +385,7 @@ def test_sweep_engine_speedup(bench_config, modules):
         "required_speedup": _REQUIRED_SPEEDUP,
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
-    out_path.write_text(json.dumps(record, indent=2) + "\n")
+    atomic_write_text(out_path, json.dumps(record, indent=2) + "\n")
 
     best_speedup = max(speedups.values())
     assert best_speedup >= _REQUIRED_SPEEDUP, (

@@ -1,0 +1,43 @@
+"""Atomic file writes.
+
+Campaign artifacts (result dumps, checkpoint journals, benchmark records)
+must never be observable half-written: a crash or SIGKILL mid-``write()``
+would otherwise leave a truncated JSON file that poisons a later resume
+or analysis step.  :func:`atomic_write_text` writes to a sibling
+temporary file and :func:`os.replace`\\ s it over the destination, which
+is atomic on POSIX and Windows -- readers see either the old content or
+the new content, never a mixture.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+
+def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
+    """Atomically replace ``path``'s content with ``text``.
+
+    The temporary file is created in the destination directory (same
+    filesystem, so the final ``os.replace`` cannot degrade to a copy) and
+    fsync'd before the rename so the rename never outlives the data.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(target.parent), prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise

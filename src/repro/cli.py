@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -27,8 +27,10 @@ from repro.analysis.figures import fig4_series, fig5_series, fig6_series, series
 from repro.analysis.tables import format_table, table1_inventory, table2_rows
 from repro.constants import T_AGG_ON_MAX, T_AGG_ON_TRAS
 from repro.core.experiment import CharacterizationConfig
+from repro.core.faults import RetryPolicy
 from repro.core.runner import CharacterizationRunner
 from repro.dram.profiles import MODULE_PROFILES
+from repro.errors import ReproError
 from repro.patterns import ALL_PATTERNS
 from repro.system import build_modules
 
@@ -75,11 +77,74 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of ASCII plots"
     )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="journal completed shards to PATH (JSONL, updated atomically) "
+        "so an interrupted campaign can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from an existing --checkpoint journal: journaled "
+        "shards are skipped and merged (results are bit-identical to an "
+        "uninterrupted run); a journal from a different campaign is "
+        "rejected by plan fingerprint",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries per shard after a transient failure (timeout, worker "
+        "crash); exponential backoff between attempts (default: 2)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-shard wall-clock timeout; a timed-out shard is retried "
+        "(default: no timeout)",
+    )
     return parser
 
 
-def main(argv: List[str] = None) -> int:
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a nonzero exit code on library errors."""
+    try:
+        return _run(argv)
+    except ReproError as exc:
+        sys.stderr.write(f"error: {exc}\n")
+        return 2
+
+
+def _resilience(args, runner: CharacterizationRunner) -> dict:
+    """Shared fault-tolerance kwargs of every sweep invocation."""
+    policy = RetryPolicy(
+        max_retries=args.max_retries, shard_timeout=args.shard_timeout
+    )
+    return {
+        "policy": policy,
+        "checkpoint": args.checkpoint,
+        "resume": args.resume,
+    }
+
+
+def _report_summary(runner: CharacterizationRunner) -> None:
+    """Surface retries/resume/degradation on stderr when they happened."""
+    report = runner.last_report
+    if report is None:
+        return
+    if report.n_resumed or report.n_retries or report.degradations:
+        sys.stderr.write(report.summary() + "\n")
+
+
+def _run(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.resume and not args.checkpoint:
+        sys.stderr.write("error: --resume requires --checkpoint PATH\n")
+        return 2
     if args.artifact == "table1":
         sys.stdout.write(format_table(table1_inventory()))
         return 0
@@ -91,8 +156,9 @@ def main(argv: List[str] = None) -> int:
     if args.artifact == "table2":
         results = runner.characterize(
             modules, [36.0, 7_800.0, 70_200.0], trials=args.trials,
-            workers=args.workers,
+            workers=args.workers, **_resilience(args, runner),
         )
+        _report_summary(runner)
         sys.stdout.write(format_table(table2_rows(results)))
         return 0
 
@@ -101,8 +167,9 @@ def main(argv: List[str] = None) -> int:
 
         results = runner.characterize(
             modules, [36.0, 636.0, 7_800.0, 70_200.0], trials=args.trials,
-            workers=args.workers,
+            workers=args.workers, **_resilience(args, runner),
         )
+        _report_summary(runner)
         sys.stdout.write(full_report(results))
         return 0
 
@@ -128,8 +195,10 @@ def main(argv: List[str] = None) -> int:
 
     t_values = sweep_points(args.points, args.t_max)
     results = runner.characterize(
-        modules, t_values, ALL_PATTERNS, trials=args.trials, workers=args.workers
+        modules, t_values, ALL_PATTERNS, trials=args.trials,
+        workers=args.workers, **_resilience(args, runner),
     )
+    _report_summary(runner)
     if args.artifact == "fig4":
         for metric, logy in (("time", False), ("acmin", True)):
             series = fig4_series(results, metric=metric)

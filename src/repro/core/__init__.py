@@ -13,6 +13,11 @@
 * :mod:`repro.core.engine` -- the sweep execution engine: work-list
   enumeration, (module, die) shards, serial/thread/process executors with
   deterministic canonical-order results.
+* :mod:`repro.core.faults` -- fault tolerance: retry policies, transient
+  vs. permanent classification, result-integrity validation, and the
+  fault-injection harness the recovery tests drive.
+* :mod:`repro.core.checkpoint` -- the fingerprinted checkpoint journal
+  behind ``--checkpoint`` / ``--resume``.
 * :mod:`repro.core.runner` -- sweeps modules x patterns x tAggON (serial
   facade over the engine).
 * :mod:`repro.core.overlap` / :mod:`repro.core.bitflips` -- the bitflip
@@ -38,6 +43,8 @@ from repro.core.engine import (
     ThreadExecutor,
     make_executor,
 )
+from repro.core.checkpoint import CheckpointJournal, plan_fingerprint
+from repro.core.faults import FaultPlan, FaultSpec, RetryPolicy, RunReport
 from repro.core.runner import CharacterizationRunner
 
 __all__ = [
@@ -61,5 +68,11 @@ __all__ = [
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "CheckpointJournal",
+    "plan_fingerprint",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "RunReport",
     "CharacterizationRunner",
 ]

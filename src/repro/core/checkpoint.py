@@ -1,0 +1,171 @@
+"""Checkpoint journal: crash-safe persistence of completed shards.
+
+Long campaigns (14 modules x dies x patterns x tAggON points x trials)
+must be resumable: the litex-rowhammer-tester harnesses this repo is
+modeled on checkpoint per-row progress for exactly this reason.  The
+journal is a JSONL file:
+
+* line 1 -- a header ``{"format": "repro-checkpoint-v1", "fingerprint":
+  ..., "n_shards": ...}``; the fingerprint is a SHA-256 digest of the
+  campaign configuration plus the fully enumerated plan order, so a
+  journal can never be replayed against a different campaign
+  (:class:`~repro.errors.CheckpointError` names both fingerprints).
+* one line per completed shard -- ``{"shard": index, "measurements":
+  [...]}`` with censuses included, so resumed measurements are
+  bit-identical to freshly computed ones.
+
+Every update rewrites the journal through
+:func:`repro.atomicio.atomic_write_text` (write-temp + ``os.replace``),
+so a crash mid-checkpoint leaves the previous consistent journal, never
+a torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+from repro.atomicio import atomic_write_text
+from repro.core.results import (
+    DieMeasurement,
+    measurement_from_record,
+    measurement_to_record,
+)
+from repro.errors import CheckpointError
+
+JOURNAL_FORMAT = "repro-checkpoint-v1"
+
+__all__ = ["JOURNAL_FORMAT", "plan_fingerprint", "CheckpointJournal"]
+
+
+def plan_fingerprint(config, plan) -> str:
+    """Deterministic fingerprint of (configuration, plan order).
+
+    Built from the config's value-based dataclass repr and every work
+    unit of every shard in canonical order; two campaigns share a
+    fingerprint iff they would measure the same points in the same
+    order under the same knobs.
+    """
+    parts = [repr(config)]
+    for shard in plan.shards:
+        parts.append(
+            f"shard|{shard.index}|{shard.module_key}|"
+            f"{shard.manufacturer}|{shard.die}"
+        )
+        parts.extend(
+            f"unit|{u.pattern.name}|{u.t_on!r}|{u.trial}" for u in shard.units
+        )
+    digest = hashlib.sha256("\n".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+class CheckpointJournal:
+    """Append-style journal of completed shards, rewritten atomically."""
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self._path = Path(path)
+        self._lines: List[dict] = []
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def exists(self) -> bool:
+        return self._path.exists()
+
+    # ----------------------------------------------------------- writing
+
+    def start(self, fingerprint: str, n_shards: int) -> None:
+        """Begin a fresh journal (truncating any previous one)."""
+        self._lines = [
+            {
+                "format": JOURNAL_FORMAT,
+                "fingerprint": fingerprint,
+                "n_shards": n_shards,
+            }
+        ]
+        self._flush()
+
+    def record(
+        self, shard_index: int, measurements: Sequence[DieMeasurement]
+    ) -> None:
+        """Journal one completed shard (atomic on-disk update)."""
+        if not self._lines:
+            raise CheckpointError(
+                "journal must be start()ed or load()ed before recording"
+            )
+        self._lines.append(
+            {
+                "shard": shard_index,
+                "measurements": [
+                    measurement_to_record(m, include_census=True)
+                    for m in measurements
+                ],
+            }
+        )
+        self._flush()
+
+    def _flush(self) -> None:
+        text = "".join(json.dumps(line) + "\n" for line in self._lines)
+        atomic_write_text(self._path, text)
+
+    # ----------------------------------------------------------- reading
+
+    def load(self, expected_fingerprint: str) -> Dict[int, List[DieMeasurement]]:
+        """Load completed shards, verifying the plan fingerprint.
+
+        Returns ``{shard_index: measurements}`` and primes the journal
+        so subsequent :meth:`record` calls extend the same file.
+        """
+        try:
+            raw = self._path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot read checkpoint journal {self._path}: {exc}"
+            ) from exc
+        lines = [line for line in raw.splitlines() if line.strip()]
+        if not lines:
+            raise CheckpointError(f"checkpoint journal {self._path} is empty")
+        try:
+            parsed = [json.loads(line) for line in lines]
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint journal {self._path} is malformed: {exc}"
+            ) from exc
+        header = parsed[0]
+        if header.get("format") != JOURNAL_FORMAT:
+            raise CheckpointError(
+                f"checkpoint journal {self._path} has unknown format "
+                f"{header.get('format')!r} (expected {JOURNAL_FORMAT!r})"
+            )
+        found = header.get("fingerprint")
+        if found != expected_fingerprint:
+            raise CheckpointError(
+                f"checkpoint journal {self._path} was written for plan "
+                f"fingerprint {found!r}, but the current campaign's "
+                f"fingerprint is {expected_fingerprint!r}; refusing to mix "
+                f"measurements from different campaigns (delete the journal "
+                f"or drop --resume to start over)"
+            )
+        completed: Dict[int, List[DieMeasurement]] = {}
+        for entry in parsed[1:]:
+            index = entry.get("shard")
+            if not isinstance(index, int):
+                raise CheckpointError(
+                    f"checkpoint journal {self._path} has a shard entry "
+                    f"without an index"
+                )
+            if index in completed:
+                raise CheckpointError(
+                    f"checkpoint journal {self._path} records shard {index} "
+                    f"twice"
+                )
+            completed[index] = [
+                measurement_from_record(rec, census_included=True)
+                for rec in entry["measurements"]
+            ]
+        self._lines = parsed
+        return completed

@@ -33,21 +33,63 @@ keyed by (module, die, row / role, trial), never from execution order, so
 a shard's measurements are independent of which worker runs it or when.
 The canonical-order merge then makes the full ResultSet identical across
 executors; ``tests/test_engine.py`` asserts this bit-for-bit.
+
+Fault tolerance
+---------------
+
+Campaigns are long; the engine assumes workers fail.  With a
+:class:`~repro.core.faults.RetryPolicy` attached, every executor retries
+transient shard failures with exponential backoff and enforces an
+optional per-shard timeout; results are integrity-checked on merge
+(missing/duplicate/out-of-order detection).  A checkpoint journal
+(:mod:`repro.core.checkpoint`) persists completed shards keyed by a plan
+fingerprint, so an interrupted campaign resumed with ``run(resume=True,
+checkpoint=...)`` skips finished shards and still produces a
+bit-identical ResultSet.  If the process pool breaks repeatedly, the
+engine degrades process -> thread -> serial (with a logged warning and a
+note in :attr:`SweepEngine.last_report`) instead of aborting.
 """
 
 from __future__ import annotations
 
+import logging
+import math
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.acmin import DieAnalysis, DieSweepAnalyzer
+from repro.core.checkpoint import CheckpointJournal, plan_fingerprint
 from repro.core.experiment import CharacterizationConfig
+from repro.core.faults import (
+    FaultPlan,
+    RetryPolicy,
+    RunReport,
+    is_transient,
+    run_attempts,
+    validate_shard_result,
+)
 from repro.core.results import DieMeasurement, ResultSet
 from repro.core.stacked import StackedDie, build_stacked_die
 from repro.dram.module import Module
-from repro.errors import ExperimentError
+from repro.errors import (
+    CheckpointError,
+    ExecutorError,
+    ExperimentError,
+    PoolBrokenError,
+    ResultIntegrityError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
 from repro.patterns.base import ALL_PATTERNS, AccessPattern
 
 __all__ = [
@@ -61,6 +103,8 @@ __all__ = [
     "SweepEngine",
     "measurement_from_analysis",
 ]
+
+logger = logging.getLogger("repro.engine")
 
 
 # ---------------------------------------------------------------- work-list
@@ -305,15 +349,63 @@ def _grouped_points(
 # ---------------------------------------------------------------- executors
 
 
+#: Signature of the per-shard completion callback (runs in the caller's
+#: process; the engine uses it to journal progress as results stream in).
+OnShard = Callable[[Shard, List[DieMeasurement]], None]
+
+
+def _run_shard_guarded(
+    runner: ShardRunner,
+    shard: Shard,
+    policy: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan],
+    report: Optional[RunReport],
+) -> List[DieMeasurement]:
+    """Run one shard in-process, with retry/timeout/validation if configured.
+
+    With no policy and no fault plan this is a plain ``runner.run`` --
+    the zero-overhead path the determinism tests and benchmarks use.
+    """
+    if policy is None and fault_plan is None:
+        return runner.run(shard)
+    policy = policy if policy is not None else RetryPolicy()
+    label = f"shard {shard.index} ({shard.module_key} die {shard.die})"
+
+    def attempt() -> List[DieMeasurement]:
+        if fault_plan is not None:
+            fault_plan.before(shard.index)
+        measurements = runner.run(shard)
+        if fault_plan is not None:
+            measurements = fault_plan.after(shard.index, measurements)
+        validate_shard_result(shard, measurements)
+        return measurements
+
+    return run_attempts(attempt, policy, report=report, label=label)
+
+
 class SerialExecutor:
     """Runs shards one after another in the calling process."""
 
     name = "serial"
 
     def map_shards(
-        self, plan: SweepPlan, runner: ShardRunner
+        self,
+        plan: SweepPlan,
+        runner: ShardRunner,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        on_shard: Optional[OnShard] = None,
+        report: Optional[RunReport] = None,
     ) -> List[List[DieMeasurement]]:
-        return [runner.run(shard) for shard in plan.shards]
+        out: List[List[DieMeasurement]] = []
+        for shard in plan.shards:
+            measurements = _run_shard_guarded(
+                runner, shard, policy, fault_plan, report
+            )
+            if on_shard is not None:
+                on_shard(shard, measurements)
+            out.append(measurements)
+        return out
 
 
 class ThreadExecutor:
@@ -325,12 +417,31 @@ class ThreadExecutor:
         self.workers = workers or (os.cpu_count() or 1)
 
     def map_shards(
-        self, plan: SweepPlan, runner: ShardRunner
+        self,
+        plan: SweepPlan,
+        runner: ShardRunner,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        on_shard: Optional[OnShard] = None,
+        report: Optional[RunReport] = None,
     ) -> List[List[DieMeasurement]]:
         if not plan.shards:
             return []
+        by_index: Dict[int, List[DieMeasurement]] = {}
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(runner.run, plan.shards))
+            futures = {
+                pool.submit(
+                    _run_shard_guarded, runner, shard, policy, fault_plan, report
+                ): shard
+                for shard in plan.shards
+            }
+            for future in as_completed(futures):
+                shard = futures[future]
+                measurements = future.result()
+                by_index[shard.index] = measurements
+                if on_shard is not None:
+                    on_shard(shard, measurements)
+        return [by_index[shard.index] for shard in plan.shards]
 
 
 class ProcessExecutor:
@@ -356,7 +467,13 @@ class ProcessExecutor:
         self.workers = workers or (os.cpu_count() or 1)
 
     def map_shards(
-        self, plan: SweepPlan, runner: ShardRunner
+        self,
+        plan: SweepPlan,
+        runner: ShardRunner,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        on_shard: Optional[OnShard] = None,
+        report: Optional[RunReport] = None,
     ) -> List[List[DieMeasurement]]:
         from repro.dram.profiles import MODULE_PROFILES
 
@@ -371,17 +488,188 @@ class ProcessExecutor:
                 f"{unknown} are not profiled module keys; use the serial or "
                 f"thread executor for hand-assembled modules"
             )
+        if fault_plan is not None and fault_plan.state_dir is None:
+            raise ExperimentError(
+                "a FaultPlan used with the process executor needs a "
+                "state_dir: attempt counters must survive the pool boundary"
+            )
+        if policy is None and fault_plan is None:
+            return self._map_chunked(plan, runner, on_shard)
+        return self._map_resilient(
+            plan, runner, policy or RetryPolicy(), fault_plan, on_shard, report
+        )
+
+    def _map_chunked(
+        self, plan: SweepPlan, runner: ShardRunner, on_shard: Optional[OnShard]
+    ) -> List[List[DieMeasurement]]:
+        """Fast path: whole per-worker chunks, no retry bookkeeping."""
+        shard_by_index = {shard.index: shard for shard in plan.shards}
         chunks = _partition_shards(plan.shards, self.workers)
         by_index: Dict[int, List[DieMeasurement]] = {}
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            futures = [
-                pool.submit(_run_shard_chunk, runner.config, chunk)
-                for chunk in chunks
-            ]
-            for future in futures:
-                for index, measurements in future.result():
-                    by_index[index] = measurements
+        try:
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                futures = [
+                    pool.submit(_run_shard_chunk, runner.config, chunk)
+                    for chunk in chunks
+                ]
+                for future in futures:
+                    for index, measurements in future.result():
+                        by_index[index] = measurements
+                        if on_shard is not None:
+                            on_shard(shard_by_index[index], measurements)
+        except BrokenProcessPool as exc:
+            # No retry budget on the fast path: surface the breakage in
+            # the engine's vocabulary so the degradation ladder applies.
+            raise PoolBrokenError(
+                f"process pool broke while running chunked shards: {exc}"
+            ) from exc
         return [by_index[shard.index] for shard in plan.shards]
+
+    def _map_resilient(
+        self,
+        plan: SweepPlan,
+        runner: ShardRunner,
+        policy: RetryPolicy,
+        fault_plan: Optional[FaultPlan],
+        on_shard: Optional[OnShard],
+        report: Optional[RunReport],
+    ) -> List[List[DieMeasurement]]:
+        """Per-shard dispatch with retry, timeout, and pool restarts.
+
+        Shards are submitted individually so each can fail, time out,
+        and be retried independently; a crashed worker breaks the whole
+        pool (CPython offers no per-task isolation), in which case every
+        in-flight shard is charged one attempt ("attribution is
+        per-pool-generation") and the pool is rebuilt, at most
+        ``policy.max_pool_restarts`` times.  Hung workers cannot be
+        killed individually either, so a shard timeout abandons the
+        current pool and resubmits the innocent in-flight shards --
+        harmless, since measurements are pure functions of the plan.
+        """
+        config = runner.config
+        failures: Dict[int, int] = {shard.index: 0 for shard in plan.shards}
+        done: Dict[int, List[DieMeasurement]] = {}
+        pending: List[Shard] = list(plan.shards)
+        pool_breaks = 0
+
+        def charge(shard: Shard, exc: Exception) -> None:
+            """Account one failure; requeue or raise ShardFailedError."""
+            failures[shard.index] += 1
+            count = failures[shard.index]
+            label = f"shard {shard.index} ({shard.module_key} die {shard.die})"
+            if not is_transient(exc):
+                raise ShardFailedError(
+                    f"{label} failed permanently on attempt {count}: {exc}"
+                ) from exc
+            if count > policy.max_retries:
+                raise ShardFailedError(
+                    f"{label} failed {count} times; retry budget "
+                    f"({policy.max_retries}) exhausted: {exc}"
+                ) from exc
+            if report is not None:
+                report.n_retries += 1
+            time.sleep(policy.backoff_delay(count))
+            pending.append(shard)
+
+        while len(done) < len(plan.shards):
+            if not pending:  # every shard must be done or queued
+                lost = sorted(set(failures) - set(done))
+                raise ExecutorError(
+                    f"internal scheduling error: shards {lost} neither "
+                    f"completed nor queued for retry"
+                )
+            workers = max(1, min(self.workers, len(pending)))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            abandoned = False
+            futures: Dict[object, Tuple[Shard, float]] = {}
+
+            def submit(shard: Shard) -> None:
+                deadline = (
+                    time.monotonic() + policy.shard_timeout
+                    if policy.shard_timeout is not None
+                    else math.inf
+                )
+                future = pool.submit(
+                    _run_shard_remote, config, shard, fault_plan
+                )
+                futures[future] = (shard, deadline)
+
+            try:
+                # Drain as we submit: a pool break mid-submission must
+                # not leave a shard both in ``pending`` and in-flight.
+                while pending:
+                    submit(pending.pop(0))
+                while futures:
+                    timeout = None
+                    if policy.shard_timeout is not None:
+                        next_deadline = min(dl for _, dl in futures.values())
+                        timeout = max(0.0, next_deadline - time.monotonic())
+                    finished, _ = wait(
+                        set(futures), timeout=timeout,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    if not finished:
+                        # A deadline expired with nothing completed: the
+                        # worker is hung.  Charge the timed-out shards and
+                        # abandon the pool to reclaim their workers.
+                        now = time.monotonic()
+                        abandoned = True
+                        expired = [
+                            future
+                            for future, (_, deadline) in futures.items()
+                            if deadline <= now
+                        ]
+                        for future in expired:
+                            shard, _ = futures.pop(future)
+                            future.cancel()
+                            charge(
+                                shard,
+                                ShardTimeoutError(
+                                    f"shard {shard.index} exceeded the "
+                                    f"{policy.shard_timeout:g}s per-shard "
+                                    f"timeout"
+                                ),
+                            )
+                        # Innocent in-flight shards are resubmitted
+                        # without an attempt charge.
+                        pending.extend(shard for shard, _ in futures.values())
+                        futures.clear()
+                        break
+                    for future in finished:
+                        shard, _ = futures.pop(future)
+                        try:
+                            _, measurements = future.result()
+                            validate_shard_result(shard, measurements)
+                        except BrokenProcessPool:
+                            # Hand the shard back so the pool-break
+                            # handler below charges and requeues it with
+                            # the rest of the in-flight generation.
+                            futures[future] = (shard, math.inf)
+                            raise
+                        except Exception as exc:  # noqa: BLE001
+                            charge(shard, exc)
+                            continue
+                        done[shard.index] = measurements
+                        if on_shard is not None:
+                            on_shard(shard, measurements)
+                    while pending:
+                        submit(pending.pop(0))
+            except BrokenProcessPool as exc:
+                pool_breaks += 1
+                if report is not None:
+                    report.n_pool_restarts += 1
+                if pool_breaks > policy.max_pool_restarts:
+                    raise PoolBrokenError(
+                        f"process pool broke {pool_breaks} times "
+                        f"(max_pool_restarts={policy.max_pool_restarts})"
+                    ) from exc
+                leftover = [shard for shard, _ in futures.values()]
+                futures.clear()
+                for shard in leftover:
+                    charge(shard, exc)
+            finally:
+                pool.shutdown(wait=not abandoned, cancel_futures=True)
+        return [done[shard.index] for shard in plan.shards]
 
 
 def _partition_shards(
@@ -432,6 +720,26 @@ def _run_shard_chunk(
     return [(shard.index, runner.run(shard)) for shard in shards]
 
 
+def _run_shard_remote(
+    config: CharacterizationConfig,
+    shard: Shard,
+    fault_plan: Optional[FaultPlan],
+) -> Tuple[int, List[DieMeasurement]]:
+    """Worker entry point of the resilient path: one shard per task.
+
+    Fault hooks run *inside* the worker so injected hangs and crashes
+    exercise the real failure surface (pool timeouts, BrokenProcessPool);
+    result validation stays on the parent side.
+    """
+    if fault_plan is not None:
+        fault_plan.before(shard.index)
+    runner = ShardRunner(config, lambda key: _worker_module(key, config))
+    measurements = runner.run(shard)
+    if fault_plan is not None:
+        measurements = fault_plan.after(shard.index, measurements)
+    return shard.index, measurements
+
+
 def make_executor(workers: Optional[int] = None, kind: Optional[str] = None):
     """Build an executor from a worker count and optional kind.
 
@@ -463,15 +771,26 @@ class SweepEngine:
     :class:`~repro.core.runner.CharacterizationRunner` (which remains the
     serial facade): it plans the work-list, dispatches shards, and merges
     the streamed-back measurements in canonical order.
+
+    With a :class:`~repro.core.faults.RetryPolicy` (constructor default
+    or per-run override) shards are retried/timed out; with a
+    ``checkpoint`` path, completed shards are journaled as they finish
+    and ``resume=True`` skips journaled shards on a restart.  Repeated
+    process-pool breakage degrades the executor process -> thread ->
+    serial instead of aborting; :attr:`last_report` summarizes what
+    happened.
     """
 
     def __init__(
         self,
         config: CharacterizationConfig,
         executor=None,
+        policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._config = config
         self._executor = executor if executor is not None else SerialExecutor()
+        self._policy = policy
+        self._last_report: Optional[RunReport] = None
 
     @property
     def config(self) -> CharacterizationConfig:
@@ -480,6 +799,23 @@ class SweepEngine:
     @property
     def executor(self):
         return self._executor
+
+    @property
+    def last_report(self) -> Optional[RunReport]:
+        """The :class:`~repro.core.faults.RunReport` of the latest run."""
+        return self._last_report
+
+    def _ladder(self) -> List:
+        """Degradation ladder starting at the configured executor."""
+        if isinstance(self._executor, ProcessExecutor):
+            return [
+                self._executor,
+                ThreadExecutor(self._executor.workers),
+                SerialExecutor(),
+            ]
+        if isinstance(self._executor, ThreadExecutor):
+            return [self._executor, SerialExecutor()]
+        return [self._executor]
 
     def run(
         self,
@@ -493,8 +829,21 @@ class SweepEngine:
             Dict[Tuple[str, int, str, float, int], DieMeasurement]
         ] = None,
         analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
+        policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ResultSet:
-        """Run a full campaign and return its canonical ResultSet."""
+        """Run a full campaign and return its canonical ResultSet.
+
+        ``checkpoint`` names a JSONL journal updated atomically after
+        every completed shard; with ``resume=True`` an existing journal
+        (same plan fingerprint -- anything else raises
+        :class:`~repro.errors.CheckpointError`) seeds the run and its
+        shards are not re-executed.  The final ResultSet is bit-identical
+        to an uninterrupted run: resumed measurements round-trip through
+        the journal losslessly and are merged in canonical plan order.
+        """
         plan = SweepPlan.build(
             modules,
             t_values,
@@ -502,6 +851,36 @@ class SweepEngine:
             dies=dies,
             trials=trials if trials is not None else self._config.trials,
         )
+        policy = policy if policy is not None else self._policy
+        fingerprint = plan_fingerprint(self._config, plan)
+        report = RunReport(n_shards=len(plan.shards), fingerprint=fingerprint)
+        self._last_report = report
+
+        journal = CheckpointJournal(checkpoint) if checkpoint is not None else None
+        completed: Dict[int, List[DieMeasurement]] = {}
+        if journal is not None:
+            if resume and journal.exists():
+                completed = journal.load(fingerprint)
+                shard_by_index = {shard.index: shard for shard in plan.shards}
+                for index, measurements in completed.items():
+                    shard = shard_by_index.get(index)
+                    if shard is None:
+                        raise CheckpointError(
+                            f"checkpoint journal {journal.path} records shard "
+                            f"{index}, which is not in the current plan "
+                            f"({len(plan.shards)} shards)"
+                        )
+                    try:
+                        validate_shard_result(shard, measurements)
+                    except ResultIntegrityError as exc:
+                        raise CheckpointError(
+                            f"checkpoint journal {journal.path} entry for "
+                            f"shard {index} does not match the plan: {exc}"
+                        ) from exc
+                report.n_resumed = len(completed)
+            else:
+                journal.start(fingerprint, len(plan.shards))
+
         by_key = {module.key: module for module in modules}
         runner = ShardRunner(
             self._config,
@@ -510,9 +889,55 @@ class SweepEngine:
             measurement_cache,
             analyzer_cache,
         )
+
+        def on_shard(shard: Shard, measurements: List[DieMeasurement]) -> None:
+            completed[shard.index] = measurements
+            report.n_executed += 1
+            if journal is not None:
+                journal.record(shard.index, measurements)
+
+        ladder = self._ladder()
+        for position, executor in enumerate(ladder):
+            remaining = tuple(
+                shard for shard in plan.shards if shard.index not in completed
+            )
+            if not remaining:
+                break
+            report.executors.append(executor.name)
+            try:
+                executor.map_shards(
+                    SweepPlan(shards=remaining),
+                    runner,
+                    policy=policy,
+                    fault_plan=fault_plan,
+                    on_shard=on_shard,
+                    report=report,
+                )
+                break
+            except PoolBrokenError as exc:
+                if position + 1 >= len(ladder):
+                    raise
+                fallback = ladder[position + 1]
+                message = (
+                    f"{executor.name} executor failed ({exc}); degrading to "
+                    f"the {fallback.name} executor for the remaining "
+                    f"{len(remaining) - sum(1 for s in remaining if s.index in completed)} "
+                    f"shard(s)"
+                )
+                logger.warning(message)
+                report.degradations.append(message)
+
+        missing = [
+            shard.index for shard in plan.shards if shard.index not in completed
+        ]
+        if missing:
+            raise ExecutorError(
+                f"campaign incomplete: shards {missing} never completed"
+            )
+
         results = ResultSet()
-        for measurements in self._executor.map_shards(plan, runner):
-            results.extend(measurements)
+        for shard in plan.shards:
+            results.extend(completed[shard.index])
         if measurement_cache is not None:
             # Executors that run in other processes (the process pool)
             # bypass the caller-side runner, so fold the streamed-back

@@ -8,9 +8,11 @@ the grouping helpers the analysis layer builds tables and figures from.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.atomicio import atomic_write_text
 from repro.core.bitflips import BitflipCensus
 
 
@@ -59,6 +61,50 @@ class DieMeasurement:
         if self.time_to_first_ns is None:
             return None
         return self.time_to_first_ns / 1e6
+
+
+def measurement_to_record(
+    measurement: DieMeasurement, include_census: bool = False
+) -> Dict:
+    """Encode one measurement as a JSON-safe record.
+
+    The record format is shared by :meth:`ResultSet.to_json` dumps and
+    the checkpoint journal (:mod:`repro.core.checkpoint`); floats
+    round-trip exactly through :mod:`json`, so decode(encode(m)) == m.
+    """
+    m = measurement
+    rec = {
+        "module_key": m.module_key,
+        "manufacturer": m.manufacturer,
+        "die": m.die,
+        "pattern": m.pattern,
+        "t_on": m.t_on,
+        "trial": m.trial,
+        "acmin": m.acmin,
+        "time_to_first_ns": m.time_to_first_ns,
+    }
+    if include_census:
+        has = m.census is not None
+        rec["flips_1_to_0"] = sorted(m.census.flips_1_to_0) if has else None
+        rec["flips_0_to_1"] = sorted(m.census.flips_0_to_1) if has else None
+    return rec
+
+
+def measurement_from_record(
+    rec: Dict, census_included: Optional[bool]
+) -> DieMeasurement:
+    """Decode one dumped record (see :func:`measurement_to_record`)."""
+    return DieMeasurement(
+        module_key=rec["module_key"],
+        manufacturer=rec["manufacturer"],
+        die=rec["die"],
+        pattern=rec["pattern"],
+        t_on=rec["t_on"],
+        trial=rec["trial"],
+        acmin=rec["acmin"],
+        time_to_first_ns=rec["time_to_first_ns"],
+        census=_census_from_record(rec, census_included),
+    )
 
 
 def _census_from_record(
@@ -153,27 +199,29 @@ class ResultSet:
         silently resurrecting empty censuses indistinguishable from
         "measured, zero flips".
         """
-        records = []
-        for m in self._measurements:
-            rec = {
-                "module_key": m.module_key,
-                "manufacturer": m.manufacturer,
-                "die": m.die,
-                "pattern": m.pattern,
-                "t_on": m.t_on,
-                "trial": m.trial,
-                "acmin": m.acmin,
-                "time_to_first_ns": m.time_to_first_ns,
-            }
-            if include_census:
-                has = m.census is not None
-                rec["flips_1_to_0"] = sorted(m.census.flips_1_to_0) if has else None
-                rec["flips_0_to_1"] = sorted(m.census.flips_0_to_1) if has else None
-            records.append(rec)
+        records = [
+            measurement_to_record(m, include_census) for m in self._measurements
+        ]
         return json.dumps(
             {"census_included": include_census, "measurements": records},
             indent=2,
         )
+
+    def dump(
+        self, path: Union[str, os.PathLike], include_census: bool = False
+    ) -> None:
+        """Atomically write the JSON dump to ``path``.
+
+        Uses write-temp + :func:`os.replace`, so an interrupted dump
+        never leaves a truncated or corrupt results file behind.
+        """
+        atomic_write_text(path, self.to_json(include_census=include_census) + "\n")
+
+    @staticmethod
+    def load(path: Union[str, os.PathLike]) -> "ResultSet":
+        """Restore a ResultSet from a :meth:`dump`'d file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return ResultSet.from_json(handle.read())
 
     @staticmethod
     def from_json(text: str) -> "ResultSet":
@@ -186,17 +234,5 @@ class ResultSet:
             records = payload
         out = ResultSet()
         for rec in records:
-            out.add(
-                DieMeasurement(
-                    module_key=rec["module_key"],
-                    manufacturer=rec["manufacturer"],
-                    die=rec["die"],
-                    pattern=rec["pattern"],
-                    t_on=rec["t_on"],
-                    trial=rec["trial"],
-                    acmin=rec["acmin"],
-                    time_to_first_ns=rec["time_to_first_ns"],
-                    census=_census_from_record(rec, census_included),
-                )
-            )
+            out.add(measurement_from_record(rec, census_included))
         return out

@@ -11,11 +11,13 @@ parallel and serial runs produce identical ResultSets in identical order.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+import os
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.core.acmin import DieSweepAnalyzer, analyze_die
 from repro.core.engine import SweepEngine, make_executor, measurement_from_analysis
 from repro.core.experiment import CharacterizationConfig
+from repro.core.faults import FaultPlan, RetryPolicy, RunReport
 from repro.core.results import DieMeasurement, ResultSet
 from repro.core.stacked import StackedDie, build_stacked_die
 from repro.dram.module import Module
@@ -32,10 +34,18 @@ class CharacterizationRunner:
             Tuple[str, int, str, float, int], DieMeasurement
         ] = {}
         self._analyzer_cache: Dict[Tuple[str, int], DieSweepAnalyzer] = {}
+        self._last_engine: Optional[SweepEngine] = None
 
     @property
     def config(self) -> CharacterizationConfig:
         return self._config
+
+    @property
+    def last_report(self) -> Optional[RunReport]:
+        """The run report of the most recent sweep (``None`` before one)."""
+        if self._last_engine is None:
+            return None
+        return self._last_engine.last_report
 
     # ------------------------------------------------------------ measurement
 
@@ -82,7 +92,9 @@ class CharacterizationRunner:
     def _engine(self, workers: Optional[int], executor) -> SweepEngine:
         if executor is None:
             executor = make_executor(workers)
-        return SweepEngine(self._config, executor=executor)
+        engine = SweepEngine(self._config, executor=executor)
+        self._last_engine = engine
+        return engine
 
     def characterize_module(
         self,
@@ -93,6 +105,10 @@ class CharacterizationRunner:
         trials: Optional[int] = None,
         workers: Optional[int] = None,
         executor=None,
+        policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ResultSet:
         """Full sweep over one module."""
         return self._engine(workers, executor).run(
@@ -104,6 +120,10 @@ class CharacterizationRunner:
             stacked_cache=self._stacked_cache,
             measurement_cache=self._measurement_cache,
             analyzer_cache=self._analyzer_cache,
+            policy=policy,
+            checkpoint=str(checkpoint) if checkpoint is not None else None,
+            resume=resume,
+            fault_plan=fault_plan,
         )
 
     def characterize(
@@ -114,6 +134,10 @@ class CharacterizationRunner:
         trials: Optional[int] = None,
         workers: Optional[int] = None,
         executor=None,
+        policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[Union[str, os.PathLike]] = None,
+        resume: bool = False,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> ResultSet:
         """Full sweep over several modules.
 
@@ -121,6 +145,12 @@ class CharacterizationRunner:
         a process pool sharded by (module, die)); an explicit ``executor``
         from :mod:`repro.core.engine` overrides it.  Results are identical
         to the serial sweep regardless of executor.
+
+        ``policy`` adds shard retry/timeout behaviour; ``checkpoint`` /
+        ``resume`` journal completed shards and skip them on restart
+        (bit-identical results either way); ``fault_plan`` injects
+        deterministic faults (tests only).  See
+        :meth:`repro.core.engine.SweepEngine.run`.
         """
         return self._engine(workers, executor).run(
             modules,
@@ -130,4 +160,8 @@ class CharacterizationRunner:
             stacked_cache=self._stacked_cache,
             measurement_cache=self._measurement_cache,
             analyzer_cache=self._analyzer_cache,
+            policy=policy,
+            checkpoint=str(checkpoint) if checkpoint is not None else None,
+            resume=resume,
+            fault_plan=fault_plan,
         )

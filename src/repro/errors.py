@@ -51,3 +51,50 @@ class ExperimentError(ReproError):
 
 class MitigationError(ReproError):
     """A read-disturbance mitigation mechanism was configured incorrectly."""
+
+
+class ExecutorError(ReproError):
+    """The sweep execution layer failed to run a campaign's shards.
+
+    Base class of the executor failure domain; see
+    :class:`ShardTimeoutError`, :class:`ShardFailedError`,
+    :class:`ResultIntegrityError`, and :class:`PoolBrokenError` for the
+    specific failure modes.
+    """
+
+
+class ShardTimeoutError(ExecutorError):
+    """A shard exceeded its per-shard wall-clock timeout.
+
+    Classified *transient*: the shard is retried (with backoff) up to the
+    retry policy's ``max_retries``.
+    """
+
+
+class ResultIntegrityError(ExecutorError):
+    """A shard returned measurements that do not match its work units
+    (missing, duplicated, out-of-order, or mislabeled records).
+
+    Classified *transient*: measurements are pure functions of the plan,
+    so a re-run of the shard yields a clean result unless the corruption
+    is deterministic.
+    """
+
+
+class PoolBrokenError(ExecutorError):
+    """The process pool died repeatedly (more than the policy's
+    ``max_pool_restarts``).  The engine reacts by degrading to the next
+    executor in the ladder (process -> thread -> serial) instead of
+    aborting the campaign."""
+
+
+class ShardFailedError(ExecutorError):
+    """A shard permanently failed: either its error is non-retryable
+    (deterministic :class:`ReproError`\\ s recur on retry) or its retry
+    budget is exhausted.  Raised with the underlying cause chained."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint journal cannot be used for this campaign (plan
+    fingerprint mismatch, malformed journal, or entries inconsistent
+    with the current plan)."""

@@ -1,0 +1,407 @@
+"""Fault-injection, retry, and checkpoint/resume tests.
+
+The engine's robustness contract: transient shard failures (flaky
+raises, hangs, corrupted results, crashed pool workers) are retried with
+backoff up to the policy budget; permanent failures raise
+``ShardFailedError`` with the cause chained; repeated pool breakage
+degrades process -> thread -> serial instead of aborting; and a campaign
+killed mid-run resumes from its checkpoint journal to a ResultSet
+bit-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checkpoint import CheckpointJournal, plan_fingerprint
+from repro.core.engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    SweepEngine,
+    SweepPlan,
+    ThreadExecutor,
+)
+from repro.core.experiment import CharacterizationConfig
+from repro.core.faults import (
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    is_transient,
+    validate_shard_result,
+)
+from repro.core.results import ResultSet
+from repro.errors import (
+    CalibrationError,
+    CheckpointError,
+    ExecutorError,
+    ExperimentError,
+    PoolBrokenError,
+    ReproError,
+    ResultIntegrityError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
+from repro.patterns import ALL_PATTERNS
+
+pytestmark = pytest.mark.faults
+
+T_VALUES = [36.0, 7_800.0]
+
+#: No backoff sleeps in tests; two retries unless a test overrides it.
+FAST_POLICY = RetryPolicy(max_retries=2, backoff_base=0.0)
+
+
+def _run(config, modules, executor=None, **kwargs):
+    engine = SweepEngine(config, executor=executor or SerialExecutor())
+    results = engine.run(modules, T_VALUES, ALL_PATTERNS, trials=1, **kwargs)
+    return engine, results
+
+
+@pytest.fixture(scope="module")
+def baseline(fast_config, s0_module):
+    """The uninterrupted serial run every recovery test must reproduce."""
+    _, results = _run(fast_config, [s0_module])
+    return results
+
+
+# ----------------------------------------------------------- classification
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [ExecutorError, ShardTimeoutError, ShardFailedError,
+     ResultIntegrityError, PoolBrokenError, CheckpointError],
+)
+def test_new_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_transient_vs_permanent_classification():
+    # Retryable: timeouts, integrity violations, pool breakage, and
+    # unknown worker exceptions.
+    assert is_transient(ShardTimeoutError("slow"))
+    assert is_transient(ResultIntegrityError("short"))
+    assert is_transient(PoolBrokenError("boom"))
+    assert is_transient(RuntimeError("worker died"))
+    # Permanent: deterministic library errors recur on retry.
+    assert not is_transient(ExperimentError("bad config"))
+    assert not is_transient(CalibrationError("no bracket"))
+    assert not is_transient(ShardFailedError("gave up"))
+
+
+def test_retry_policy_validation_and_backoff():
+    policy = RetryPolicy(max_retries=3, backoff_base=0.1, backoff_factor=2.0)
+    assert policy.backoff_delay(1) == pytest.approx(0.1)
+    assert policy.backoff_delay(3) == pytest.approx(0.4)
+    with pytest.raises(ExperimentError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ExperimentError):
+        RetryPolicy(shard_timeout=0.0)
+    with pytest.raises(ExperimentError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+# ------------------------------------------------------- result validation
+
+
+def test_validate_shard_result_detects_corruption(fast_config, s0_module):
+    plan = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=1)
+    shard = plan.shards[0]
+    engine, results = _run(fast_config, [s0_module])
+    good = list(results)[: len(shard.units)]
+    validate_shard_result(shard, good)  # canonical order passes
+    with pytest.raises(ResultIntegrityError, match="missing"):
+        validate_shard_result(shard, good[:-1])
+    with pytest.raises(ResultIntegrityError, match="duplicated"):
+        validate_shard_result(shard, good[:-1] + [good[0]])
+    with pytest.raises(ResultIntegrityError, match="out of canonical order"):
+        validate_shard_result(shard, list(reversed(good)))
+
+
+# --------------------------------------------------------- retry recovery
+
+
+def test_retry_then_succeed_serial(fast_config, s0_module, baseline):
+    fault = FaultPlan([FaultSpec(shard_index=0, kind="raise", times=1)])
+    engine, results = _run(
+        fast_config, [s0_module], policy=FAST_POLICY, fault_plan=fault
+    )
+    assert list(results) == list(baseline)
+    assert engine.last_report.n_retries == 1
+    assert engine.last_report.degradations == []
+
+
+def test_retry_budget_exhaustion_is_permanent(fast_config, s0_module):
+    fault = FaultPlan([FaultSpec(shard_index=0, kind="raise", times=99)])
+    policy = RetryPolicy(max_retries=1, backoff_base=0.0)
+    with pytest.raises(ShardFailedError, match="retry budget"):
+        _run(fast_config, [s0_module], policy=policy, fault_plan=fault)
+
+
+def test_corrupt_result_detected_and_retried(fast_config, s0_module, baseline):
+    fault = FaultPlan([FaultSpec(shard_index=1, kind="corrupt", times=1)])
+    engine, results = _run(
+        fast_config, [s0_module], policy=FAST_POLICY, fault_plan=fault
+    )
+    assert list(results) == list(baseline)
+    assert engine.last_report.n_retries == 1
+
+
+def test_corrupt_result_without_retries_fails(fast_config, s0_module):
+    fault = FaultPlan([FaultSpec(shard_index=1, kind="corrupt", times=1)])
+    policy = RetryPolicy(max_retries=0, backoff_base=0.0)
+    with pytest.raises(ShardFailedError) as excinfo:
+        _run(fast_config, [s0_module], policy=policy, fault_plan=fault)
+    assert isinstance(excinfo.value.__cause__, ResultIntegrityError)
+
+
+def test_thread_executor_retries(fast_config, s0_module, baseline):
+    fault = FaultPlan([FaultSpec(shard_index=2, kind="raise", times=2)])
+    engine, results = _run(
+        fast_config,
+        [s0_module],
+        executor=ThreadExecutor(workers=4),
+        policy=FAST_POLICY,
+        fault_plan=fault,
+    )
+    assert list(results) == list(baseline)
+
+
+# ------------------------------------------------------------- timeouts
+
+
+def test_timeout_then_retry_succeeds(fast_config, s0_module, baseline):
+    fault = FaultPlan(
+        [FaultSpec(shard_index=0, kind="hang", times=1, hang_s=5.0)]
+    )
+    policy = RetryPolicy(max_retries=2, backoff_base=0.0, shard_timeout=0.5)
+    engine, results = _run(
+        fast_config, [s0_module], policy=policy, fault_plan=fault
+    )
+    assert list(results) == list(baseline)
+    assert engine.last_report.n_retries >= 1
+
+
+def test_timeout_exhaustion_chains_shard_timeout(fast_config, s0_module):
+    fault = FaultPlan(
+        [FaultSpec(shard_index=0, kind="hang", times=99, hang_s=5.0)]
+    )
+    policy = RetryPolicy(max_retries=1, backoff_base=0.0, shard_timeout=0.3)
+    with pytest.raises(ShardFailedError) as excinfo:
+        _run(fast_config, [s0_module], policy=policy, fault_plan=fault)
+    assert isinstance(excinfo.value.__cause__, ShardTimeoutError)
+
+
+# ------------------------------------------------------- process executor
+
+
+def test_worker_crash_recovery(fast_config, s0_module, baseline, tmp_path):
+    """A crashed pool worker breaks the pool; the pool is rebuilt and the
+    campaign still completes with bit-identical results."""
+    fault = FaultPlan(
+        [FaultSpec(shard_index=1, kind="crash", times=1)],
+        state_dir=tmp_path,
+    )
+    policy = RetryPolicy(max_retries=3, backoff_base=0.0, max_pool_restarts=3)
+    engine, results = _run(
+        fast_config,
+        [s0_module],
+        executor=ProcessExecutor(workers=2),
+        policy=policy,
+        fault_plan=fault,
+    )
+    assert list(results) == list(baseline)
+    assert engine.last_report.n_pool_restarts >= 1
+    assert engine.last_report.degradations == []
+
+
+def test_repeated_pool_breakage_degrades_to_thread(
+    fast_config, s0_module, baseline, tmp_path
+):
+    """More pool breaks than max_pool_restarts: the engine falls back to
+    the thread executor (with a recorded degradation) and completes."""
+    fault = FaultPlan(
+        [FaultSpec(shard_index=0, kind="crash", times=3)],
+        state_dir=tmp_path,
+    )
+    policy = RetryPolicy(
+        max_retries=6, backoff_base=0.0, max_pool_restarts=1
+    )
+    engine, results = _run(
+        fast_config,
+        [s0_module],
+        executor=ProcessExecutor(workers=2),
+        policy=policy,
+        fault_plan=fault,
+    )
+    assert list(results) == list(baseline)
+    report = engine.last_report
+    assert report.degradations and "thread" in report.degradations[0]
+    assert report.executors[:2] == ["process", "thread"]
+
+
+def test_degradation_ladder_shape(fast_config):
+    assert [e.name for e in SweepEngine(
+        fast_config, executor=ProcessExecutor(2))._ladder()
+    ] == ["process", "thread", "serial"]
+    assert [e.name for e in SweepEngine(
+        fast_config, executor=ThreadExecutor(2))._ladder()
+    ] == ["thread", "serial"]
+    assert [e.name for e in SweepEngine(fast_config)._ladder()] == ["serial"]
+
+
+def test_process_fault_plan_requires_state_dir(fast_config, s0_module):
+    fault = FaultPlan([FaultSpec(shard_index=0, kind="raise", times=1)])
+    with pytest.raises(ExperimentError, match="state_dir"):
+        _run(
+            fast_config,
+            [s0_module],
+            executor=ProcessExecutor(workers=2),
+            policy=FAST_POLICY,
+            fault_plan=fault,
+        )
+
+
+# ------------------------------------------------------ checkpoint/resume
+
+
+def test_checkpoint_resume_bit_identical(fast_config, s0_module, baseline, tmp_path):
+    """A campaign killed mid-run and resumed produces a ResultSet
+    bit-identical to an uninterrupted serial run."""
+    journal_path = tmp_path / "campaign.jsonl"
+    # Shard 3 fails every attempt with no retry budget: the campaign
+    # dies mid-run, with shards 0-2 already journaled.
+    fault = FaultPlan([FaultSpec(shard_index=3, kind="raise", times=99)])
+    policy = RetryPolicy(max_retries=0, backoff_base=0.0)
+    with pytest.raises(ShardFailedError):
+        _run(
+            fast_config,
+            [s0_module],
+            policy=policy,
+            fault_plan=fault,
+            checkpoint=str(journal_path),
+        )
+    assert journal_path.exists()
+
+    engine, resumed = _run(
+        fast_config, [s0_module], checkpoint=str(journal_path), resume=True
+    )
+    assert list(resumed) == list(baseline)
+    # Bit-identity includes the censuses behind Figs. 5/6.
+    assert resumed.to_json(include_census=True) == baseline.to_json(
+        include_census=True
+    )
+    report = engine.last_report
+    assert report.n_resumed == 3
+    assert report.n_executed == report.n_shards - report.n_resumed
+
+
+def test_resume_without_journal_starts_fresh(fast_config, s0_module, baseline, tmp_path):
+    journal_path = tmp_path / "fresh.jsonl"
+    engine, results = _run(
+        fast_config, [s0_module], checkpoint=str(journal_path), resume=True
+    )
+    assert list(results) == list(baseline)
+    assert engine.last_report.n_resumed == 0
+    assert journal_path.exists()
+
+
+def test_checkpoint_fingerprint_mismatch_raises(fast_config, s0_module, tmp_path):
+    """A journal from a different campaign is rejected, naming both
+    fingerprints, instead of silently mixing measurements."""
+    journal_path = tmp_path / "mismatch.jsonl"
+    engine = SweepEngine(fast_config)
+    engine.run(
+        [s0_module], T_VALUES, ALL_PATTERNS, trials=1,
+        checkpoint=str(journal_path),
+    )
+    plan_1 = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=1)
+    plan_2 = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=2)
+    fp_1 = plan_fingerprint(fast_config, plan_1)
+    fp_2 = plan_fingerprint(fast_config, plan_2)
+    assert fp_1 != fp_2
+    with pytest.raises(CheckpointError) as excinfo:
+        engine.run(
+            [s0_module], T_VALUES, ALL_PATTERNS, trials=2,
+            checkpoint=str(journal_path), resume=True,
+        )
+    message = str(excinfo.value)
+    assert fp_1 in message and fp_2 in message
+
+
+def test_fingerprint_sensitive_to_config_and_plan(fast_config, s0_module):
+    plan = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=1)
+    base = plan_fingerprint(fast_config, plan)
+    assert base == plan_fingerprint(fast_config, plan)  # deterministic
+    other_config = CharacterizationConfig(
+        geometry=fast_config.geometry,
+        selection=fast_config.selection,
+        trials=1,
+        jitter_sigma=0.05,
+    )
+    assert plan_fingerprint(other_config, plan) != base
+    shorter = SweepPlan.build([s0_module], [36.0], ALL_PATTERNS, trials=1)
+    assert plan_fingerprint(fast_config, shorter) != base
+
+
+def test_journal_round_trip_and_duplicate_detection(fast_config, s0_module, tmp_path, baseline):
+    plan = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=1)
+    fingerprint = plan_fingerprint(fast_config, plan)
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.start(fingerprint, len(plan.shards))
+    shard = plan.shards[0]
+    measurements = list(baseline)[: len(shard.units)]
+    journal.record(shard.index, measurements)
+
+    loaded = CheckpointJournal(journal.path).load(fingerprint)
+    assert loaded == {shard.index: measurements}
+    # No temp droppings from the atomic rewrite.
+    assert [p.name for p in tmp_path.iterdir()] == ["j.jsonl"]
+
+    # A duplicated shard entry is corruption, not data.
+    journal.record(shard.index, measurements)
+    with pytest.raises(CheckpointError, match="twice"):
+        CheckpointJournal(journal.path).load(fingerprint)
+
+
+def test_journal_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    with pytest.raises(CheckpointError, match="malformed"):
+        CheckpointJournal(path).load("whatever")
+    path.write_text("")
+    with pytest.raises(CheckpointError, match="empty"):
+        CheckpointJournal(path).load("whatever")
+
+
+# --------------------------------------------------------- atomic dumps
+
+
+def test_resultset_dump_is_atomic_and_lossless(baseline, tmp_path):
+    target = tmp_path / "results.json"
+    baseline.dump(target, include_census=True)
+    restored = ResultSet.load(target)
+    assert list(restored) == list(baseline)
+    assert [p.name for p in tmp_path.iterdir()] == ["results.json"]
+    # Overwriting is atomic too (goes through the same temp+replace).
+    baseline.dump(target)
+    assert ResultSet.load(target).to_json() == baseline.to_json()
+
+
+# ----------------------------------------------------------------- CLI
+
+
+def test_cli_returns_nonzero_on_repro_error(capsys):
+    from repro.cli import main
+
+    code = main(["table2", "--modules", "NOPE"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_resume_requires_checkpoint(capsys):
+    from repro.cli import main
+
+    code = main(["table2", "--resume"])
+    assert code == 2
+    assert "--checkpoint" in capsys.readouterr().err
