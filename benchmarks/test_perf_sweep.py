@@ -332,6 +332,27 @@ def _campaign_engine(config, modules, workers):
 
 
 @pytest.mark.perf
+def test_disabled_observability_is_zero_overhead(bench_config, modules, monkeypatch):
+    """With no Observability attached, the hot path must perform zero
+    observability operations -- enforced by making every MetricsRegistry
+    operation raise and running an uninstrumented campaign.  NullRegistry
+    overrides all of these, so only a stray instrumented call trips it."""
+    from repro.obs import metrics as metrics_mod
+
+    def trip(*args, **kwargs):
+        raise AssertionError("observability touched on the disabled path")
+
+    for name in ("__init__", "inc", "gauge", "observe", "timer", "counter"):
+        monkeypatch.setattr(metrics_mod.MetricsRegistry, name, trip)
+
+    runner = CharacterizationRunner(bench_config)
+    results = runner.characterize(
+        modules[:1], SWEEP_T_VALUES[:2], ALL_PATTERNS, trials=1
+    )
+    assert len(results) > 0
+
+
+@pytest.mark.perf
 def test_sweep_engine_speedup(bench_config, modules):
     """Engine + batch fast path >= 3x over the seed loop, recorded."""
     sides: Dict[str, object] = {

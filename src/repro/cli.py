@@ -17,6 +17,7 @@ Example::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -31,6 +32,7 @@ from repro.core.faults import RetryPolicy
 from repro.core.runner import CharacterizationRunner
 from repro.dram.profiles import MODULE_PROFILES
 from repro.errors import ReproError
+from repro.obs import JsonlTrace, MetricsReport, Observability, StderrProgress
 from repro.patterns import ALL_PATTERNS
 from repro.system import build_modules
 
@@ -107,6 +109,42 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-shard wall-clock timeout; a timed-out shard is retried "
         "(default: no timeout)",
     )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write the campaign metrics report (shard timings, retry and "
+        "degradation counters, cache hit rates) to PATH as JSON "
+        "(written atomically at exit)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream line-oriented progress (per-shard completion with "
+        "campaign ETA, retries, degradations) to stderr",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="append every campaign event (shard start/finish/retry, "
+        "resume, degradation) to PATH as JSONL, one strict-JSON event "
+        "per line",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="profile in-process shard execution under cProfile and dump "
+        "per-shard .pstats files into DIR (serial/thread executors only)",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="configure the root logging level (engine degradations and "
+        "checkpoint repairs are logged through the logging module)",
+    )
     return parser
 
 
@@ -131,6 +169,22 @@ def _resilience(args, runner: CharacterizationRunner) -> dict:
     }
 
 
+def _observability(args) -> Optional[Observability]:
+    """Build the campaign observability bundle from the CLI flags.
+
+    Returns ``None`` when every observability flag is off, so the
+    engine runs its zero-overhead uninstrumented path.
+    """
+    if not (args.metrics or args.progress or args.trace or args.profile):
+        return None
+    reporters = []
+    if args.progress:
+        reporters.append(StderrProgress())
+    if args.trace:
+        reporters.append(JsonlTrace(args.trace))
+    return Observability(reporters=reporters, profile_dir=args.profile)
+
+
 def _report_summary(runner: CharacterizationRunner) -> None:
     """Surface retries/resume/degradation on stderr when they happened."""
     report = runner.last_report
@@ -142,16 +196,31 @@ def _report_summary(runner: CharacterizationRunner) -> None:
 
 def _run(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.log_level is not None:
+        logging.basicConfig(level=getattr(logging, args.log_level.upper()))
     if args.resume and not args.checkpoint:
+        # A usage error, reported on the argparse convention: message on
+        # stderr, exit code 2 (pinned by tests/test_obs.py).
         sys.stderr.write("error: --resume requires --checkpoint PATH\n")
         return 2
     if args.artifact == "table1":
         sys.stdout.write(format_table(table1_inventory()))
         return 0
 
+    obs = _observability(args)
+    try:
+        return _run_campaign(args, obs)
+    finally:
+        if obs is not None:
+            if args.metrics:
+                MetricsReport.build(obs).write(args.metrics)
+            obs.close()
+
+
+def _run_campaign(args, obs: Optional[Observability]) -> int:
     config = CharacterizationConfig()
     modules = build_modules(args.modules, config)
-    runner = CharacterizationRunner(config)
+    runner = CharacterizationRunner(config, obs=obs)
 
     if args.artifact == "table2":
         results = runner.characterize(

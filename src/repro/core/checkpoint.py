@@ -14,16 +14,36 @@ journal is a JSONL file:
   [...]}`` with censuses included, so resumed measurements are
   bit-identical to freshly computed ones.
 
-Every update rewrites the journal through
-:func:`repro.atomicio.atomic_write_text` (write-temp + ``os.replace``),
-so a crash mid-checkpoint leaves the previous consistent journal, never
-a torn one.
+Write discipline
+----------------
+
+:meth:`CheckpointJournal.start` writes the header through
+:func:`repro.atomicio.atomic_write_text` (write-temp + ``os.replace``);
+:meth:`CheckpointJournal.record` then *appends* each shard line
+(``open("a")`` + write + flush + ``fsync``), so journaling shard *k*
+costs O(len(shard k)) bytes -- not a rewrite of the whole journal, which
+would make a campaign's total checkpoint I/O quadratic in its shard
+count and widen the crash window as the file grows.
+
+The failure mode of an append is a *torn trailing line* (the process
+died mid-``write``).  :meth:`CheckpointJournal.load` tolerates exactly
+that: an unparseable **last** line after a valid header is skipped with
+a logged warning (the shard it described is simply re-measured), and the
+file is truncated back to the last complete line so subsequent appends
+extend a consistent journal.  An unparseable line anywhere *else* -- or
+a torn header -- is real corruption and still raises
+:class:`~repro.errors.CheckpointError`.
+
+All lines are encoded with ``allow_nan=False`` (non-finite measurement
+fields are converted to ``None`` at record-encode time), so a journal is
+always strict RFC 8259 JSON that other tools can parse.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
@@ -39,6 +59,8 @@ from repro.errors import CheckpointError
 JOURNAL_FORMAT = "repro-checkpoint-v1"
 
 __all__ = ["JOURNAL_FORMAT", "plan_fingerprint", "CheckpointJournal"]
+
+logger = logging.getLogger("repro.checkpoint")
 
 
 def plan_fingerprint(config, plan) -> str:
@@ -63,11 +85,17 @@ def plan_fingerprint(config, plan) -> str:
 
 
 class CheckpointJournal:
-    """Append-style journal of completed shards, rewritten atomically."""
+    """Append-only journal of completed shards.
+
+    ``start()`` writes the header atomically; every ``record()`` is one
+    O(1) append (write + flush + fsync).  ``load()`` is byte-compatible
+    with journals written by the earlier rewrite-the-world
+    implementation -- the on-disk format is unchanged.
+    """
 
     def __init__(self, path: Union[str, os.PathLike]) -> None:
         self._path = Path(path)
-        self._lines: List[dict] = []
+        self._started = False
 
     @property
     def path(self) -> Path:
@@ -80,37 +108,34 @@ class CheckpointJournal:
 
     def start(self, fingerprint: str, n_shards: int) -> None:
         """Begin a fresh journal (truncating any previous one)."""
-        self._lines = [
-            {
-                "format": JOURNAL_FORMAT,
-                "fingerprint": fingerprint,
-                "n_shards": n_shards,
-            }
-        ]
-        self._flush()
+        header = {
+            "format": JOURNAL_FORMAT,
+            "fingerprint": fingerprint,
+            "n_shards": n_shards,
+        }
+        atomic_write_text(self._path, json.dumps(header) + "\n")
+        self._started = True
 
     def record(
         self, shard_index: int, measurements: Sequence[DieMeasurement]
     ) -> None:
-        """Journal one completed shard (atomic on-disk update)."""
-        if not self._lines:
+        """Journal one completed shard with a single durable append."""
+        if not self._started:
             raise CheckpointError(
                 "journal must be start()ed or load()ed before recording"
             )
-        self._lines.append(
-            {
-                "shard": shard_index,
-                "measurements": [
-                    measurement_to_record(m, include_census=True)
-                    for m in measurements
-                ],
-            }
-        )
-        self._flush()
-
-    def _flush(self) -> None:
-        text = "".join(json.dumps(line) + "\n" for line in self._lines)
-        atomic_write_text(self._path, text)
+        entry = {
+            "shard": shard_index,
+            "measurements": [
+                measurement_to_record(m, include_census=True)
+                for m in measurements
+            ],
+        }
+        line = json.dumps(entry, allow_nan=False) + "\n"
+        with open(self._path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
 
     # ----------------------------------------------------------- reading
 
@@ -118,23 +143,20 @@ class CheckpointJournal:
         """Load completed shards, verifying the plan fingerprint.
 
         Returns ``{shard_index: measurements}`` and primes the journal
-        so subsequent :meth:`record` calls extend the same file.
+        so subsequent :meth:`record` calls extend the same file.  A torn
+        trailing line (crash mid-append) is skipped with a warning and
+        truncated away; corruption anywhere else raises
+        :class:`~repro.errors.CheckpointError`.
         """
         try:
-            raw = self._path.read_text(encoding="utf-8")
+            raw = self._path.read_bytes()
         except OSError as exc:
             raise CheckpointError(
                 f"cannot read checkpoint journal {self._path}: {exc}"
             ) from exc
-        lines = [line for line in raw.splitlines() if line.strip()]
-        if not lines:
+        parsed = self._parse(raw)
+        if not parsed:
             raise CheckpointError(f"checkpoint journal {self._path} is empty")
-        try:
-            parsed = [json.loads(line) for line in lines]
-        except json.JSONDecodeError as exc:
-            raise CheckpointError(
-                f"checkpoint journal {self._path} is malformed: {exc}"
-            ) from exc
         header = parsed[0]
         if header.get("format") != JOURNAL_FORMAT:
             raise CheckpointError(
@@ -167,5 +189,53 @@ class CheckpointJournal:
                 measurement_from_record(rec, census_included=True)
                 for rec in entry["measurements"]
             ]
-        self._lines = parsed
+        self._started = True
         return completed
+
+    def _parse(self, raw: bytes) -> List[dict]:
+        """Parse the journal's lines, handling a torn trailing line.
+
+        Works on bytes so a line torn inside a multi-byte UTF-8 sequence
+        is recognized as torn instead of crashing the decode.
+        """
+        segments = raw.split(b"\n")
+        lines = [
+            (position, segment)
+            for position, segment in enumerate(segments)
+            if segment.strip()
+        ]
+        parsed: List[dict] = []
+        for ordinal, (position, segment) in enumerate(lines):
+            try:
+                parsed.append(json.loads(segment.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                last = ordinal == len(lines) - 1
+                if last and ordinal > 0:
+                    # Crash mid-append: the final line is torn.  Drop it
+                    # (its shard will simply be re-measured) and truncate
+                    # the file so the next append starts on a clean line.
+                    logger.warning(
+                        "checkpoint journal %s has a torn trailing line "
+                        "(%s); dropping it and resuming from the %d "
+                        "complete shard record(s)",
+                        self._path,
+                        exc,
+                        len(parsed) - 1,
+                    )
+                    self._truncate_to(segments, position)
+                    break
+                raise CheckpointError(
+                    f"checkpoint journal {self._path} is malformed: {exc}"
+                ) from exc
+        return parsed
+
+    def _truncate_to(self, segments: List[bytes], position: int) -> None:
+        """Cut the file back to the byte offset where line ``position`` starts."""
+        keep = sum(len(segment) + 1 for segment in segments[:position])
+        try:
+            with open(self._path, "r+b") as handle:
+                handle.truncate(keep)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot repair torn checkpoint journal {self._path}: {exc}"
+            ) from exc

@@ -81,6 +81,7 @@ from repro.core.faults import (
 from repro.core.results import DieMeasurement, ResultSet
 from repro.core.stacked import StackedDie, build_stacked_die
 from repro.dram.module import Module
+from repro.obs import Observability
 from repro.errors import (
     CheckpointError,
     ExecutorError,
@@ -229,6 +230,11 @@ class ShardRunner:
     facade reuse the same per-die populations and analyzer caches (the
     analyzers carry the per-pattern gain and per-point base caches, which
     later campaigns revisiting the same points hit instead of recomputing).
+
+    ``metrics`` (a :class:`~repro.obs.MetricsRegistry`) records
+    per-cache hit/miss counters; with the default ``None`` the runner
+    performs zero metrics operations.  Pool workers always run with
+    ``metrics=None`` -- the registry never crosses the pickle boundary.
     """
 
     def __init__(
@@ -240,12 +246,14 @@ class ShardRunner:
             Dict[Tuple[str, int, str, float, int], DieMeasurement]
         ] = None,
         analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
+        metrics=None,
     ) -> None:
         self._config = config
         self._module_provider = module_provider
         self._stacked_cache = stacked_cache if stacked_cache is not None else {}
         self._measurement_cache = measurement_cache
         self._analyzer_cache = analyzer_cache if analyzer_cache is not None else {}
+        self._metrics = metrics
 
     @property
     def config(self) -> CharacterizationConfig:
@@ -254,6 +262,11 @@ class ShardRunner:
     def stacked(self, module: Module, die: int) -> StackedDie:
         key = (module.key, die)
         stacked = self._stacked_cache.get(key)
+        if self._metrics is not None:
+            self._metrics.inc(
+                "cache.stacked.hits" if stacked is not None
+                else "cache.stacked.misses"
+            )
         if stacked is None:
             stacked = build_stacked_die(
                 module.chip(die),
@@ -273,6 +286,11 @@ class ShardRunner:
         """
         key = (module.key, die)
         analyzer = self._analyzer_cache.get(key)
+        if self._metrics is not None:
+            self._metrics.inc(
+                "cache.analyzer.hits" if analyzer is not None
+                else "cache.analyzer.misses"
+            )
         if analyzer is None:
             analyzer = DieSweepAnalyzer(
                 self.stacked(module, die),
@@ -294,6 +312,7 @@ class ShardRunner:
         """
         cfg = self._config
         cache = self._measurement_cache
+        metrics = self._metrics
         analyzer: Optional[DieSweepAnalyzer] = None
         out: List[DieMeasurement] = []
         for pattern, t_on, trials in _grouped_points(shard.units):
@@ -306,6 +325,9 @@ class ShardRunner:
                     if hit is not None:
                         measured[trial] = hit
                 missing = [t for t in trials if t not in measured]
+                if metrics is not None:
+                    metrics.inc("cache.measurement.hits", len(measured))
+                    metrics.inc("cache.measurement.misses", len(missing))
             if missing:
                 if analyzer is None:  # lazily: fully cached shards skip it
                     module = self._module_provider(shard.module_key)
@@ -354,12 +376,48 @@ def _grouped_points(
 OnShard = Callable[[Shard, List[DieMeasurement]], None]
 
 
+def _execute_shard(
+    runner: ShardRunner, shard: Shard, obs: Optional[Observability]
+) -> List[DieMeasurement]:
+    """Run one shard in-process, instrumented when observability is on.
+
+    With ``obs`` attached the attempt emits a ``shard_start`` event,
+    records its queue wait (dispatch since campaign start) and execute
+    time as timers, and -- when a profile directory is configured --
+    runs under cProfile.  With ``obs=None`` this is a plain
+    ``runner.run``: zero observability operations on the hot path.
+    """
+    if obs is None:
+        return runner.run(shard)
+    obs.emit(
+        "shard_start",
+        shard=shard.index,
+        module=shard.module_key,
+        die=shard.die,
+        units=len(shard.units),
+    )
+    if obs.campaign_t0 is not None:
+        obs.metrics.observe(
+            "shard.queue_wait_seconds", time.monotonic() - obs.campaign_t0
+        )
+    start = time.monotonic()
+    if obs.profiler is not None:
+        measurements = obs.profiler.call(
+            f"shard-{shard.index:04d}", runner.run, shard
+        )
+    else:
+        measurements = runner.run(shard)
+    obs.metrics.observe("shard.execute_seconds", time.monotonic() - start)
+    return measurements
+
+
 def _run_shard_guarded(
     runner: ShardRunner,
     shard: Shard,
     policy: Optional[RetryPolicy],
     fault_plan: Optional[FaultPlan],
     report: Optional[RunReport],
+    obs: Optional[Observability] = None,
 ) -> List[DieMeasurement]:
     """Run one shard in-process, with retry/timeout/validation if configured.
 
@@ -367,20 +425,20 @@ def _run_shard_guarded(
     the zero-overhead path the determinism tests and benchmarks use.
     """
     if policy is None and fault_plan is None:
-        return runner.run(shard)
+        return _execute_shard(runner, shard, obs)
     policy = policy if policy is not None else RetryPolicy()
     label = f"shard {shard.index} ({shard.module_key} die {shard.die})"
 
     def attempt() -> List[DieMeasurement]:
         if fault_plan is not None:
             fault_plan.before(shard.index)
-        measurements = runner.run(shard)
+        measurements = _execute_shard(runner, shard, obs)
         if fault_plan is not None:
             measurements = fault_plan.after(shard.index, measurements)
         validate_shard_result(shard, measurements)
         return measurements
 
-    return run_attempts(attempt, policy, report=report, label=label)
+    return run_attempts(attempt, policy, report=report, label=label, obs=obs)
 
 
 class SerialExecutor:
@@ -396,11 +454,12 @@ class SerialExecutor:
         fault_plan: Optional[FaultPlan] = None,
         on_shard: Optional[OnShard] = None,
         report: Optional[RunReport] = None,
+        obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
         out: List[List[DieMeasurement]] = []
         for shard in plan.shards:
             measurements = _run_shard_guarded(
-                runner, shard, policy, fault_plan, report
+                runner, shard, policy, fault_plan, report, obs
             )
             if on_shard is not None:
                 on_shard(shard, measurements)
@@ -424,6 +483,7 @@ class ThreadExecutor:
         fault_plan: Optional[FaultPlan] = None,
         on_shard: Optional[OnShard] = None,
         report: Optional[RunReport] = None,
+        obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
         if not plan.shards:
             return []
@@ -431,7 +491,8 @@ class ThreadExecutor:
         with ThreadPoolExecutor(max_workers=self.workers) as pool:
             futures = {
                 pool.submit(
-                    _run_shard_guarded, runner, shard, policy, fault_plan, report
+                    _run_shard_guarded, runner, shard, policy, fault_plan,
+                    report, obs,
                 ): shard
                 for shard in plan.shards
             }
@@ -474,6 +535,7 @@ class ProcessExecutor:
         fault_plan: Optional[FaultPlan] = None,
         on_shard: Optional[OnShard] = None,
         report: Optional[RunReport] = None,
+        obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
         from repro.dram.profiles import MODULE_PROFILES
 
@@ -494,13 +556,18 @@ class ProcessExecutor:
                 "state_dir: attempt counters must survive the pool boundary"
             )
         if policy is None and fault_plan is None:
-            return self._map_chunked(plan, runner, on_shard)
+            return self._map_chunked(plan, runner, on_shard, obs)
         return self._map_resilient(
-            plan, runner, policy or RetryPolicy(), fault_plan, on_shard, report
+            plan, runner, policy or RetryPolicy(), fault_plan, on_shard,
+            report, obs,
         )
 
     def _map_chunked(
-        self, plan: SweepPlan, runner: ShardRunner, on_shard: Optional[OnShard]
+        self,
+        plan: SweepPlan,
+        runner: ShardRunner,
+        on_shard: Optional[OnShard],
+        obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
         """Fast path: whole per-worker chunks, no retry bookkeeping."""
         shard_by_index = {shard.index: shard for shard in plan.shards}
@@ -508,12 +575,22 @@ class ProcessExecutor:
         by_index: Dict[int, List[DieMeasurement]] = {}
         try:
             with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                submitted = time.monotonic()
                 futures = [
                     pool.submit(_run_shard_chunk, runner.config, chunk)
                     for chunk in chunks
                 ]
                 for future in futures:
-                    for index, measurements in future.result():
+                    chunk_results = future.result()
+                    if obs is not None:
+                        # Workers are uninstrumented (the registry never
+                        # crosses the pickle boundary); observe each
+                        # chunk's submit-to-drain wall time instead.
+                        obs.metrics.observe(
+                            "chunk.wall_seconds",
+                            time.monotonic() - submitted,
+                        )
+                    for index, measurements in chunk_results:
                         by_index[index] = measurements
                         if on_shard is not None:
                             on_shard(shard_by_index[index], measurements)
@@ -533,6 +610,7 @@ class ProcessExecutor:
         fault_plan: Optional[FaultPlan],
         on_shard: Optional[OnShard],
         report: Optional[RunReport],
+        obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
         """Per-shard dispatch with retry, timeout, and pool restarts.
 
@@ -557,6 +635,8 @@ class ProcessExecutor:
             failures[shard.index] += 1
             count = failures[shard.index]
             label = f"shard {shard.index} ({shard.module_key} die {shard.die})"
+            if obs is not None and isinstance(exc, ShardTimeoutError):
+                obs.metrics.inc("shards.timed_out")
             if not is_transient(exc):
                 raise ShardFailedError(
                     f"{label} failed permanently on attempt {count}: {exc}"
@@ -568,6 +648,11 @@ class ProcessExecutor:
                 ) from exc
             if report is not None:
                 report.n_retries += 1
+            if obs is not None:
+                obs.metrics.inc("shards.retried")
+                obs.emit(
+                    "shard_retry", label=label, failures=count, error=str(exc)
+                )
             time.sleep(policy.backoff_delay(count))
             pending.append(shard)
 
@@ -582,6 +667,7 @@ class ProcessExecutor:
             pool = ProcessPoolExecutor(max_workers=workers)
             abandoned = False
             futures: Dict[object, Tuple[Shard, float]] = {}
+            submit_times: Dict[object, float] = {}
 
             def submit(shard: Shard) -> None:
                 deadline = (
@@ -593,6 +679,8 @@ class ProcessExecutor:
                     _run_shard_remote, config, shard, fault_plan
                 )
                 futures[future] = (shard, deadline)
+                if obs is not None:
+                    submit_times[future] = time.monotonic()
 
             try:
                 # Drain as we submit: a pool break mid-submission must
@@ -649,6 +737,11 @@ class ProcessExecutor:
                         except Exception as exc:  # noqa: BLE001
                             charge(shard, exc)
                             continue
+                        if obs is not None and future in submit_times:
+                            obs.metrics.observe(
+                                "shard.wall_seconds",
+                                time.monotonic() - submit_times.pop(future),
+                            )
                         done[shard.index] = measurements
                         if on_shard is not None:
                             on_shard(shard, measurements)
@@ -658,6 +751,11 @@ class ProcessExecutor:
                 pool_breaks += 1
                 if report is not None:
                     report.n_pool_restarts += 1
+                if obs is not None:
+                    obs.metrics.inc("pool.restarts")
+                    obs.emit(
+                        "pool_restart", count=pool_breaks, error=str(exc)
+                    )
                 if pool_breaks > policy.max_pool_restarts:
                     raise PoolBrokenError(
                         f"process pool broke {pool_breaks} times "
@@ -786,11 +884,18 @@ class SweepEngine:
         config: CharacterizationConfig,
         executor=None,
         policy: Optional[RetryPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self._config = config
         self._executor = executor if executor is not None else SerialExecutor()
         self._policy = policy
+        self._obs = obs
         self._last_report: Optional[RunReport] = None
+
+    @property
+    def obs(self) -> Optional[Observability]:
+        """The attached observability bundle (``None`` when disabled)."""
+        return self._obs
 
     @property
     def config(self) -> CharacterizationConfig:
@@ -855,6 +960,17 @@ class SweepEngine:
         fingerprint = plan_fingerprint(self._config, plan)
         report = RunReport(n_shards=len(plan.shards), fingerprint=fingerprint)
         self._last_report = report
+        obs = self._obs
+        if obs is not None:
+            obs.campaign_t0 = time.monotonic()
+            obs.last_run_report = report
+            obs.emit(
+                "campaign_start",
+                fingerprint=fingerprint,
+                n_shards=len(plan.shards),
+                n_measurements=plan.n_measurements,
+                executor=self._executor.name,
+            )
 
         journal = CheckpointJournal(checkpoint) if checkpoint is not None else None
         completed: Dict[int, List[DieMeasurement]] = {}
@@ -878,6 +994,13 @@ class SweepEngine:
                             f"shard {index} does not match the plan: {exc}"
                         ) from exc
                 report.n_resumed = len(completed)
+                if obs is not None:
+                    obs.metrics.inc("shards.resumed", len(completed))
+                    obs.emit(
+                        "campaign_resume",
+                        n_resumed=len(completed),
+                        checkpoint=str(journal.path),
+                    )
             else:
                 journal.start(fingerprint, len(plan.shards))
 
@@ -888,13 +1011,37 @@ class SweepEngine:
             stacked_cache,
             measurement_cache,
             analyzer_cache,
+            metrics=obs.metrics if obs is not None else None,
         )
 
         def on_shard(shard: Shard, measurements: List[DieMeasurement]) -> None:
             completed[shard.index] = measurements
             report.n_executed += 1
             if journal is not None:
-                journal.record(shard.index, measurements)
+                if obs is not None:
+                    with obs.profile("checkpoint.record"):
+                        journal.record(shard.index, measurements)
+                else:
+                    journal.record(shard.index, measurements)
+            if obs is not None:
+                obs.metrics.inc("shards.completed")
+                elapsed = time.monotonic() - obs.campaign_t0
+                remaining = report.n_shards - len(completed)
+                eta = (
+                    (elapsed / report.n_executed) * remaining
+                    if report.n_executed
+                    else None
+                )
+                obs.emit(
+                    "shard_finish",
+                    shard=shard.index,
+                    module=shard.module_key,
+                    die=shard.die,
+                    n_done=len(completed),
+                    n_total=report.n_shards,
+                    elapsed_s=round(elapsed, 3),
+                    eta_s=None if eta is None else round(eta, 3),
+                )
 
         ladder = self._ladder()
         for position, executor in enumerate(ladder):
@@ -912,6 +1059,7 @@ class SweepEngine:
                     fault_plan=fault_plan,
                     on_shard=on_shard,
                     report=report,
+                    obs=obs,
                 )
                 break
             except PoolBrokenError as exc:
@@ -926,6 +1074,14 @@ class SweepEngine:
                 )
                 logger.warning(message)
                 report.degradations.append(message)
+                if obs is not None:
+                    obs.metrics.inc("executor.degradations")
+                    obs.emit(
+                        "executor_degraded",
+                        from_executor=executor.name,
+                        to_executor=fallback.name,
+                        reason=str(exc),
+                    )
 
         missing = [
             shard.index for shard in plan.shards if shard.index not in completed
@@ -946,4 +1102,18 @@ class SweepEngine:
                 measurement_cache[
                     (m.module_key, m.die, m.pattern, m.t_on, m.trial)
                 ] = m
+        if obs is not None:
+            seconds = time.monotonic() - obs.campaign_t0
+            obs.metrics.gauge("campaign.seconds", round(seconds, 6))
+            obs.metrics.gauge("campaign.n_measurements", plan.n_measurements)
+            report.metrics = obs.metrics.snapshot()
+            obs.emit(
+                "campaign_finish",
+                seconds=round(seconds, 3),
+                n_shards=report.n_shards,
+                n_resumed=report.n_resumed,
+                n_executed=report.n_executed,
+                n_retries=report.n_retries,
+                n_pool_restarts=report.n_pool_restarts,
+            )
         return results

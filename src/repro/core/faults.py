@@ -203,13 +203,17 @@ def run_attempts(
     report: Optional["RunReport"] = None,
     label: str = "shard",
     sleep: Callable[[float], None] = time.sleep,
+    obs=None,
 ) -> T:
     """Run ``attempt`` under a retry policy (used by serial/thread executors).
 
     Retries transient failures with exponential backoff up to
     ``policy.max_retries``; raises
     :class:`~repro.errors.ShardFailedError` (cause chained) on a
-    permanent error or an exhausted budget.
+    permanent error or an exhausted budget.  With an
+    :class:`~repro.obs.Observability` attached, every failure counts
+    into the metrics registry (``shards.retried``, ``shards.timed_out``)
+    and retries emit ``shard_retry`` events.
     """
     failures = 0
     while True:
@@ -217,6 +221,8 @@ def run_attempts(
             return call_with_timeout(attempt, policy.shard_timeout)
         except Exception as exc:  # noqa: BLE001 - classification below
             failures += 1
+            if obs is not None and isinstance(exc, ShardTimeoutError):
+                obs.metrics.inc("shards.timed_out")
             if not is_transient(exc):
                 raise ShardFailedError(
                     f"{label} failed permanently on attempt {failures}: {exc}"
@@ -228,6 +234,14 @@ def run_attempts(
                 ) from exc
             if report is not None:
                 report.n_retries += 1
+            if obs is not None:
+                obs.metrics.inc("shards.retried")
+                obs.emit(
+                    "shard_retry",
+                    label=label,
+                    failures=failures,
+                    error=str(exc),
+                )
             sleep(policy.backoff_delay(failures))
 
 
@@ -348,7 +362,12 @@ class FaultPlan:
 
 @dataclass
 class RunReport:
-    """Summary of one engine run, surfaced via ``SweepEngine.last_report``."""
+    """Summary of one engine run, surfaced via ``SweepEngine.last_report``.
+
+    ``metrics`` carries the end-of-run snapshot of the attached
+    :class:`~repro.obs.MetricsRegistry` (counters / gauges / timer
+    summaries) when the engine ran with observability, else ``None``.
+    """
 
     n_shards: int = 0
     n_resumed: int = 0
@@ -358,6 +377,7 @@ class RunReport:
     fingerprint: str = ""
     executors: List[str] = field(default_factory=list)
     degradations: List[str] = field(default_factory=list)
+    metrics: Optional[Dict] = None
 
     def summary(self) -> str:
         line = (
@@ -367,4 +387,12 @@ class RunReport:
         )
         if self.degradations:
             line += "; degradations: " + " | ".join(self.degradations)
+        if self.metrics:
+            timers = self.metrics.get("timers", {})
+            execute = timers.get("shard.execute_seconds")
+            if execute and execute.get("count"):
+                line += (
+                    f"; shard execute p50 {execute['p50_s']:.3f}s / "
+                    f"p90 {execute['p90_s']:.3f}s"
+                )
         return line

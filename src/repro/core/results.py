@@ -8,6 +8,7 @@ the grouping helpers the analysis layer builds tables and figures from.
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
@@ -63,14 +64,29 @@ class DieMeasurement:
         return self.time_to_first_ns / 1e6
 
 
+def _finite_or_none(value):
+    """Non-finite floats become ``None``: JSON has no NaN/Infinity.
+
+    Python's permissive ``json.dumps`` default would emit bare ``NaN`` /
+    ``Infinity`` literals that RFC 8259 parsers (and our own strict
+    decoders) reject; a non-finite measurement field is encoded as the
+    same ``null`` that "no value" uses.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
 def measurement_to_record(
     measurement: DieMeasurement, include_census: bool = False
 ) -> Dict:
     """Encode one measurement as a JSON-safe record.
 
     The record format is shared by :meth:`ResultSet.to_json` dumps and
-    the checkpoint journal (:mod:`repro.core.checkpoint`); floats
-    round-trip exactly through :mod:`json`, so decode(encode(m)) == m.
+    the checkpoint journal (:mod:`repro.core.checkpoint`); finite floats
+    round-trip exactly through :mod:`json`, so decode(encode(m)) == m,
+    and non-finite values are converted to ``None`` at encode time (see
+    :func:`_finite_or_none`).
     """
     m = measurement
     rec = {
@@ -78,10 +94,10 @@ def measurement_to_record(
         "manufacturer": m.manufacturer,
         "die": m.die,
         "pattern": m.pattern,
-        "t_on": m.t_on,
+        "t_on": _finite_or_none(m.t_on),
         "trial": m.trial,
-        "acmin": m.acmin,
-        "time_to_first_ns": m.time_to_first_ns,
+        "acmin": _finite_or_none(m.acmin),
+        "time_to_first_ns": _finite_or_none(m.time_to_first_ns),
     }
     if include_census:
         has = m.census is not None
@@ -205,6 +221,7 @@ class ResultSet:
         return json.dumps(
             {"census_included": include_census, "measurements": records},
             indent=2,
+            allow_nan=False,
         )
 
     def dump(

@@ -21,14 +21,26 @@ from repro.core.faults import FaultPlan, RetryPolicy, RunReport
 from repro.core.results import DieMeasurement, ResultSet
 from repro.core.stacked import StackedDie, build_stacked_die
 from repro.dram.module import Module
+from repro.obs import Observability
 from repro.patterns.base import ALL_PATTERNS, AccessPattern
 
 
 class CharacterizationRunner:
-    """Runs characterization campaigns over one or more modules."""
+    """Runs characterization campaigns over one or more modules.
 
-    def __init__(self, config: CharacterizationConfig) -> None:
+    ``obs`` (a :class:`~repro.obs.Observability`) turns on campaign
+    observability: the engine and shard runner record per-shard timings,
+    retry/degradation counters, and the runner-level cache hit/miss
+    counts into its metrics registry and stream progress events to its
+    reporters.  With the default ``None`` nothing is recorded and the
+    hot path performs zero observability operations.
+    """
+
+    def __init__(
+        self, config: CharacterizationConfig, obs: Optional[Observability] = None
+    ) -> None:
         self._config = config
+        self._obs = obs
         self._stacked_cache: Dict[Tuple[str, int], StackedDie] = {}
         self._measurement_cache: Dict[
             Tuple[str, int, str, float, int], DieMeasurement
@@ -39,6 +51,11 @@ class CharacterizationRunner:
     @property
     def config(self) -> CharacterizationConfig:
         return self._config
+
+    @property
+    def obs(self) -> Optional[Observability]:
+        """The attached observability bundle (``None`` when disabled)."""
+        return self._obs
 
     @property
     def last_report(self) -> Optional[RunReport]:
@@ -92,7 +109,7 @@ class CharacterizationRunner:
     def _engine(self, workers: Optional[int], executor) -> SweepEngine:
         if executor is None:
             executor = make_executor(workers)
-        engine = SweepEngine(self._config, executor=executor)
+        engine = SweepEngine(self._config, executor=executor, obs=self._obs)
         self._last_engine = engine
         return engine
 
