@@ -34,7 +34,7 @@ import numpy as np
 import pytest
 
 from repro import rng
-from repro.atomicio import atomic_write_text
+from repro.atomicio import atomic_write_text, write_digest
 from repro.constants import TRIALS_PER_MEASUREMENT
 from repro.core import acmin as acmin_mod
 from repro.core.bitflips import BitflipCensus
@@ -387,6 +387,7 @@ def test_sweep_engine_speedup(bench_config, modules):
         for name in ("engine_serial", "engine_workers4")
     }
     record = {
+        "format": "repro-bench-v1",
         "campaign": {
             "n_modules": len(modules),
             "n_dies": sum(m.n_dies for m in modules),
@@ -407,6 +408,7 @@ def test_sweep_engine_speedup(bench_config, modules):
     }
     out_path = Path(__file__).resolve().parents[1] / "BENCH_sweep.json"
     atomic_write_text(out_path, json.dumps(record, indent=2) + "\n")
+    write_digest(out_path)  # repro-characterize validate checks it
 
     best_speedup = max(speedups.values())
     assert best_speedup >= _REQUIRED_SPEEDUP, (

@@ -1,4 +1,4 @@
-"""Atomic file writes.
+"""Atomic file writes and content-digest sidecars.
 
 Campaign artifacts (result dumps, checkpoint journals, benchmark records)
 must never be observable half-written: a crash or SIGKILL mid-``write()``
@@ -6,23 +6,57 @@ would otherwise leave a truncated JSON file that poisons a later resume
 or analysis step.  :func:`atomic_write_text` writes to a sibling
 temporary file and :func:`os.replace`\\ s it over the destination, which
 is atomic on POSIX and Windows -- readers see either the old content or
-the new content, never a mixture.
+the new content, never a mixture.  After the rename the parent directory
+is fsync'd (:func:`fsync_dir`) so the new directory entry itself
+survives power loss, not just the file data.
+
+Integrity is layered on top with sha256 sidecars: :func:`write_digest`
+stamps ``<path>.sha256`` (``sha256sum``-compatible: ``<hex>  <name>``)
+and :func:`verify_digest` recomputes and compares on load, so any
+flipped byte is detected instead of silently poisoning analysis.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
+
+from repro.errors import ArtifactCorruptError, ArtifactInvalidError
+
+PathLike = Union[str, os.PathLike]
 
 
-def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
+def fsync_dir(path: PathLike) -> None:
+    """fsync a directory so a just-renamed/created entry is durable.
+
+    ``os.replace`` makes the *data* durable (the temp file is fsync'd)
+    but the rename itself lives in the directory, which has its own
+    durability; without this a power loss can roll the directory back to
+    the old entry.  Best-effort: platforms that cannot open directories
+    (e.g. Windows) are skipped silently.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
     """Atomically replace ``path``'s content with ``text``.
 
     The temporary file is created in the destination directory (same
     filesystem, so the final ``os.replace`` cannot degrade to a copy) and
-    fsync'd before the rename so the rename never outlives the data.
+    fsync'd before the rename so the rename never outlives the data; the
+    directory is fsync'd after the rename so the rename itself is durable.
     """
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
@@ -35,9 +69,96 @@ def atomic_write_text(path: Union[str, os.PathLike], text: str) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_name, target)
+        fsync_dir(target.parent)
     except BaseException:
         try:
             os.unlink(tmp_name)
         except OSError:
             pass
         raise
+
+
+# --------------------------------------------------------------- digests
+
+
+def sha256_text(text: str) -> str:
+    """sha256 hex digest of ``text``'s UTF-8 bytes."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def sha256_file(path: PathLike) -> str:
+    """sha256 hex digest of a file's bytes (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def digest_path(path: PathLike) -> Path:
+    """The sidecar path holding ``path``'s sha256 digest."""
+    target = Path(path)
+    return target.with_name(target.name + ".sha256")
+
+
+def write_digest(path: PathLike, hexdigest: Optional[str] = None) -> Path:
+    """Stamp ``<path>.sha256`` with the file's sha256 (atomically).
+
+    The sidecar uses the ``sha256sum`` line format (``<hex>  <name>``),
+    so ``sha256sum -c`` verifies it too.  Pass ``hexdigest`` when the
+    caller already knows the content hash (e.g. a running journal hash)
+    to avoid re-reading the file.
+    """
+    target = Path(path)
+    if hexdigest is None:
+        hexdigest = sha256_file(target)
+    sidecar = digest_path(target)
+    atomic_write_text(sidecar, f"{hexdigest}  {target.name}\n")
+    return sidecar
+
+
+def read_digest(path: PathLike) -> Optional[str]:
+    """Read the recorded digest from ``<path>.sha256``.
+
+    Returns ``None`` when no sidecar exists (unstamped artifact); raises
+    :class:`ArtifactInvalidError` when the sidecar itself is malformed.
+    """
+    sidecar = digest_path(path)
+    try:
+        line = sidecar.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        return None
+    recorded = line.split(None, 1)[0] if line.split() else ""
+    if len(recorded) != 64 or any(c not in "0123456789abcdef" for c in recorded):
+        raise ArtifactInvalidError(
+            f"{sidecar}: malformed digest sidecar (expected "
+            f"'<sha256-hex>  <name>', got {line!r:.80})"
+        )
+    return recorded
+
+
+def verify_digest(path: PathLike, required: bool = False) -> Optional[str]:
+    """Verify ``path``'s bytes against its ``.sha256`` sidecar.
+
+    Returns the verified digest, or ``None`` when no sidecar exists and
+    ``required`` is false.  Raises :class:`ArtifactCorruptError` on a
+    mismatch (naming the file and both digests) and when ``required`` is
+    true but the sidecar is missing.
+    """
+    recorded = read_digest(path)
+    if recorded is None:
+        if required:
+            raise ArtifactCorruptError(
+                f"{path}: integrity verification required but no "
+                f"{digest_path(path).name} sidecar exists"
+            )
+        return None
+    actual = sha256_file(path)
+    if actual != recorded:
+        raise ArtifactCorruptError(
+            f"{path}: content digest mismatch -- file hashes to "
+            f"sha256:{actual} but sidecar {digest_path(path).name} "
+            f"records sha256:{recorded}; the artifact was modified or "
+            f"corrupted after it was written"
+        )
+    return actual

@@ -51,8 +51,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "artifact",
-        choices=("table1", "table2", "fig4", "fig5", "fig6", "report", "campaign"),
-        help="which paper artifact to regenerate",
+        choices=(
+            "table1", "table2", "fig4", "fig5", "fig6", "report", "campaign",
+            "validate",
+        ),
+        help="which paper artifact to regenerate, or 'validate' to check "
+        "previously written artifacts",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="artifacts to check (validate mode only): result dumps, "
+        "checkpoint journals, metrics reports, JSONL traces, benchmark "
+        "records, or their .sha256 sidecars; exits 2 if any fails",
     )
     parser.add_argument(
         "--modules",
@@ -139,6 +151,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "per-shard .pstats files into DIR (serial/thread executors only)",
     )
     parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="arm the trust layer: stamp sha256 digest sidecars on every "
+        "written artifact (checkpoint, metrics, trace, --dump), embed "
+        "provenance, and self-check the campaign's results against the "
+        "paper's physical invariants before exiting (exit 2 on violation)",
+    )
+    parser.add_argument(
+        "--dump",
+        metavar="PATH",
+        default=None,
+        help="write the campaign's ResultSet to PATH as JSON "
+        "(repro-results-v1, written atomically; with --validate a "
+        ".sha256 sidecar is stamped)",
+    )
+    parser.add_argument(
+        "--dump-census",
+        action="store_true",
+        help="include per-measurement bitflip censuses in --dump "
+        "(larger, but needed to rebuild Figs. 5-6 from the dump)",
+    )
+    parser.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default=None,
@@ -166,6 +200,7 @@ def _resilience(args, runner: CharacterizationRunner) -> dict:
         "policy": policy,
         "checkpoint": args.checkpoint,
         "resume": args.resume,
+        "validate": args.validate,
     }
 
 
@@ -181,8 +216,16 @@ def _observability(args) -> Optional[Observability]:
     if args.progress:
         reporters.append(StderrProgress())
     if args.trace:
-        reporters.append(JsonlTrace(args.trace))
+        reporters.append(JsonlTrace(args.trace, digest=args.validate))
     return Observability(reporters=reporters, profile_dir=args.profile)
+
+
+def _maybe_dump(args, results) -> None:
+    """Honour ``--dump PATH`` (digest-stamped under ``--validate``)."""
+    if args.dump:
+        results.dump(
+            args.dump, include_census=args.dump_census, digest=args.validate
+        )
 
 
 def _report_summary(runner: CharacterizationRunner) -> None:
@@ -194,10 +237,45 @@ def _report_summary(runner: CharacterizationRunner) -> None:
         sys.stderr.write(report.summary() + "\n")
 
 
+def _run_validate(args, obs) -> int:
+    """The ``validate`` mode: check artifacts, exit 0 (clean) or 2."""
+    from repro.validate import validate_paths
+
+    if not args.paths:
+        sys.stderr.write(
+            "error: validate requires at least one artifact PATH\n"
+        )
+        return 2
+    outcomes = validate_paths(args.paths)
+    n_failed = 0
+    for path, report, error in outcomes:
+        if error is None:
+            sys.stdout.write(f"PASS {path} ({report.describe()})\n")
+            for warning in report.warnings:
+                sys.stdout.write(f"  warning: {warning}\n")
+            if obs is not None:
+                obs.metrics.inc("validate.passed")
+        else:
+            n_failed += 1
+            sys.stdout.write(f"FAIL {path}: {error}\n")
+            if obs is not None:
+                obs.metrics.inc("validate.failed")
+    sys.stdout.write(
+        f"{len(outcomes) - n_failed}/{len(outcomes)} artifact(s) valid\n"
+    )
+    return 2 if n_failed else 0
+
+
 def _run(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.log_level is not None:
         logging.basicConfig(level=getattr(logging, args.log_level.upper()))
+    if args.paths and args.artifact != "validate":
+        sys.stderr.write(
+            f"error: artifact paths only apply to the validate mode, not "
+            f"{args.artifact!r}\n"
+        )
+        return 2
     if args.resume and not args.checkpoint:
         # A usage error, reported on the argparse convention: message on
         # stderr, exit code 2 (pinned by tests/test_obs.py).
@@ -209,11 +287,15 @@ def _run(argv: Optional[List[str]] = None) -> int:
 
     obs = _observability(args)
     try:
+        if args.artifact == "validate":
+            return _run_validate(args, obs)
         return _run_campaign(args, obs)
     finally:
         if obs is not None:
             if args.metrics:
-                MetricsReport.build(obs).write(args.metrics)
+                MetricsReport.build(obs, provenance=args.validate).write(
+                    args.metrics, digest=args.validate
+                )
             obs.close()
 
 
@@ -228,6 +310,7 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
             workers=args.workers, **_resilience(args, runner),
         )
         _report_summary(runner)
+        _maybe_dump(args, results)
         sys.stdout.write(format_table(table2_rows(results)))
         return 0
 
@@ -239,6 +322,7 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
             workers=args.workers, **_resilience(args, runner),
         )
         _report_summary(runner)
+        _maybe_dump(args, results)
         sys.stdout.write(full_report(results))
         return 0
 
@@ -259,6 +343,7 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
                 all_results = result.results
             else:
                 all_results.extend(result.results)
+        _maybe_dump(args, all_results)
         sys.stdout.write(full_report(all_results))
         return 0
 
@@ -268,6 +353,7 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
         workers=args.workers, **_resilience(args, runner),
     )
     _report_summary(runner)
+    _maybe_dump(args, results)
     if args.artifact == "fig4":
         for metric, logy in (("time", False), ("acmin", True)):
             series = fig4_series(results, metric=metric)

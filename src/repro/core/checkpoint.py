@@ -48,13 +48,15 @@ import os
 from pathlib import Path
 from typing import Dict, List, Sequence, Union
 
-from repro.atomicio import atomic_write_text
+from repro.atomicio import atomic_write_text, write_digest
 from repro.core.results import (
     DieMeasurement,
     measurement_from_record,
     measurement_to_record,
 )
-from repro.errors import CheckpointError
+from repro.errors import ArtifactCorruptError, CheckpointError
+from repro.validate.integrity import has_digest, verify_journal_bytes
+from repro.validate.provenance import check_provenance, provenance_stamp
 
 JOURNAL_FORMAT = "repro-checkpoint-v1"
 
@@ -91,11 +93,27 @@ class CheckpointJournal:
     O(1) append (write + flush + fsync).  ``load()`` is byte-compatible
     with journals written by the earlier rewrite-the-world
     implementation -- the on-disk format is unchanged.
+
+    With ``digest=True`` the journal maintains a running sha256 of its
+    content in a ``<path>.sha256`` sidecar (restamped atomically after
+    every append, without re-reading the file) and the header carries a
+    provenance stamp; ``load()`` then verifies the bytes before trusting
+    them -- any flipped bit raises
+    :class:`~repro.errors.ArtifactCorruptError` -- tolerating the two
+    legal crash windows (torn append; append durable but sidecar stale).
+    A journal that already has a sidecar keeps it maintained even when
+    the flag is off, so a digest-less resume cannot silently invalidate
+    an earlier run's integrity cover.  With the flag off and no sidecar
+    present, the bytes written are identical to earlier releases.
     """
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self, path: Union[str, os.PathLike], digest: bool = False
+    ) -> None:
         self._path = Path(path)
         self._started = False
+        self._digest = digest
+        self._hash = None  # running sha256 of the journal's content
 
     @property
     def path(self) -> Path:
@@ -113,8 +131,14 @@ class CheckpointJournal:
             "fingerprint": fingerprint,
             "n_shards": n_shards,
         }
-        atomic_write_text(self._path, json.dumps(header) + "\n")
+        if self._digest:
+            header["provenance"] = provenance_stamp()
+        text = json.dumps(header) + "\n"
+        atomic_write_text(self._path, text)
         self._started = True
+        if self._digest:
+            self._hash = hashlib.sha256(text.encode("utf-8"))
+            write_digest(self._path, self._hash.hexdigest())
 
     def record(
         self, shard_index: int, measurements: Sequence[DieMeasurement]
@@ -136,6 +160,14 @@ class CheckpointJournal:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
+        if self._hash is not None:
+            # Fold the appended line into the running hash and restamp
+            # the sidecar -- O(len(line)), never a re-read of the file.
+            # A crash between the append and the restamp leaves a stale
+            # sidecar covering everything but the final line, which
+            # load() recognizes and repairs.
+            self._hash.update(line.encode("utf-8"))
+            write_digest(self._path, self._hash.hexdigest())
 
     # ----------------------------------------------------------- reading
 
@@ -154,6 +186,18 @@ class CheckpointJournal:
             raise CheckpointError(
                 f"cannot read checkpoint journal {self._path}: {exc}"
             ) from exc
+        if has_digest(self._path):
+            # A sidecar means a digest-enabled run wrote this journal:
+            # verify before trusting, and keep maintaining the sidecar
+            # for the rest of this run even if our flag is off --
+            # otherwise our appends would silently invalidate it.
+            try:
+                _, note = verify_journal_bytes(self._path, raw)
+            except ArtifactCorruptError as exc:
+                raise CheckpointError(str(exc)) from exc
+            if note:
+                logger.warning("checkpoint journal %s: %s", self._path, note)
+            self._digest = True
         parsed = self._parse(raw)
         if not parsed:
             raise CheckpointError(f"checkpoint journal {self._path} is empty")
@@ -189,7 +233,22 @@ class CheckpointJournal:
                 measurement_from_record(rec, census_included=True)
                 for rec in entry["measurements"]
             ]
+        if "provenance" in header:
+            for drift in check_provenance(header["provenance"]):
+                logger.warning(
+                    "checkpoint journal %s resumed in a different "
+                    "environment: %s (resumed measurements may not be "
+                    "bit-identical to fresh ones)",
+                    self._path,
+                    drift,
+                )
         self._started = True
+        if self._digest:
+            # Re-prime the running hash from the surviving bytes (the
+            # torn-line repair may have truncated) and restamp so the
+            # sidecar covers exactly the current content.
+            self._hash = hashlib.sha256(self._path.read_bytes())
+            write_digest(self._path, self._hash.hexdigest())
         return completed
 
     def _parse(self, raw: bytes) -> List[dict]:

@@ -938,6 +938,7 @@ class SweepEngine:
         checkpoint: Optional[str] = None,
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        validate: bool = False,
     ) -> ResultSet:
         """Run a full campaign and return its canonical ResultSet.
 
@@ -948,6 +949,14 @@ class SweepEngine:
         shards are not re-executed.  The final ResultSet is bit-identical
         to an uninterrupted run: resumed measurements round-trip through
         the journal losslessly and are merged in canonical plan order.
+
+        ``validate=True`` arms the trust layer: the checkpoint journal
+        maintains a sha256 sidecar and a provenance-stamped header, and
+        the merged ResultSet must pass the physical-invariant guards
+        (:mod:`repro.validate.invariants`) before being returned --
+        :class:`~repro.errors.InvariantViolationError` otherwise.  Off
+        (the default), no validation work happens and every artifact's
+        bytes are identical to an unvalidated run.
         """
         plan = SweepPlan.build(
             modules,
@@ -959,6 +968,9 @@ class SweepEngine:
         policy = policy if policy is not None else self._policy
         fingerprint = plan_fingerprint(self._config, plan)
         report = RunReport(n_shards=len(plan.shards), fingerprint=fingerprint)
+        from repro.validate.provenance import provenance_stamp
+
+        report.provenance = provenance_stamp()
         self._last_report = report
         obs = self._obs
         if obs is not None:
@@ -972,7 +984,11 @@ class SweepEngine:
                 executor=self._executor.name,
             )
 
-        journal = CheckpointJournal(checkpoint) if checkpoint is not None else None
+        journal = (
+            CheckpointJournal(checkpoint, digest=validate)
+            if checkpoint is not None
+            else None
+        )
         completed: Dict[int, List[DieMeasurement]] = {}
         if journal is not None:
             if resume and journal.exists():
@@ -1102,6 +1118,8 @@ class SweepEngine:
                 measurement_cache[
                     (m.module_key, m.die, m.pattern, m.t_on, m.trial)
                 ] = m
+        if validate:
+            self._self_check(results, obs)
         if obs is not None:
             seconds = time.monotonic() - obs.campaign_t0
             obs.metrics.gauge("campaign.seconds", round(seconds, 6))
@@ -1117,3 +1135,27 @@ class SweepEngine:
                 n_pool_restarts=report.n_pool_restarts,
             )
         return results
+
+    def _self_check(
+        self, results: ResultSet, obs: Optional[Observability]
+    ) -> None:
+        """Post-run invariant self-check (the ``validate=True`` path).
+
+        Counts the outcome into the metrics registry
+        (``validate.passed`` / ``validate.failed``) and emits a
+        ``validate`` event before re-raising, so a failing campaign's
+        metrics artifact records *that* it failed validation.
+        """
+        from repro.errors import InvariantViolationError
+        from repro.validate.invariants import require_result_invariants
+
+        try:
+            require_result_invariants(results)
+        except InvariantViolationError as exc:
+            if obs is not None:
+                obs.metrics.inc("validate.failed")
+                obs.emit("validate", passed=False, error=str(exc))
+            raise
+        if obs is not None:
+            obs.metrics.inc("validate.passed")
+            obs.emit("validate", passed=True)

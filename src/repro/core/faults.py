@@ -367,6 +367,10 @@ class RunReport:
     ``metrics`` carries the end-of-run snapshot of the attached
     :class:`~repro.obs.MetricsRegistry` (counters / gauges / timer
     summaries) when the engine ran with observability, else ``None``.
+    ``provenance`` is the environment stamp
+    (:func:`repro.validate.provenance.provenance_stamp`: Python / numpy
+    / platform / seed scheme) recorded at run start, so downstream
+    consumers can tell which world produced the numbers.
     """
 
     n_shards: int = 0
@@ -378,6 +382,7 @@ class RunReport:
     executors: List[str] = field(default_factory=list)
     degradations: List[str] = field(default_factory=list)
     metrics: Optional[Dict] = None
+    provenance: Optional[Dict] = None
 
     def summary(self) -> str:
         line = (

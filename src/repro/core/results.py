@@ -8,13 +8,18 @@ the grouping helpers the analysis layer builds tables and figures from.
 from __future__ import annotations
 
 import json
+import logging
 import math
 import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
-from repro.atomicio import atomic_write_text
+from repro.atomicio import atomic_write_text, verify_digest, write_digest
 from repro.core.bitflips import BitflipCensus
+from repro.errors import ArtifactCorruptError
+from repro.validate.schema import RESULTS_FORMAT, validate_results_payload
+
+logger = logging.getLogger("repro.results")
 
 
 @dataclass(frozen=True)
@@ -209,42 +214,109 @@ class ResultSet:
     def to_json(self, include_census: bool = False) -> str:
         """JSON dump (censuses omitted by default -- they can be large).
 
-        The dump carries an explicit ``census_included`` flag so a
-        round-trip is lossless: restoring a census-stripped dump yields
-        measurements with ``census=None`` (census not recorded) instead of
-        silently resurrecting empty censuses indistinguishable from
-        "measured, zero flips".
+        The dump is versioned (``"format": "repro-results-v1"``) and
+        carries an explicit ``census_included`` flag so a round-trip is
+        lossless: restoring a census-stripped dump yields measurements
+        with ``census=None`` (census not recorded) instead of silently
+        resurrecting empty censuses indistinguishable from "measured,
+        zero flips".
         """
         records = [
             measurement_to_record(m, include_census) for m in self._measurements
         ]
         return json.dumps(
-            {"census_included": include_census, "measurements": records},
+            {
+                "format": RESULTS_FORMAT,
+                "census_included": include_census,
+                "measurements": records,
+            },
             indent=2,
             allow_nan=False,
         )
 
     def dump(
-        self, path: Union[str, os.PathLike], include_census: bool = False
+        self,
+        path: Union[str, os.PathLike],
+        include_census: bool = False,
+        digest: bool = False,
     ) -> None:
         """Atomically write the JSON dump to ``path``.
 
         Uses write-temp + :func:`os.replace`, so an interrupted dump
-        never leaves a truncated or corrupt results file behind.
+        never leaves a truncated or corrupt results file behind.  With
+        ``digest=True`` a ``<path>.sha256`` sidecar is stamped so
+        :meth:`load` (and ``repro-characterize validate``) detects any
+        later byte flip; without it the written bytes are identical to
+        earlier releases.
         """
         atomic_write_text(path, self.to_json(include_census=include_census) + "\n")
+        if digest:
+            write_digest(path)
 
     @staticmethod
     def load(path: Union[str, os.PathLike]) -> "ResultSet":
-        """Restore a ResultSet from a :meth:`dump`'d file."""
-        with open(path, "r", encoding="utf-8") as handle:
-            return ResultSet.from_json(handle.read())
+        """Restore a ResultSet from a :meth:`dump`'d file.
+
+        When a ``<path>.sha256`` sidecar exists the file's bytes are
+        verified against it first
+        (:class:`~repro.errors.ArtifactCorruptError` on mismatch);
+        undecodable or unparseable content raises the same error naming
+        the file, and schema violations raise
+        :class:`~repro.errors.ArtifactInvalidError` -- never a raw
+        ``json``/``KeyError``.
+        """
+        verify_digest(path)
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except OSError as exc:
+            raise ArtifactCorruptError(
+                f"{path}: cannot read results dump: {exc}"
+            ) from exc
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ArtifactCorruptError(
+                f"{path}: results dump is not valid UTF-8 ({exc}); the "
+                f"file was truncated or corrupted"
+            ) from exc
+        return ResultSet.from_json(text, source=str(path))
 
     @staticmethod
-    def from_json(text: str) -> "ResultSet":
-        payload = json.loads(text)
+    def from_json(text: str, source: Optional[str] = None) -> "ResultSet":
+        """Decode a dump, validating its format version and schema.
+
+        Accepts the versioned ``repro-results-v1`` envelope and -- with
+        a logged warning -- the two legacy shapes (unversioned envelope,
+        flat record list).  Unknown format versions, malformed records,
+        and duplicate ``(module, die, pattern, t, trial)`` measurements
+        raise :class:`~repro.errors.ArtifactInvalidError` naming the
+        offending field; unparseable text raises
+        :class:`~repro.errors.ArtifactCorruptError`.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            where = f"{source}: " if source else ""
+            raise ArtifactCorruptError(
+                f"{where}results dump is not parseable JSON ({exc}); the "
+                f"content was truncated or corrupted"
+            ) from exc
+        outcome = validate_results_payload(payload, source=source)
+        if outcome["legacy"]:
+            logger.warning(
+                "results dump%s uses a legacy unversioned format "
+                "(no 'format': %r field); loading it and upgrading on the "
+                "next dump()",
+                f" {source}" if source else "",
+                RESULTS_FORMAT,
+            )
         if isinstance(payload, dict):
-            census_included = bool(payload.get("census_included", False))
+            census_included: Optional[bool] = (
+                None
+                if outcome["legacy"] and "census_included" not in payload
+                else bool(payload.get("census_included", False))
+            )
             records = payload["measurements"]
         else:  # legacy flat-list dumps (no census_included flag)
             census_included = None

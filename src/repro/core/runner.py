@@ -126,6 +126,7 @@ class CharacterizationRunner:
         checkpoint: Optional[Union[str, os.PathLike]] = None,
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        validate: bool = False,
     ) -> ResultSet:
         """Full sweep over one module."""
         return self._engine(workers, executor).run(
@@ -141,6 +142,7 @@ class CharacterizationRunner:
             checkpoint=str(checkpoint) if checkpoint is not None else None,
             resume=resume,
             fault_plan=fault_plan,
+            validate=validate,
         )
 
     def characterize(
@@ -155,6 +157,7 @@ class CharacterizationRunner:
         checkpoint: Optional[Union[str, os.PathLike]] = None,
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
+        validate: bool = False,
     ) -> ResultSet:
         """Full sweep over several modules.
 
@@ -166,8 +169,9 @@ class CharacterizationRunner:
         ``policy`` adds shard retry/timeout behaviour; ``checkpoint`` /
         ``resume`` journal completed shards and skip them on restart
         (bit-identical results either way); ``fault_plan`` injects
-        deterministic faults (tests only).  See
-        :meth:`repro.core.engine.SweepEngine.run`.
+        deterministic faults (tests only); ``validate`` arms digest
+        stamping on the journal plus a post-run physical-invariant
+        self-check.  See :meth:`repro.core.engine.SweepEngine.run`.
         """
         return self._engine(workers, executor).run(
             modules,
@@ -181,4 +185,5 @@ class CharacterizationRunner:
             checkpoint=str(checkpoint) if checkpoint is not None else None,
             resume=resume,
             fault_plan=fault_plan,
+            validate=validate,
         )

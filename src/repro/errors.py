@@ -98,3 +98,35 @@ class CheckpointError(ReproError):
     """A checkpoint journal cannot be used for this campaign (plan
     fingerprint mismatch, malformed journal, or entries inconsistent
     with the current plan)."""
+
+
+class ArtifactError(ReproError):
+    """An on-disk campaign artifact (result dump, checkpoint journal,
+    metrics report, trace, benchmark record) cannot be trusted.
+
+    Base class of the artifact-validation failure domain; see
+    :class:`ArtifactInvalidError` (structure/schema),
+    :class:`ArtifactCorruptError` (byte-level corruption), and
+    :class:`InvariantViolationError` (physical-invariant violations).
+    """
+
+
+class ArtifactInvalidError(ArtifactError):
+    """An artifact parses but violates its schema: wrong or unknown
+    format version, a missing/mistyped field, or duplicate records.
+    The message names the offending file and the JSON path of the first
+    bad field (e.g. ``$.measurements[3].t_on``)."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """An artifact's bytes are damaged: its content digest does not
+    match the recorded sha256 sidecar, or the file cannot be decoded or
+    parsed at all.  The message names the file (and, for digest
+    mismatches, both digests)."""
+
+
+class InvariantViolationError(ArtifactError):
+    """A result artifact violates a physical invariant of the paper
+    (ACmin monotonicity vs tAggON, the pattern-ordering observations,
+    Table 2 anchor drift, or cross-executor determinism).  Raised by
+    :mod:`repro.validate.invariants` with every violation listed."""

@@ -196,13 +196,20 @@ class MetricsReport:
     :class:`~repro.core.faults.RunReport` summary.  Serialized strictly
     (``allow_nan=False`` after sanitizing) and written atomically via
     :func:`repro.atomicio.atomic_write_text`.
+
+    ``build(..., provenance=True)`` embeds the run's environment stamp
+    and ``write(..., digest=True)`` stamps a ``<path>.sha256`` sidecar
+    -- both off by default, keeping unvalidated reports byte-identical
+    to earlier releases.
     """
 
     def __init__(self, payload: Dict) -> None:
         self.payload = payload
 
     @staticmethod
-    def build(obs: "Observability") -> "MetricsReport":  # noqa: F821
+    def build(
+        obs: "Observability", provenance: bool = False
+    ) -> "MetricsReport":  # noqa: F821
         payload: Dict = {"format": METRICS_FORMAT}
         payload.update(obs.metrics.snapshot())
         payload["cache_hit_rates"] = obs.metrics.cache_hit_rates()
@@ -219,6 +226,15 @@ class MetricsReport:
                 "degradations": list(report.degradations),
                 "summary": report.summary(),
             }
+        if provenance:
+            stamp = (
+                report.provenance if report is not None else None
+            )
+            if stamp is None:
+                from repro.validate.provenance import provenance_stamp
+
+                stamp = provenance_stamp()
+            payload["provenance"] = stamp
         return MetricsReport(payload)
 
     def to_json(self) -> str:
@@ -226,5 +242,11 @@ class MetricsReport:
             sanitize_nonfinite(self.payload), allow_nan=False, indent=2
         )
 
-    def write(self, path: Union[str, "os.PathLike"]) -> None:  # noqa: F821
+    def write(
+        self, path: Union[str, "os.PathLike"], digest: bool = False
+    ) -> None:  # noqa: F821
         atomic_write_text(path, self.to_json() + "\n")
+        if digest:
+            from repro.atomicio import write_digest
+
+            write_digest(path)

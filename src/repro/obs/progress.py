@@ -30,6 +30,7 @@ import threading
 from pathlib import Path
 from typing import Dict, IO, Optional, Union
 
+from repro.atomicio import fsync_dir, write_digest
 from repro.obs.metrics import sanitize_nonfinite
 
 __all__ = ["ProgressReporter", "StderrProgress", "JsonlTrace"]
@@ -119,12 +120,21 @@ class JsonlTrace(ProgressReporter):
     invocation produces one self-contained trace; each line is flushed
     as it is written so an interrupted campaign leaves every completed
     event readable.
+
+    With ``digest=True`` a ``<path>.sha256`` sidecar is stamped when the
+    trace closes, so ``repro-characterize validate`` can detect any
+    later byte flip (a trace killed before close has no sidecar -- its
+    integrity cover is the per-line strict-JSON discipline).
     """
 
-    def __init__(self, path: Union[str, os.PathLike]) -> None:
+    def __init__(
+        self, path: Union[str, os.PathLike], digest: bool = False
+    ) -> None:
         self._path = Path(path)
+        self._digest = digest
         self._lock = threading.Lock()
         self._handle: Optional[IO[str]] = None
+        self._wrote = False
 
     @property
     def path(self) -> Path:
@@ -136,11 +146,15 @@ class JsonlTrace(ProgressReporter):
             if self._handle is None:
                 self._path.parent.mkdir(parents=True, exist_ok=True)
                 self._handle = open(self._path, "w", encoding="utf-8")
+                fsync_dir(self._path.parent)  # the create must be durable
             self._handle.write(line + "\n")
             self._handle.flush()
+            self._wrote = True
 
     def close(self) -> None:
         with self._lock:
             if self._handle is not None:
                 self._handle.close()
                 self._handle = None
+                if self._digest and self._wrote:
+                    write_digest(self._path)

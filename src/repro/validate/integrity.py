@@ -1,0 +1,108 @@
+"""File-level integrity: sha256 digest stamping and verification.
+
+A thin, artifact-agnostic layer over the primitives in
+:mod:`repro.atomicio`: every digest-enabled writer stamps a
+``sha256sum``-compatible ``<path>.sha256`` sidecar, and every loader
+verifies it before trusting the bytes, so a single flipped bit anywhere
+in an artifact raises :class:`~repro.errors.ArtifactCorruptError`
+instead of silently poisoning a resume or a figure.
+
+Append-only journals get one extra affordance,
+:func:`verify_journal_bytes`: a crash can legally land between the
+journal append and the sidecar rewrite (or tear the append itself), so
+a full-content mismatch falls back to checking the prefix without the
+final line before declaring corruption.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional, Tuple, Union
+
+from repro.atomicio import (
+    digest_path,
+    read_digest,
+    verify_digest,
+    write_digest,
+)
+from repro.errors import ArtifactCorruptError
+
+PathLike = Union[str, os.PathLike]
+
+__all__ = [
+    "stamp",
+    "verify",
+    "has_digest",
+    "verify_journal_bytes",
+    "sha256_bytes",
+]
+
+
+def sha256_bytes(data: bytes) -> str:
+    """sha256 hex digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def stamp(path: PathLike, hexdigest: Optional[str] = None) -> None:
+    """Stamp ``<path>.sha256`` with the file's content digest."""
+    write_digest(path, hexdigest)
+
+
+def has_digest(path: PathLike) -> bool:
+    """Whether a digest sidecar exists for ``path``."""
+    return digest_path(path).exists()
+
+
+def verify(path: PathLike, required: bool = False) -> Optional[str]:
+    """Verify ``path`` against its sidecar; see :func:`~repro.atomicio.verify_digest`."""
+    return verify_digest(path, required=required)
+
+
+def verify_journal_bytes(
+    path: PathLike, raw: bytes
+) -> Tuple[bool, Optional[str]]:
+    """Verify an append-only journal's bytes against its sidecar.
+
+    Returns ``(verified, prefix_note)``:
+
+    * sidecar absent -> ``(False, None)`` (nothing to verify against);
+    * full content matches -> ``(True, None)``;
+    * the prefix without the final line matches -> ``(True, note)``: the
+      writer crashed between appending the last line and restamping the
+      sidecar (or tore the append); the final line must be re-validated
+      by the parser, everything before it is verified;
+    * otherwise :class:`~repro.errors.ArtifactCorruptError`, naming the
+      file and both digests.
+    """
+    recorded = read_digest(path)
+    if recorded is None:
+        return False, None
+    actual = sha256_bytes(raw)
+    if actual == recorded:
+        return True, None
+    prefix = _without_final_line(raw)
+    if prefix is not None and sha256_bytes(prefix) == recorded:
+        return True, (
+            "digest sidecar predates the final journal line (crash "
+            "between append and restamp); verified the preceding "
+            f"{len(prefix)} byte(s), the final line is unverified"
+        )
+    raise ArtifactCorruptError(
+        f"{path}: content digest mismatch -- file hashes to "
+        f"sha256:{actual} but sidecar {digest_path(path).name} records "
+        f"sha256:{recorded}; the artifact was modified or corrupted "
+        f"after it was written"
+    )
+
+
+def _without_final_line(raw: bytes) -> Optional[bytes]:
+    """The journal bytes with the final (possibly torn) line removed.
+
+    ``None`` when there is no earlier line to fall back to.
+    """
+    trimmed = raw[:-1] if raw.endswith(b"\n") else raw
+    cut = trimmed.rfind(b"\n")
+    if cut < 0:
+        return None
+    return raw[: cut + 1]

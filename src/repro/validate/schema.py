@@ -1,0 +1,426 @@
+"""Dependency-free schema validators for every on-disk artifact.
+
+One validator per artifact family, all pure functions over already-parsed
+payloads (the caller owns file I/O and digest verification):
+
+* :func:`validate_results_payload`   -- ResultSet dumps (``repro-results-v1``
+  and the legacy unversioned shapes);
+* :func:`validate_journal_header` / :func:`validate_journal_entry`
+  -- checkpoint journals (``repro-checkpoint-v1``);
+* :func:`validate_metrics_payload`   -- metrics reports (``repro-metrics-v1``);
+* :func:`validate_trace_event`       -- JSONL trace lines;
+* :func:`validate_bench_payload`     -- ``BENCH_sweep.json`` records.
+
+Every failure raises :class:`~repro.errors.ArtifactInvalidError` whose
+message starts with ``<source>: $<json-path>`` so the offending field is
+addressable without re-reading the artifact (``$`` is the document root,
+e.g. ``$.measurements[3].t_on``).  Validators never raise raw
+``KeyError``/``TypeError`` -- a malformed payload always surfaces in the
+typed artifact-error vocabulary.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ArtifactInvalidError
+
+__all__ = [
+    "RESULTS_FORMAT",
+    "JOURNAL_FORMAT",
+    "METRICS_FORMAT",
+    "BENCH_FORMAT",
+    "KNOWN_PATTERNS",
+    "validate_results_payload",
+    "validate_journal_header",
+    "validate_journal_entry",
+    "validate_metrics_payload",
+    "validate_trace_event",
+    "validate_bench_payload",
+    "validate_measurement_record",
+]
+
+#: Format identifiers, kept in sync with the writers (results.py,
+#: checkpoint.py, obs/metrics.py, benchmarks/test_perf_sweep.py).  Schema
+#: validation must not import those modules: the writers import *us*.
+RESULTS_FORMAT = "repro-results-v1"
+JOURNAL_FORMAT = "repro-checkpoint-v1"
+METRICS_FORMAT = "repro-metrics-v1"
+BENCH_FORMAT = "repro-bench-v1"
+
+#: The paper's three access patterns (Section 3); every measurement
+#: record must carry one of them.
+KNOWN_PATTERNS = ("single-sided", "double-sided", "combined")
+
+
+def _fail(source: Optional[str], path: str, problem: str) -> None:
+    prefix = f"{source}: " if source else ""
+    raise ArtifactInvalidError(f"{prefix}{path} {problem}")
+
+
+def _typename(value) -> str:
+    return type(value).__name__
+
+
+def _require(payload, path: str, types, source: Optional[str], label: str):
+    """``payload`` must be one of ``types`` (bool never passes as int)."""
+    if isinstance(payload, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        _fail(source, path, f"must be {label}, got bool")
+    if not isinstance(payload, types):
+        _fail(source, path, f"must be {label}, got {_typename(payload)}")
+    return payload
+
+
+def _require_dict(payload, path: str, source: Optional[str]) -> Dict:
+    return _require(payload, path, dict, source, "an object")
+
+
+def _require_list(payload, path: str, source: Optional[str]) -> List:
+    return _require(payload, path, list, source, "an array")
+
+
+def _require_finite(payload, path: str, source: Optional[str]):
+    _require(payload, path, (int, float), source, "a number")
+    if isinstance(payload, float) and not math.isfinite(payload):
+        _fail(source, path, f"must be finite, got {payload!r}")
+    return payload
+
+
+def _get(obj: Dict, key: str, path: str, source: Optional[str]):
+    if key not in obj:
+        _fail(source, f"{path}.{key}", "is missing")
+    return obj[key]
+
+
+# ----------------------------------------------------------------- results
+
+
+def validate_measurement_record(
+    rec, path: str, source: Optional[str] = None
+) -> Tuple[str, int, str, float, int]:
+    """Validate one dumped measurement record (dump or journal entry).
+
+    Returns the record's identity ``(module_key, die, pattern, t_on,
+    trial)`` so callers can detect duplicates without re-reading fields.
+    """
+    _require_dict(rec, path, source)
+    module_key = _require(
+        _get(rec, "module_key", path, source),
+        f"{path}.module_key", str, source, "a string",
+    )
+    _require(
+        _get(rec, "manufacturer", path, source),
+        f"{path}.manufacturer", str, source, "a string",
+    )
+    die = _require(
+        _get(rec, "die", path, source), f"{path}.die", int, source, "an integer"
+    )
+    if die < 0:
+        _fail(source, f"{path}.die", f"must be >= 0, got {die}")
+    pattern = _require(
+        _get(rec, "pattern", path, source),
+        f"{path}.pattern", str, source, "a string",
+    )
+    if pattern not in KNOWN_PATTERNS:
+        _fail(
+            source,
+            f"{path}.pattern",
+            f"must be one of {list(KNOWN_PATTERNS)}, got {pattern!r}",
+        )
+    t_on = _require_finite(
+        _get(rec, "t_on", path, source), f"{path}.t_on", source
+    )
+    if t_on <= 0:
+        _fail(source, f"{path}.t_on", f"must be > 0 ns, got {t_on!r}")
+    trial = _require(
+        _get(rec, "trial", path, source),
+        f"{path}.trial", int, source, "an integer",
+    )
+    if trial < 0:
+        _fail(source, f"{path}.trial", f"must be >= 0, got {trial}")
+
+    acmin = _get(rec, "acmin", path, source)
+    if acmin is not None:
+        _require(acmin, f"{path}.acmin", int, source, "an integer or null")
+        if acmin <= 0:
+            _fail(source, f"{path}.acmin", f"must be > 0, got {acmin}")
+    time_to_first = _get(rec, "time_to_first_ns", path, source)
+    if time_to_first is not None:
+        _require_finite(time_to_first, f"{path}.time_to_first_ns", source)
+        if time_to_first <= 0:
+            _fail(
+                source,
+                f"{path}.time_to_first_ns",
+                f"must be > 0 ns, got {time_to_first!r}",
+            )
+    # A censored cell (no bitflip) has no ACmin and therefore no time.
+    # The converse is not enforced: a non-finite time_to_first_ns is
+    # sanitized to null at serialization while acmin stays set.
+    if acmin is None and time_to_first is not None:
+        _fail(
+            source,
+            f"{path}.time_to_first_ns",
+            f"must be null when acmin is null (no bitflip means no "
+            f"time-to-first), got {time_to_first!r}",
+        )
+
+    for census_key in ("flips_1_to_0", "flips_0_to_1"):
+        flips = rec.get(census_key)
+        if flips is None:
+            continue
+        _require_list(flips, f"{path}.{census_key}", source)
+        for i, coord in enumerate(flips):
+            coord_path = f"{path}.{census_key}[{i}]"
+            _require(coord, coord_path, (list, tuple), source, "a [row, col] pair")
+            if len(coord) != 2:
+                _fail(
+                    source, coord_path,
+                    f"must be a [row, col] pair, got {len(coord)} element(s)",
+                )
+            for j, axis in enumerate(coord):
+                _require(
+                    axis, f"{coord_path}[{j}]", int, source, "an integer"
+                )
+    return (module_key, die, pattern, float(t_on), trial)
+
+
+def validate_results_payload(payload, source: Optional[str] = None) -> Dict:
+    """Validate a parsed ResultSet dump; returns ``{"legacy": bool}``.
+
+    Accepts the versioned ``repro-results-v1`` envelope, the envelope
+    without a ``format`` field, and the original flat record list (both
+    legacy -> ``{"legacy": True}``, so the caller can warn).  Unknown
+    format versions and duplicate ``(module, die, pattern, t, trial)``
+    records are rejected.
+    """
+    if isinstance(payload, list):
+        records, legacy = payload, True
+        records_path = "$"
+    else:
+        _require_dict(payload, "$", source)
+        fmt = payload.get("format")
+        legacy = fmt is None
+        if fmt is not None and fmt != RESULTS_FORMAT:
+            _fail(
+                source, "$.format",
+                f"has unknown results format {fmt!r} "
+                f"(this library reads {RESULTS_FORMAT!r})",
+            )
+        _require(
+            _get(payload, "census_included", "$", source),
+            "$.census_included", bool, source, "a boolean",
+        )
+        records = _require_list(
+            _get(payload, "measurements", "$", source), "$.measurements", source
+        )
+        records_path = "$.measurements"
+    seen: Dict[Tuple, int] = {}
+    for i, rec in enumerate(records):
+        identity = validate_measurement_record(
+            rec, f"{records_path}[{i}]", source
+        )
+        if identity in seen:
+            _fail(
+                source,
+                f"{records_path}[{i}]",
+                f"duplicates {records_path}[{seen[identity]}]: "
+                f"(module_key={identity[0]!r}, die={identity[1]}, "
+                f"pattern={identity[2]!r}, t_on={identity[3]!r}, "
+                f"trial={identity[4]}) measured twice",
+            )
+        seen[identity] = i
+    return {"legacy": legacy}
+
+
+# ----------------------------------------------------------------- journal
+
+
+def validate_journal_header(header, source: Optional[str] = None) -> Dict:
+    """Validate a checkpoint journal's header line (parsed)."""
+    _require_dict(header, "$", source)
+    fmt = _get(header, "format", "$", source)
+    if fmt != JOURNAL_FORMAT:
+        _fail(
+            source, "$.format",
+            f"has unknown journal format {fmt!r} "
+            f"(this library reads {JOURNAL_FORMAT!r})",
+        )
+    _require(
+        _get(header, "fingerprint", "$", source),
+        "$.fingerprint", str, source, "a string",
+    )
+    n_shards = _require(
+        _get(header, "n_shards", "$", source),
+        "$.n_shards", int, source, "an integer",
+    )
+    if n_shards < 0:
+        _fail(source, "$.n_shards", f"must be >= 0, got {n_shards}")
+    if "provenance" in header:
+        _require_dict(header["provenance"], "$.provenance", source)
+    return header
+
+
+def validate_journal_entry(
+    entry, line_no: int, source: Optional[str] = None
+) -> int:
+    """Validate one shard entry line; returns the shard index.
+
+    ``line_no`` is the 1-based journal line the entry came from, used in
+    the JSON-path prefix (``line 3: $.shard ...``).
+    """
+    path = f"line {line_no}: $"
+    _require_dict(entry, path, source)
+    shard = _require(
+        _get(entry, "shard", path, source),
+        f"{path}.shard", int, source, "an integer",
+    )
+    if shard < 0:
+        _fail(source, f"{path}.shard", f"must be >= 0, got {shard}")
+    records = _require_list(
+        _get(entry, "measurements", path, source),
+        f"{path}.measurements", source,
+    )
+    for i, rec in enumerate(records):
+        validate_measurement_record(rec, f"{path}.measurements[{i}]", source)
+    return shard
+
+
+# ----------------------------------------------------------------- metrics
+
+
+def validate_metrics_payload(payload, source: Optional[str] = None) -> Dict:
+    """Validate a parsed ``repro-metrics-v1`` report."""
+    _require_dict(payload, "$", source)
+    fmt = _get(payload, "format", "$", source)
+    if fmt != METRICS_FORMAT:
+        _fail(
+            source, "$.format",
+            f"has unknown metrics format {fmt!r} "
+            f"(this library reads {METRICS_FORMAT!r})",
+        )
+    counters = _require_dict(
+        _get(payload, "counters", "$", source), "$.counters", source
+    )
+    for name, value in counters.items():
+        _require(
+            value, f"$.counters.{name}", int, source, "an integer"
+        )
+        if value < 0:
+            _fail(source, f"$.counters.{name}", f"must be >= 0, got {value}")
+    gauges = _require_dict(
+        _get(payload, "gauges", "$", source), "$.gauges", source
+    )
+    for name, value in gauges.items():
+        if value is not None:  # sanitized non-finite gauges are null
+            _require_finite(value, f"$.gauges.{name}", source)
+    timers = _require_dict(
+        _get(payload, "timers", "$", source), "$.timers", source
+    )
+    for name, summary in timers.items():
+        tpath = f"$.timers.{name}"
+        _require_dict(summary, tpath, source)
+        count = _require(
+            _get(summary, "count", tpath, source),
+            f"{tpath}.count", int, source, "an integer",
+        )
+        if count < 0:
+            _fail(source, f"{tpath}.count", f"must be >= 0, got {count}")
+        for stat in ("total_s", "min_s", "max_s", "mean_s", "p50_s", "p90_s"):
+            _require_finite(
+                _get(summary, stat, tpath, source), f"{tpath}.{stat}", source
+            )
+    if "run" in payload:
+        run = _require_dict(payload["run"], "$.run", source)
+        for key in ("n_shards", "n_resumed", "n_executed", "n_retries"):
+            value = _require(
+                _get(run, key, "$.run", source),
+                f"$.run.{key}", int, source, "an integer",
+            )
+            if value < 0:
+                _fail(source, f"$.run.{key}", f"must be >= 0, got {value}")
+    if "provenance" in payload:
+        _require_dict(payload["provenance"], "$.provenance", source)
+    return payload
+
+
+# ------------------------------------------------------------------- trace
+
+
+#: Event names the engine emits (DESIGN.md §6); unknown names are
+#: tolerated (traces are forward-extensible), but the envelope is not.
+_TRACE_EVENTS = frozenset(
+    (
+        "campaign_start",
+        "campaign_resume",
+        "shard_start",
+        "shard_finish",
+        "shard_retry",
+        "pool_restart",
+        "executor_degraded",
+        "campaign_finish",
+        "validate",
+    )
+)
+
+
+def validate_trace_event(
+    event, line_no: int, source: Optional[str] = None
+) -> str:
+    """Validate one parsed trace line; returns the event name."""
+    path = f"line {line_no}: $"
+    _require_dict(event, path, source)
+    name = _require(
+        _get(event, "event", path, source),
+        f"{path}.event", str, source, "a string",
+    )
+    t = _get(event, "t", path, source)
+    _require_finite(t, f"{path}.t", source)
+    if t < 0:
+        _fail(source, f"{path}.t", f"must be a wall-clock timestamp, got {t!r}")
+    return name
+
+
+# ------------------------------------------------------------------- bench
+
+
+def validate_bench_payload(payload, source: Optional[str] = None) -> Dict:
+    """Validate a parsed ``BENCH_sweep.json`` record."""
+    _require_dict(payload, "$", source)
+    fmt = payload.get("format")
+    if fmt is not None and fmt != BENCH_FORMAT:
+        _fail(
+            source, "$.format",
+            f"has unknown bench format {fmt!r} "
+            f"(this library reads {BENCH_FORMAT!r})",
+        )
+    _require_dict(_get(payload, "campaign", "$", source), "$.campaign", source)
+    seconds = _require_dict(
+        _get(payload, "seconds", "$", source), "$.seconds", source
+    )
+    for name, value in seconds.items():
+        value = _require_finite(value, f"$.seconds.{name}", source)
+        if value <= 0:
+            _fail(source, f"$.seconds.{name}", f"must be > 0, got {value!r}")
+    speedup = _get(payload, "speedup_vs_seed", "$", source)
+    speedups = (
+        speedup.items()
+        if isinstance(speedup, dict)
+        else (("", speedup),)
+    )
+    for name, value in speedups:
+        spath = f"$.speedup_vs_seed.{name}" if name else "$.speedup_vs_seed"
+        value = _require_finite(value, spath, source)
+        if value <= 0:
+            _fail(source, spath, f"must be > 0, got {value!r}")
+    all_seconds = payload.get("all_seconds")
+    if all_seconds is not None:
+        _require_dict(all_seconds, "$.all_seconds", source)
+        for name, values in all_seconds.items():
+            vpath = f"$.all_seconds.{name}"
+            _require_list(values, vpath, source)
+            for i, value in enumerate(values):
+                _require_finite(value, f"{vpath}[{i}]", source)
+    return payload

@@ -374,6 +374,50 @@ def test_journal_rejects_garbage(tmp_path):
         CheckpointJournal(path).load("whatever")
 
 
+def test_resume_rejects_torn_header(fast_config, s0_module, tmp_path):
+    """A header torn mid-write is corruption, not a resumable journal --
+    the torn-trailing-line tolerance applies to shard appends only."""
+    journal_path = tmp_path / "torn.jsonl"
+    engine, _ = _run(fast_config, [s0_module], checkpoint=str(journal_path))
+    lines = journal_path.read_text().splitlines(keepends=True)
+    # Truncate the header mid-JSON but keep the shard lines: the exact
+    # byte layout a crash during a (non-atomic) header write would leave.
+    journal_path.write_text(lines[0][: len(lines[0]) // 2] + "\n" + lines[1])
+    with pytest.raises(CheckpointError, match="malformed"):
+        _run(
+            fast_config, [s0_module],
+            checkpoint=str(journal_path), resume=True,
+        )
+
+
+def test_resume_rejects_garbled_header(fast_config, s0_module, tmp_path):
+    """A header that parses but is not a journal header is rejected by
+    format, before any shard line is trusted."""
+    journal_path = tmp_path / "garbled.jsonl"
+    engine, _ = _run(fast_config, [s0_module], checkpoint=str(journal_path))
+    lines = journal_path.read_text().splitlines(keepends=True)
+    journal_path.write_text('{"format": "not-a-journal"}\n' + "".join(lines[1:]))
+    with pytest.raises(CheckpointError, match="unknown format"):
+        _run(
+            fast_config, [s0_module],
+            checkpoint=str(journal_path), resume=True,
+        )
+
+
+def test_fingerprint_mismatch_message_names_both(fast_config, s0_module, tmp_path):
+    """CheckpointError for a mismatched plan names the journal's and the
+    campaign's fingerprints so the operator can tell which run wrote it."""
+    plan = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=1)
+    journal = CheckpointJournal(tmp_path / "j.jsonl")
+    journal.start("aaaa1111aaaa1111", len(plan.shards))
+    with pytest.raises(CheckpointError) as excinfo:
+        CheckpointJournal(journal.path).load("bbbb2222bbbb2222")
+    message = str(excinfo.value)
+    assert "aaaa1111aaaa1111" in message
+    assert "bbbb2222bbbb2222" in message
+    assert "refusing" in message
+
+
 # --------------------------------------------------------- atomic dumps
 
 

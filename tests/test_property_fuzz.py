@@ -174,3 +174,122 @@ def test_interpreter_rejects_all_short_timings(t_open, t_closed):
     builder2.act(0, 10).wait(36.0).pre(0).wait(t_closed).act(0, 11)
     with pytest.raises(ReproError):
         interp2.run(builder2.build())
+
+
+# ------------------------------------------------- artifact flip detection
+
+
+def _fuzz_measurement(i: int):
+    from repro.core.results import DieMeasurement
+
+    return DieMeasurement(
+        module_key="X0", manufacturer="X", die=i % 2,
+        pattern="double-sided", t_on=36.0, trial=i // 2,
+        acmin=100 + 2 * i,
+        time_to_first_ns=(100 + 2 * i) * 51.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def artifact_corpus(tmp_path_factory):
+    """One pristine, digest-stamped artifact of every kind."""
+    import json
+
+    from repro.atomicio import write_digest
+    from repro.core.checkpoint import CheckpointJournal
+    from repro.core.results import ResultSet
+    from repro.obs import Observability
+    from repro.obs.metrics import MetricsRegistry, MetricsReport
+    from repro.obs.progress import JsonlTrace
+
+    base = tmp_path_factory.mktemp("pristine")
+    measurements = [_fuzz_measurement(i) for i in range(6)]
+
+    results = base / "dump.json"
+    ResultSet(measurements).dump(results, include_census=True, digest=True)
+
+    journal = base / "ckpt.jsonl"
+    writer = CheckpointJournal(journal, digest=True)
+    writer.start("fuzzfp0123456789", 2)
+    writer.record(0, measurements[:3])
+    writer.record(1, measurements[3:])
+
+    registry = MetricsRegistry()
+    registry.inc("shards.completed", 2)
+    registry.observe("shard.execute_seconds", 0.25)
+    metrics = base / "metrics.json"
+    MetricsReport.build(
+        Observability(metrics=registry), provenance=True
+    ).write(metrics, digest=True)
+
+    trace = base / "trace.jsonl"
+    sink = JsonlTrace(trace, digest=True)
+    sink.emit({"event": "campaign_start", "t": 0.0, "n_shards": 2})
+    sink.emit({"event": "campaign_finish", "t": 1.5, "n_shards": 2})
+    sink.close()
+
+    bench = base / "bench.json"
+    bench.write_text(json.dumps({
+        "format": "repro-bench-v1",
+        "campaign": {"n_modules": 1},
+        "seconds": {"seed": 2.0, "engine_serial": 1.0},
+        "speedup_vs_seed": {"engine_serial": 2.0},
+    }) + "\n")
+    write_digest(bench)
+
+    return {
+        "results": results, "checkpoint": journal, "metrics": metrics,
+        "trace": trace, "bench": bench,
+    }
+
+
+@pytest.fixture(scope="module")
+def flip_scratch(tmp_path_factory):
+    return tmp_path_factory.mktemp("flipped")
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    kind=st.sampled_from(
+        ["results", "checkpoint", "metrics", "trace", "bench"]
+    ),
+    position=st.integers(min_value=0, max_value=10**9),
+    bit=st.integers(min_value=0, max_value=7),
+)
+def test_any_single_byte_flip_is_detected(
+    artifact_corpus, flip_scratch, kind, position, bit
+):
+    """Flipping any one bit of any digest-covered artifact surfaces as a
+    typed ArtifactError naming the file -- never as silently wrong data
+    and never as a raw json/KeyError from the loader internals.
+
+    The one documented exception is a checkpoint journal's *final* line,
+    where a flip is byte-indistinguishable from the legal
+    append-durable/sidecar-stale crash window, so the fuzz stays inside
+    the digest-covered prefix for journals.
+    """
+    from repro.atomicio import digest_path
+    from repro.core.results import ResultSet
+    from repro.errors import ArtifactCorruptError, ArtifactInvalidError
+    from repro.validate import validate_artifact
+
+    source = artifact_corpus[kind]
+    raw = bytearray(source.read_bytes())
+    limit = len(raw)
+    if kind == "checkpoint":
+        limit = raw.rindex(b"\n", 0, len(raw) - 1) + 1
+    raw[position % limit] ^= 1 << bit
+
+    target = flip_scratch / source.name
+    target.write_bytes(bytes(raw))
+    digest_path(target).write_bytes(digest_path(source).read_bytes())
+
+    with pytest.raises((ArtifactCorruptError, ArtifactInvalidError)) as excinfo:
+        validate_artifact(target)
+    assert target.name in str(excinfo.value)
+
+    if kind == "results":
+        # The library loader must refuse the bytes too, not just the
+        # validator: a flipped dump can never feed analysis.
+        with pytest.raises((ArtifactCorruptError, ArtifactInvalidError)):
+            ResultSet.load(target)

@@ -60,7 +60,8 @@ def test_group_by():
 
 
 def test_json_roundtrip_without_census():
-    rs = ResultSet([meas(), meas(acmin=None, time_ns=None)])
+    # Distinct trials: from_json rejects duplicate measurement identities.
+    rs = ResultSet([meas(), meas(trial=1, acmin=None, time_ns=None)])
     restored = ResultSet.from_json(rs.to_json())
     assert len(restored) == 2
     values = [m.acmin for m in restored]
