@@ -1,12 +1,20 @@
-"""Table generation (Tables 1 and 2 of the paper).
+"""Table generation (Tables 1 and 2 of the paper, plus extensions).
 
 Table 1 is the static chip inventory; Table 2 is the per-module ACmin and
 time-to-first-bitflip summary at the three anchor on-times, generated from
-measurements and printable side by side with the paper's values.
+measurements and printable side by side with the paper's values.  The
+mitigation-strength table (:func:`mitigation_table_rows`) is this
+reproduction's answer to the paper's Section 5 implication: per
+(chip, pattern, tAggON), the critical parameter each evaluated mechanism
+needs -- the smallest protecting PARA probability, the largest protecting
+Graphene threshold -- next to the bare baseline and the refresh-window
+survival calls.
 """
 
 from __future__ import annotations
 
+import io
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.results import ResultSet
@@ -91,6 +99,164 @@ def _paper_acmin(
         return profile.acmin_rh36
     table = profile.acmin_rp if pattern == "double-sided" else profile.acmin_combined
     return table.get(t_on)
+
+
+# -------------------------------------------------- mitigation strength
+
+#: Mechanisms whose critical parameter is a probability (shown as-is)
+#: vs. an activation-count threshold (shown as an integer).
+_PROBABILITY_MECHANISMS = ("para", "para-press")
+
+
+def _format_critical(point) -> str:
+    """One mechanism's critical parameter as a table cell."""
+    if point.defeated:
+        return "defeated"
+    if point.critical_value is None:
+        return "-"  # no bare bitflip: nothing to mitigate at this point
+    if point.mitigation in _PROBABILITY_MECHANISMS:
+        return f"{point.critical_value:.4g}"
+    prefix = ">=" if point.cap_hit else ""
+    return f"{prefix}{point.critical_value:.0f}"
+
+
+def mitigation_table_rows(results) -> List[Dict[str, object]]:
+    """The "required mitigation strength vs tAggON" table.
+
+    One row per (chip, pattern, tAggON) in campaign order, carrying the
+    shared bare baseline, one critical-parameter column per evaluated
+    mechanism, and the refresh-window survival calls.  Reading down a
+    (chip, pattern) block shows the paper's Section 5 implication
+    directly: the PARA column rises toward 1 (or ``defeated``) and the
+    Graphene column falls toward 1 (or ``defeated``) as tAggON grows.
+
+    ``results`` is a :class:`repro.mitigations.campaign.MitigationResults`
+    (duck-typed: any iterable of mitigation points works).
+    """
+    points = list(results)
+    mechanisms = sorted({p.mitigation for p in points})
+    by_cell: Dict[Tuple[str, str, float], Dict[str, object]] = {}
+    order: List[Tuple[str, str, float]] = []
+    for p in points:
+        key = (p.chip_key, p.pattern, p.t_on)
+        if key not in by_cell:
+            by_cell[key] = {}
+            order.append(key)
+        by_cell[key][p.mitigation] = p
+
+    rows: List[Dict[str, object]] = []
+    for chip, pattern, t_on in sorted(
+        order, key=lambda k: (k[0], k[1], k[2])
+    ):
+        cell = by_cell[(chip, pattern, t_on)]
+        any_point = next(iter(cell.values()))
+        row: Dict[str, object] = {
+            "chip": chip,
+            "pattern": pattern,
+            "tAggON": f"{t_on:g} ns",
+            "ACmin (bare)": (
+                "No Bitflip"
+                if any_point.baseline_acmin is None
+                else str(any_point.baseline_acmin)
+            ),
+        }
+        for mechanism in mechanisms:
+            label = (
+                f"{mechanism} [p]"
+                if mechanism in _PROBABILITY_MECHANISMS
+                else f"{mechanism} [thr]"
+            )
+            point = cell.get(mechanism)
+            row[label] = "-" if point is None else _format_critical(point)
+        row["tREFW ok"] = "yes" if any_point.protected_by_trefw else "no"
+        row["tREFW/4 ok"] = (
+            "yes" if any_point.protected_by_trefw_quarter else "no"
+        )
+        rows.append(row)
+    return rows
+
+
+@dataclass
+class StrengthSeries:
+    """One "required strength vs tAggON" line (ascii_line_plot-ready).
+
+    ``means`` carries the critical parameter; defeated or never-flipping
+    points are NaN (the plot skips them -- an infinite requirement has
+    no finite y).
+    """
+
+    label: str
+    t_values: List[float] = field(default_factory=list)
+    means: List[float] = field(default_factory=list)
+
+
+def mitigation_strength_series(
+    results, mitigation: str, chip_key: Optional[str] = None
+) -> List[StrengthSeries]:
+    """Per-pattern strength curves for one mechanism.
+
+    One series per (chip, pattern), sorted by tAggON -- the figure
+    behind the Section 5 implication ("required mitigation strength vs
+    tAggON").  Restrict to one evaluation chip with ``chip_key``.
+    """
+    nan = float("nan")
+    grouped: Dict[Tuple[str, str], List] = {}
+    for p in results:
+        if p.mitigation != mitigation:
+            continue
+        if chip_key is not None and p.chip_key != chip_key:
+            continue
+        grouped.setdefault((p.chip_key, p.pattern), []).append(p)
+    series: List[StrengthSeries] = []
+    for (chip, pattern), points in sorted(grouped.items()):
+        points.sort(key=lambda p: p.t_on)
+        series.append(
+            StrengthSeries(
+                label=f"{chip}/{pattern}",
+                t_values=[p.t_on for p in points],
+                means=[
+                    nan
+                    if p.defeated or p.critical_value is None
+                    else p.critical_value
+                    for p in points
+                ],
+            )
+        )
+    return series
+
+
+def mitigation_to_csv(results) -> str:
+    """Flat CSV of a mitigation campaign (one line per point)."""
+    buf = io.StringIO()
+    buf.write(
+        "chip,mitigation,pattern,t_agg_on_ns,baseline_acmin,"
+        "time_to_first_ns,critical_value,defeated,cap_hit,"
+        "protected_by_trefw,protected_by_trefw_quarter\n"
+    )
+
+    def cell(value: object) -> str:
+        if value is None:
+            return ""
+        if isinstance(value, bool):
+            return "1" if value else "0"
+        if isinstance(value, float):
+            return f"{value:g}"
+        return str(value)
+
+    for p in results:
+        buf.write(
+            ",".join(
+                cell(v)
+                for v in (
+                    p.chip_key, p.mitigation, p.pattern, p.t_on,
+                    p.baseline_acmin, p.time_to_first_ns, p.critical_value,
+                    p.defeated, p.cap_hit, p.protected_by_trefw,
+                    p.protected_by_trefw_quarter,
+                )
+            )
+            + "\n"
+        )
+    return buf.getvalue()
 
 
 def _format_cell(value: object) -> str:

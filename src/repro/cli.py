@@ -7,7 +7,9 @@ requested artifact:
 * ``table2`` -- the per-module anchor table (measured vs paper);
 * ``fig4``   -- time-to-first-bitflip and ACmin series vs tAggON;
 * ``fig5``   -- bitflip-direction fractions vs tAggON;
-* ``fig6``   -- bitflip-set overlap vs tAggON.
+* ``fig6``   -- bitflip-set overlap vs tAggON;
+* ``mitigate`` -- the mitigation stress-evaluation campaign (required
+  PARA probability / Graphene threshold vs tAggON, Section 5).
 
 Example::
 
@@ -53,9 +55,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=(
             "table1", "table2", "fig4", "fig5", "fig6", "report", "campaign",
-            "validate",
+            "mitigate", "validate",
         ),
-        help="which paper artifact to regenerate, or 'validate' to check "
+        help="which paper artifact to regenerate, 'mitigate' to run the "
+        "mitigation stress-evaluation campaign, or 'validate' to check "
         "previously written artifacts",
     )
     parser.add_argument(
@@ -90,6 +93,21 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of ASCII plots"
+    )
+    parser.add_argument(
+        "--chips",
+        nargs="+",
+        default=["E0"],
+        help="evaluation chip profiles for the mitigate campaign "
+        "(default: E0)",
+    )
+    parser.add_argument(
+        "--mitigations",
+        nargs="+",
+        default=["para", "graphene"],
+        help="mechanisms the mitigate campaign searches critical "
+        "parameters for: para, graphene, and/or their press-weighted "
+        "variants para-press / graphene-press (default: para graphene)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -228,8 +246,12 @@ def _maybe_dump(args, results) -> None:
         )
 
 
-def _report_summary(runner: CharacterizationRunner) -> None:
-    """Surface retries/resume/degradation on stderr when they happened."""
+def _report_summary(runner) -> None:
+    """Surface retries/resume/degradation on stderr when they happened.
+
+    ``runner`` is anything with a ``last_report`` (the characterization
+    runner or the mitigation campaign).
+    """
     report = runner.last_report
     if report is None:
         return
@@ -289,6 +311,8 @@ def _run(argv: Optional[List[str]] = None) -> int:
     try:
         if args.artifact == "validate":
             return _run_validate(args, obs)
+        if args.artifact == "mitigate":
+            return _run_mitigate(args, obs)
         return _run_campaign(args, obs)
     finally:
         if obs is not None:
@@ -297,6 +321,56 @@ def _run(argv: Optional[List[str]] = None) -> int:
                     args.metrics, digest=args.validate
                 )
             obs.close()
+
+
+def _run_mitigate(args, obs: Optional[Observability]) -> int:
+    """The ``mitigate`` mode: required mitigation strength vs tAggON."""
+    from repro.analysis.tables import (
+        mitigation_strength_series,
+        mitigation_table_rows,
+        mitigation_to_csv,
+    )
+    from repro.core.engine import make_executor
+    from repro.mitigations.campaign import MitigationCampaign
+
+    campaign = MitigationCampaign(
+        executor=make_executor(args.workers), obs=obs
+    )
+    policy = RetryPolicy(
+        max_retries=args.max_retries, shard_timeout=args.shard_timeout
+    )
+    results = campaign.run(
+        chips=args.chips,
+        mitigations=args.mitigations,
+        policy=policy,
+        checkpoint=args.checkpoint,
+        resume=args.resume,
+        validate=args.validate,
+    )
+    _report_summary(campaign)
+    if args.dump:
+        results.dump(args.dump, digest=args.validate)
+    if args.csv:
+        sys.stdout.write(mitigation_to_csv(results))
+        return 0
+    sys.stdout.write(format_table(mitigation_table_rows(results)))
+    for mechanism in args.mitigations:
+        series = mitigation_strength_series(results, mechanism)
+        if not any(y == y for s in series for y in s.means):
+            continue  # every point defeated or flip-free: nothing to plot
+        threshold = mechanism.startswith("graphene")
+        sys.stdout.write(
+            ascii_line_plot(
+                series,
+                logy=threshold,
+                title=(
+                    f"Required {mechanism} "
+                    f"{'threshold' if threshold else 'probability'} "
+                    f"vs tAggON"
+                ),
+            )
+        )
+    return 0
 
 
 def _run_campaign(args, obs: Optional[Observability]) -> int:

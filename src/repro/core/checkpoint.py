@@ -45,8 +45,9 @@ import hashlib
 import json
 import logging
 import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.atomicio import atomic_write_text, write_digest
 from repro.core.results import (
@@ -60,7 +61,13 @@ from repro.validate.provenance import check_provenance, provenance_stamp
 
 JOURNAL_FORMAT = "repro-checkpoint-v1"
 
-__all__ = ["JOURNAL_FORMAT", "plan_fingerprint", "CheckpointJournal"]
+__all__ = [
+    "JOURNAL_FORMAT",
+    "plan_fingerprint",
+    "JournalCodec",
+    "MEASUREMENT_CODEC",
+    "CheckpointJournal",
+]
 
 logger = logging.getLogger("repro.checkpoint")
 
@@ -86,6 +93,31 @@ def plan_fingerprint(config, plan) -> str:
     return digest[:16]
 
 
+@dataclass(frozen=True)
+class JournalCodec:
+    """How one campaign kind's shard results are journaled.
+
+    ``entries`` names the per-record format; ``None`` means the default
+    characterization measurements, for which the header is byte-identical
+    to journals written before codecs existed.  A non-``None`` name is
+    written into the header as ``"entries"`` and checked on load, so a
+    journal of one record kind can never be decoded as another.
+    """
+
+    entries: Optional[str]
+    encode: Callable[[object], dict]
+    decode: Callable[[dict], object]
+
+
+#: The default codec: characterization :class:`DieMeasurement` records,
+#: censuses included so resumed measurements are bit-identical.
+MEASUREMENT_CODEC = JournalCodec(
+    entries=None,
+    encode=lambda m: measurement_to_record(m, include_census=True),
+    decode=lambda rec: measurement_from_record(rec, census_included=True),
+)
+
+
 class CheckpointJournal:
     """Append-only journal of completed shards.
 
@@ -108,11 +140,15 @@ class CheckpointJournal:
     """
 
     def __init__(
-        self, path: Union[str, os.PathLike], digest: bool = False
+        self,
+        path: Union[str, os.PathLike],
+        digest: bool = False,
+        codec: Optional[JournalCodec] = None,
     ) -> None:
         self._path = Path(path)
         self._started = False
         self._digest = digest
+        self._codec = codec if codec is not None else MEASUREMENT_CODEC
         self._hash = None  # running sha256 of the journal's content
 
     @property
@@ -131,6 +167,8 @@ class CheckpointJournal:
             "fingerprint": fingerprint,
             "n_shards": n_shards,
         }
+        if self._codec.entries is not None:
+            header["entries"] = self._codec.entries
         if self._digest:
             header["provenance"] = provenance_stamp()
         text = json.dumps(header) + "\n"
@@ -140,9 +178,7 @@ class CheckpointJournal:
             self._hash = hashlib.sha256(text.encode("utf-8"))
             write_digest(self._path, self._hash.hexdigest())
 
-    def record(
-        self, shard_index: int, measurements: Sequence[DieMeasurement]
-    ) -> None:
+    def record(self, shard_index: int, measurements: Sequence) -> None:
         """Journal one completed shard with a single durable append."""
         if not self._started:
             raise CheckpointError(
@@ -150,10 +186,7 @@ class CheckpointJournal:
             )
         entry = {
             "shard": shard_index,
-            "measurements": [
-                measurement_to_record(m, include_census=True)
-                for m in measurements
-            ],
+            "measurements": [self._codec.encode(m) for m in measurements],
         }
         line = json.dumps(entry, allow_nan=False) + "\n"
         with open(self._path, "a", encoding="utf-8") as handle:
@@ -207,6 +240,15 @@ class CheckpointJournal:
                 f"checkpoint journal {self._path} has unknown format "
                 f"{header.get('format')!r} (expected {JOURNAL_FORMAT!r})"
             )
+        entries = header.get("entries")
+        if entries != self._codec.entries:
+            raise CheckpointError(
+                f"checkpoint journal {self._path} records "
+                f"{entries or 'characterization measurement'!r} entries, but "
+                f"this campaign journals "
+                f"{self._codec.entries or 'characterization measurement'!r} "
+                f"entries; refusing to decode one record kind as another"
+            )
         found = header.get("fingerprint")
         if found != expected_fingerprint:
             raise CheckpointError(
@@ -216,7 +258,7 @@ class CheckpointJournal:
                 f"measurements from different campaigns (delete the journal "
                 f"or drop --resume to start over)"
             )
-        completed: Dict[int, List[DieMeasurement]] = {}
+        completed: Dict[int, List] = {}
         for entry in parsed[1:]:
             index = entry.get("shard")
             if not isinstance(index, int):
@@ -230,8 +272,7 @@ class CheckpointJournal:
                     f"twice"
                 )
             completed[index] = [
-                measurement_from_record(rec, census_included=True)
-                for rec in entry["measurements"]
+                self._codec.decode(rec) for rec in entry["measurements"]
             ]
         if "provenance" in header:
             for drift in check_provenance(header["provenance"]):

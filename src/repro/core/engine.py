@@ -64,7 +64,7 @@ from concurrent.futures import (
     wait,
 )
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.acmin import DieAnalysis, DieSweepAnalyzer
@@ -97,10 +97,13 @@ __all__ = [
     "WorkUnit",
     "Shard",
     "SweepPlan",
+    "CharacterizationWorkerSpec",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
     "make_executor",
+    "executor_ladder",
+    "run_plan",
     "SweepEngine",
     "measurement_from_analysis",
 ]
@@ -129,6 +132,12 @@ class Shard:
     The shard is the dispatch granularity: one worker builds one
     :class:`StackedDie` for it and measures every unit against it.
     ``index`` is the shard's position in the plan's canonical order.
+
+    Shards implement the executor-facing shard protocol shared with
+    other campaign kinds (e.g. the mitigation campaign): ``index`` and
+    ``units`` plus the :attr:`group_key` / :attr:`label` /
+    :attr:`obs_fields` properties the executors and the engine use for
+    partitioning, error messages, and event payloads.
     """
 
     index: int
@@ -136,6 +145,23 @@ class Shard:
     manufacturer: str
     die: int
     units: Tuple[WorkUnit, ...]
+
+    @property
+    def group_key(self) -> str:
+        """Chunking affinity: consecutive shards sharing this key stay on
+        one worker (so a process worker rebuilds each module once)."""
+        return self.module_key
+
+    @property
+    def label(self) -> str:
+        """Human-readable shard description used in error/retry messages."""
+        return f"{self.module_key} die {self.die}"
+
+    @property
+    def obs_fields(self) -> Dict[str, object]:
+        """Campaign-specific fields of ``shard_start``/``shard_finish``
+        events (DESIGN.md §6 pins these names for characterization)."""
+        return {"module": self.module_key, "die": self.die}
 
 
 @dataclass(frozen=True)
@@ -219,6 +245,39 @@ def measurement_from_analysis(
     )
 
 
+@dataclass(frozen=True)
+class CharacterizationWorkerSpec:
+    """Picklable recipe a process worker rebuilds its runner from.
+
+    Only the spec crosses the pool boundary (never modules, caches, or
+    cell arrays); inside the worker :meth:`build_runner` reconstructs a
+    fully functional :class:`ShardRunner` whose module provider rebuilds
+    profiled modules on demand (cached per worker process).  Other
+    campaign kinds (e.g. :mod:`repro.mitigations.campaign`) provide
+    their own spec with the same two-method surface, which is all the
+    process executor requires of a runner.
+    """
+
+    config: CharacterizationConfig
+
+    def check_shards(self, shards: Sequence[Shard]) -> None:
+        """Refuse shards a worker could not rebuild from this spec."""
+        from repro.dram.profiles import MODULE_PROFILES
+
+        unknown = sorted({s.module_key for s in shards} - set(MODULE_PROFILES))
+        if unknown:
+            raise ExperimentError(
+                f"process executor rebuilds modules from profiles, but "
+                f"{unknown} are not profiled module keys; use the serial or "
+                f"thread executor for hand-assembled modules"
+            )
+
+    def build_runner(self) -> "ShardRunner":
+        return ShardRunner(
+            self.config, lambda key: _worker_module(key, self.config)
+        )
+
+
 class ShardRunner:
     """Executes shards against modules, caching one StackedDie per die.
 
@@ -255,9 +314,18 @@ class ShardRunner:
         self._analyzer_cache = analyzer_cache if analyzer_cache is not None else {}
         self._metrics = metrics
 
+    #: Result-integrity check executors apply to this runner's results
+    #: (identity tuples must match the shard's units, in order).
+    validate = staticmethod(validate_shard_result)
+
     @property
     def config(self) -> CharacterizationConfig:
         return self._config
+
+    @property
+    def spec(self) -> CharacterizationWorkerSpec:
+        """The picklable recipe process workers rebuild this runner from."""
+        return CharacterizationWorkerSpec(self._config)
 
     def stacked(self, module: Module, die: int) -> StackedDie:
         key = (module.key, die)
@@ -392,8 +460,7 @@ def _execute_shard(
     obs.emit(
         "shard_start",
         shard=shard.index,
-        module=shard.module_key,
-        die=shard.die,
+        **shard.obs_fields,
         units=len(shard.units),
     )
     if obs.campaign_t0 is not None:
@@ -427,7 +494,7 @@ def _run_shard_guarded(
     if policy is None and fault_plan is None:
         return _execute_shard(runner, shard, obs)
     policy = policy if policy is not None else RetryPolicy()
-    label = f"shard {shard.index} ({shard.module_key} die {shard.die})"
+    label = f"shard {shard.index} ({shard.label})"
 
     def attempt() -> List[DieMeasurement]:
         if fault_plan is not None:
@@ -435,7 +502,7 @@ def _run_shard_guarded(
         measurements = _execute_shard(runner, shard, obs)
         if fault_plan is not None:
             measurements = fault_plan.after(shard.index, measurements)
-        validate_shard_result(shard, measurements)
+        runner.validate(shard, measurements)
         return measurements
 
     return run_attempts(attempt, policy, report=report, label=label, obs=obs)
@@ -537,19 +604,16 @@ class ProcessExecutor:
         report: Optional[RunReport] = None,
         obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
-        from repro.dram.profiles import MODULE_PROFILES
-
         if not plan.shards:
             return []
-        unknown = sorted(
-            {s.module_key for s in plan.shards} - set(MODULE_PROFILES)
-        )
-        if unknown:
+        spec = getattr(runner, "spec", None)
+        if spec is None:
             raise ExperimentError(
-                f"process executor rebuilds modules from profiles, but "
-                f"{unknown} are not profiled module keys; use the serial or "
-                f"thread executor for hand-assembled modules"
+                "the process executor needs a runner exposing a picklable "
+                "worker spec (runner.spec); use the serial or thread "
+                "executor for this runner"
             )
+        spec.check_shards(plan.shards)
         if fault_plan is not None and fault_plan.state_dir is None:
             raise ExperimentError(
                 "a FaultPlan used with the process executor needs a "
@@ -577,7 +641,7 @@ class ProcessExecutor:
             with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
                 submitted = time.monotonic()
                 futures = [
-                    pool.submit(_run_shard_chunk, runner.config, chunk)
+                    pool.submit(_run_shard_chunk, runner.spec, chunk)
                     for chunk in chunks
                 ]
                 for future in futures:
@@ -624,7 +688,7 @@ class ProcessExecutor:
         current pool and resubmits the innocent in-flight shards --
         harmless, since measurements are pure functions of the plan.
         """
-        config = runner.config
+        spec = runner.spec
         failures: Dict[int, int] = {shard.index: 0 for shard in plan.shards}
         done: Dict[int, List[DieMeasurement]] = {}
         pending: List[Shard] = list(plan.shards)
@@ -634,7 +698,7 @@ class ProcessExecutor:
             """Account one failure; requeue or raise ShardFailedError."""
             failures[shard.index] += 1
             count = failures[shard.index]
-            label = f"shard {shard.index} ({shard.module_key} die {shard.die})"
+            label = f"shard {shard.index} ({shard.label})"
             if obs is not None and isinstance(exc, ShardTimeoutError):
                 obs.metrics.inc("shards.timed_out")
             if not is_transient(exc):
@@ -676,7 +740,7 @@ class ProcessExecutor:
                     else math.inf
                 )
                 future = pool.submit(
-                    _run_shard_remote, config, shard, fault_plan
+                    _run_shard_remote, spec, shard, fault_plan
                 )
                 futures[future] = (shard, deadline)
                 if obs is not None:
@@ -727,7 +791,7 @@ class ProcessExecutor:
                         shard, _ = futures.pop(future)
                         try:
                             _, measurements = future.result()
-                            validate_shard_result(shard, measurements)
+                            runner.validate(shard, measurements)
                         except BrokenProcessPool:
                             # Hand the shard back so the pool-break
                             # handler below charges and requeues it with
@@ -775,14 +839,15 @@ def _partition_shards(
 ) -> List[Tuple[Shard, ...]]:
     """Partition shards into at most ``workers`` chunks.
 
-    Consecutive shards of the same module stay together so each worker
-    calibrates/rebuilds a module at most once; module groups are then
-    spread greedily onto the least-loaded chunk.  Deterministic, and
-    harmless to result order (shards carry their canonical index).
+    Consecutive shards sharing a ``group_key`` (the module for
+    characterization shards) stay together so each worker rebuilds that
+    state at most once; groups are then spread greedily onto the
+    least-loaded chunk.  Deterministic, and harmless to result order
+    (shards carry their canonical index).
     """
     groups: List[List[Shard]] = []
     for shard in shards:
-        if groups and groups[-1][0].module_key == shard.module_key:
+        if groups and groups[-1][0].group_key == shard.group_key:
             groups[-1].append(shard)
         else:
             groups.append([shard])
@@ -811,15 +876,20 @@ def _worker_module(module_key: str, config: CharacterizationConfig) -> Module:
 
 
 def _run_shard_chunk(
-    config: CharacterizationConfig, shards: Tuple[Shard, ...]
+    spec, shards: Tuple[Shard, ...]
 ) -> List[Tuple[int, List[DieMeasurement]]]:
-    """Worker entry point: run one chunk of shards, tagged by index."""
-    runner = ShardRunner(config, lambda key: _worker_module(key, config))
+    """Worker entry point: run one chunk of shards, tagged by index.
+
+    ``spec`` is the runner's worker spec (e.g.
+    :class:`CharacterizationWorkerSpec`); the worker rebuilds a full
+    runner from it, so only the spec crosses the pool boundary.
+    """
+    runner = spec.build_runner()
     return [(shard.index, runner.run(shard)) for shard in shards]
 
 
 def _run_shard_remote(
-    config: CharacterizationConfig,
+    spec,
     shard: Shard,
     fault_plan: Optional[FaultPlan],
 ) -> Tuple[int, List[DieMeasurement]]:
@@ -831,7 +901,7 @@ def _run_shard_remote(
     """
     if fault_plan is not None:
         fault_plan.before(shard.index)
-    runner = ShardRunner(config, lambda key: _worker_module(key, config))
+    runner = spec.build_runner()
     measurements = runner.run(shard)
     if fault_plan is not None:
         measurements = fault_plan.after(shard.index, measurements)
@@ -857,6 +927,171 @@ def make_executor(workers: Optional[int] = None, kind: Optional[str] = None):
     raise ExperimentError(
         f"unknown executor kind {kind!r} (expected serial, thread, or process)"
     )
+
+
+def executor_ladder(executor) -> List:
+    """Degradation ladder starting at the given executor.
+
+    A repeatedly broken process pool degrades process -> thread ->
+    serial; a thread executor degrades to serial; the serial executor
+    has no fallback.
+    """
+    if isinstance(executor, ProcessExecutor):
+        return [executor, ThreadExecutor(executor.workers), SerialExecutor()]
+    if isinstance(executor, ThreadExecutor):
+        return [executor, SerialExecutor()]
+    return [executor]
+
+
+def run_plan(
+    plan,
+    runner,
+    ladder: Sequence,
+    fingerprint: str,
+    *,
+    policy: Optional[RetryPolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    checkpoint: Optional[str] = None,
+    resume: bool = False,
+    digest: bool = False,
+    codec=None,
+    report: Optional[RunReport] = None,
+    obs: Optional[Observability] = None,
+) -> Dict[int, List]:
+    """Execute a shard plan through an executor ladder.
+
+    The campaign-agnostic core shared by :class:`SweepEngine` and the
+    mitigation campaign (:mod:`repro.mitigations.campaign`): checkpoint
+    journaling and resume, per-shard observability events, the
+    process -> thread -> serial degradation ladder, and the final
+    completeness check.  ``plan`` may be any frozen dataclass with a
+    ``shards`` tuple of protocol shards (``index``/``units``/
+    ``group_key``/``label``/``obs_fields``); ``runner`` anything with
+    ``run(shard)`` and ``validate(shard, results)`` (plus a picklable
+    ``spec`` for the process executor); ``codec`` a
+    :class:`~repro.core.checkpoint.JournalCodec` when shard results are
+    not :class:`~repro.core.results.DieMeasurement` records.
+
+    Returns completed shard results keyed by shard index (including
+    journal-resumed shards); raises
+    :class:`~repro.errors.ExecutorError` if any shard never completed.
+    """
+    if report is None:
+        report = RunReport(n_shards=len(plan.shards), fingerprint=fingerprint)
+    if obs is not None and obs.campaign_t0 is None:
+        obs.campaign_t0 = time.monotonic()
+
+    journal = (
+        CheckpointJournal(checkpoint, digest=digest, codec=codec)
+        if checkpoint is not None
+        else None
+    )
+    completed: Dict[int, List] = {}
+    if journal is not None:
+        if resume and journal.exists():
+            completed = journal.load(fingerprint)
+            shard_by_index = {shard.index: shard for shard in plan.shards}
+            for index, results in completed.items():
+                shard = shard_by_index.get(index)
+                if shard is None:
+                    raise CheckpointError(
+                        f"checkpoint journal {journal.path} records shard "
+                        f"{index}, which is not in the current plan "
+                        f"({len(plan.shards)} shards)"
+                    )
+                try:
+                    runner.validate(shard, results)
+                except ResultIntegrityError as exc:
+                    raise CheckpointError(
+                        f"checkpoint journal {journal.path} entry for "
+                        f"shard {index} does not match the plan: {exc}"
+                    ) from exc
+            report.n_resumed = len(completed)
+            if obs is not None:
+                obs.metrics.inc("shards.resumed", len(completed))
+                obs.emit(
+                    "campaign_resume",
+                    n_resumed=len(completed),
+                    checkpoint=str(journal.path),
+                )
+        else:
+            journal.start(fingerprint, len(plan.shards))
+
+    def on_shard(shard, results) -> None:
+        completed[shard.index] = results
+        report.n_executed += 1
+        if journal is not None:
+            if obs is not None:
+                with obs.profile("checkpoint.record"):
+                    journal.record(shard.index, results)
+            else:
+                journal.record(shard.index, results)
+        if obs is not None:
+            obs.metrics.inc("shards.completed")
+            elapsed = time.monotonic() - obs.campaign_t0
+            remaining = report.n_shards - len(completed)
+            eta = (
+                (elapsed / report.n_executed) * remaining
+                if report.n_executed
+                else None
+            )
+            obs.emit(
+                "shard_finish",
+                shard=shard.index,
+                **shard.obs_fields,
+                n_done=len(completed),
+                n_total=report.n_shards,
+                elapsed_s=round(elapsed, 3),
+                eta_s=None if eta is None else round(eta, 3),
+            )
+
+    for position, executor in enumerate(ladder):
+        remaining = tuple(
+            shard for shard in plan.shards if shard.index not in completed
+        )
+        if not remaining:
+            break
+        report.executors.append(executor.name)
+        try:
+            executor.map_shards(
+                replace(plan, shards=remaining),
+                runner,
+                policy=policy,
+                fault_plan=fault_plan,
+                on_shard=on_shard,
+                report=report,
+                obs=obs,
+            )
+            break
+        except PoolBrokenError as exc:
+            if position + 1 >= len(ladder):
+                raise
+            fallback = ladder[position + 1]
+            left = sum(1 for s in remaining if s.index not in completed)
+            message = (
+                f"{executor.name} executor failed ({exc}); degrading to "
+                f"the {fallback.name} executor for the remaining "
+                f"{left} shard(s)"
+            )
+            logger.warning(message)
+            report.degradations.append(message)
+            if obs is not None:
+                obs.metrics.inc("executor.degradations")
+                obs.emit(
+                    "executor_degraded",
+                    from_executor=executor.name,
+                    to_executor=fallback.name,
+                    reason=str(exc),
+                )
+
+    missing = [
+        shard.index for shard in plan.shards if shard.index not in completed
+    ]
+    if missing:
+        raise ExecutorError(
+            f"campaign incomplete: shards {missing} never completed"
+        )
+    return completed
 
 
 # ------------------------------------------------------------------- engine
@@ -912,15 +1147,7 @@ class SweepEngine:
 
     def _ladder(self) -> List:
         """Degradation ladder starting at the configured executor."""
-        if isinstance(self._executor, ProcessExecutor):
-            return [
-                self._executor,
-                ThreadExecutor(self._executor.workers),
-                SerialExecutor(),
-            ]
-        if isinstance(self._executor, ThreadExecutor):
-            return [self._executor, SerialExecutor()]
-        return [self._executor]
+        return executor_ladder(self._executor)
 
     def run(
         self,
@@ -984,42 +1211,6 @@ class SweepEngine:
                 executor=self._executor.name,
             )
 
-        journal = (
-            CheckpointJournal(checkpoint, digest=validate)
-            if checkpoint is not None
-            else None
-        )
-        completed: Dict[int, List[DieMeasurement]] = {}
-        if journal is not None:
-            if resume and journal.exists():
-                completed = journal.load(fingerprint)
-                shard_by_index = {shard.index: shard for shard in plan.shards}
-                for index, measurements in completed.items():
-                    shard = shard_by_index.get(index)
-                    if shard is None:
-                        raise CheckpointError(
-                            f"checkpoint journal {journal.path} records shard "
-                            f"{index}, which is not in the current plan "
-                            f"({len(plan.shards)} shards)"
-                        )
-                    try:
-                        validate_shard_result(shard, measurements)
-                    except ResultIntegrityError as exc:
-                        raise CheckpointError(
-                            f"checkpoint journal {journal.path} entry for "
-                            f"shard {index} does not match the plan: {exc}"
-                        ) from exc
-                report.n_resumed = len(completed)
-                if obs is not None:
-                    obs.metrics.inc("shards.resumed", len(completed))
-                    obs.emit(
-                        "campaign_resume",
-                        n_resumed=len(completed),
-                        checkpoint=str(journal.path),
-                    )
-            else:
-                journal.start(fingerprint, len(plan.shards))
-
         by_key = {module.key: module for module in modules}
         runner = ShardRunner(
             self._config,
@@ -1030,82 +1221,19 @@ class SweepEngine:
             metrics=obs.metrics if obs is not None else None,
         )
 
-        def on_shard(shard: Shard, measurements: List[DieMeasurement]) -> None:
-            completed[shard.index] = measurements
-            report.n_executed += 1
-            if journal is not None:
-                if obs is not None:
-                    with obs.profile("checkpoint.record"):
-                        journal.record(shard.index, measurements)
-                else:
-                    journal.record(shard.index, measurements)
-            if obs is not None:
-                obs.metrics.inc("shards.completed")
-                elapsed = time.monotonic() - obs.campaign_t0
-                remaining = report.n_shards - len(completed)
-                eta = (
-                    (elapsed / report.n_executed) * remaining
-                    if report.n_executed
-                    else None
-                )
-                obs.emit(
-                    "shard_finish",
-                    shard=shard.index,
-                    module=shard.module_key,
-                    die=shard.die,
-                    n_done=len(completed),
-                    n_total=report.n_shards,
-                    elapsed_s=round(elapsed, 3),
-                    eta_s=None if eta is None else round(eta, 3),
-                )
-
-        ladder = self._ladder()
-        for position, executor in enumerate(ladder):
-            remaining = tuple(
-                shard for shard in plan.shards if shard.index not in completed
-            )
-            if not remaining:
-                break
-            report.executors.append(executor.name)
-            try:
-                executor.map_shards(
-                    SweepPlan(shards=remaining),
-                    runner,
-                    policy=policy,
-                    fault_plan=fault_plan,
-                    on_shard=on_shard,
-                    report=report,
-                    obs=obs,
-                )
-                break
-            except PoolBrokenError as exc:
-                if position + 1 >= len(ladder):
-                    raise
-                fallback = ladder[position + 1]
-                message = (
-                    f"{executor.name} executor failed ({exc}); degrading to "
-                    f"the {fallback.name} executor for the remaining "
-                    f"{len(remaining) - sum(1 for s in remaining if s.index in completed)} "
-                    f"shard(s)"
-                )
-                logger.warning(message)
-                report.degradations.append(message)
-                if obs is not None:
-                    obs.metrics.inc("executor.degradations")
-                    obs.emit(
-                        "executor_degraded",
-                        from_executor=executor.name,
-                        to_executor=fallback.name,
-                        reason=str(exc),
-                    )
-
-        missing = [
-            shard.index for shard in plan.shards if shard.index not in completed
-        ]
-        if missing:
-            raise ExecutorError(
-                f"campaign incomplete: shards {missing} never completed"
-            )
+        completed = run_plan(
+            plan,
+            runner,
+            self._ladder(),
+            fingerprint,
+            policy=policy,
+            fault_plan=fault_plan,
+            checkpoint=checkpoint,
+            resume=resume,
+            digest=validate,
+            report=report,
+            obs=obs,
+        )
 
         results = ResultSet()
         for shard in plan.shards:

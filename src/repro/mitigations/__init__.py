@@ -14,13 +14,48 @@ from repro.mitigations.base import Mitigation
 from repro.mitigations.trr import TrrSampler
 from repro.mitigations.para import Para
 from repro.mitigations.graphene import Graphene
-from repro.mitigations.evaluator import MitigationEvaluator, ProtectionResult
+from repro.mitigations.timeaware import (
+    PressWeightedGraphene,
+    PressWeightedPara,
+    press_charge,
+)
+from repro.mitigations.evaluator import (
+    GRAPHENE_SEARCH_CAP,
+    CriticalParameter,
+    MitigationEvaluator,
+    ProtectionResult,
+)
+from repro.mitigations.campaign import (
+    EVAL_CHIP_PROFILES,
+    MITIGATION_KINDS,
+    MITIGATION_T_VALUES,
+    MitigationCampaign,
+    MitigationPlan,
+    MitigationPoint,
+    MitigationResults,
+    MitigationWorkerSpec,
+    build_eval_chip,
+)
 
 __all__ = [
     "Mitigation",
     "TrrSampler",
     "Para",
     "Graphene",
+    "PressWeightedPara",
+    "PressWeightedGraphene",
+    "press_charge",
     "MitigationEvaluator",
     "ProtectionResult",
+    "CriticalParameter",
+    "GRAPHENE_SEARCH_CAP",
+    "EVAL_CHIP_PROFILES",
+    "MITIGATION_KINDS",
+    "MITIGATION_T_VALUES",
+    "MitigationCampaign",
+    "MitigationPlan",
+    "MitigationPoint",
+    "MitigationResults",
+    "MitigationWorkerSpec",
+    "build_eval_chip",
 ]

@@ -9,6 +9,8 @@ what a real in-DRAM or controller-side mechanism does.
 
 from __future__ import annotations
 
+from typing import Dict, Tuple
+
 from repro.bender.softmc import SoftMCSession
 from repro.errors import MitigationError
 
@@ -19,6 +21,10 @@ class Mitigation:
     def __init__(self) -> None:
         self._session: SoftMCSession = None
         self.neighbor_refreshes = 0
+        # Per-bank (physical row, ACT time) of the currently open row,
+        # tracked so on_precharge can report how long the row was open --
+        # the quantity time-aware mitigations weight by (tAggON).
+        self._open_since: Dict[int, Tuple[int, float]] = {}
 
     def attach(self, session: SoftMCSession) -> None:
         """Register on a session's command stream (once)."""
@@ -33,12 +39,31 @@ class Mitigation:
         if event == "ACT":
             # The chip scrambles addresses internally; mitigation logic in
             # the DRAM operates on physical rows.
-            self.on_activate(bank, self._session.chip.to_physical(row), now)
+            physical = self._session.chip.to_physical(row)
+            self._open_since[bank] = (physical, now)
+            self.on_activate(bank, physical, now)
+        elif event == "PRE":
+            # PRE events carry no row; the open row was recorded at ACT.
+            opened = self._open_since.pop(bank, None)
+            if opened is not None:
+                physical, t_act = opened
+                self.on_precharge(bank, physical, now - t_act, now)
         elif event == "REF":
             self.on_refresh(now)
 
     def on_activate(self, bank: int, physical_row: int, now: float) -> None:
         """Called on every ACT (physical row address)."""
+
+    def on_precharge(
+        self, bank: int, physical_row: int, t_open: float, now: float
+    ) -> None:
+        """Called on every PRE, with how long the row was open (ns).
+
+        ``t_open`` is the measured ``tAggON`` of the closing activation --
+        the signal the paper's future-work question says mitigations must
+        start weighting by.  The default implementation ignores it;
+        activation-count mechanisms stay count-based.
+        """
 
     def on_refresh(self, now: float) -> None:
         """Called on every REF."""

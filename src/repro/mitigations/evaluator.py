@@ -11,6 +11,7 @@ must mitigations get as ``tAggON`` grows?
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -24,6 +25,42 @@ from repro.mitigations.base import Mitigation
 from repro.mitigations.graphene import Graphene
 from repro.mitigations.para import Para
 from repro.patterns.base import AccessPattern
+
+#: Doubling-ramp ceiling of the Graphene threshold search: a threshold
+#: this large can never trigger within any realistic budget, so ramping
+#: past it means the pattern cannot defeat the mechanism at all.
+GRAPHENE_SEARCH_CAP = 10_000_000
+
+logger = logging.getLogger("repro.mitigations")
+
+
+@dataclass(frozen=True)
+class CriticalParameter:
+    """A bracketed critical-parameter search result.
+
+    Attributes:
+        value: the critical parameter (what the scalar helpers return):
+            the smallest protecting PARA ``p``, or the largest protecting
+            Graphene threshold.
+        protects_at: parameter value verified to protect (equals
+            ``value``).
+        fails_at: parameter value verified (or, for PARA's untested
+            ``lo=0``, known a priori) to fail, bounding the search
+            bracket from the unprotected side.  ``None`` when the
+            Graphene ramp hit its cap without finding a failing
+            threshold.
+        n_runs: protected hammer runs the search spent.
+        cap_hit: the Graphene doubling ramp exceeded
+            :data:`GRAPHENE_SEARCH_CAP` (the pattern never defeated the
+            mechanism); ``value`` is then the last verified threshold,
+            not a tight critical point.
+    """
+
+    value: float
+    protects_at: float
+    fails_at: Optional[float]
+    n_runs: int
+    cap_hit: bool = False
 
 
 @dataclass(frozen=True)
@@ -126,11 +163,145 @@ class MitigationEvaluator:
             window_ns // prober.placement.iteration_latency(DEFAULT_TIMINGS)
         )
         if iterations <= 0:
+            # The window is shorter than a single pattern iteration: not
+            # even one full (open, close) cycle fits between victim
+            # refreshes, so no disturbance can accumulate.  Documented
+            # edge: windows in (0, iteration_latency) -- and degenerate
+            # non-positive windows -- report protected.
             return True
         census = prober.probe(iterations)
         return census.n_flips == 0
 
     # ------------------------------------------------------------- searches
+
+    def search_critical_probability(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        factory: Optional[Callable[[float, int], Mitigation]] = None,
+        iterations: Optional[int] = None,
+        tolerance: float = 0.02,
+        trials: int = 3,
+    ) -> CriticalParameter:
+        """Bracketed search for the smallest protecting probability.
+
+        Bisects on ``p``; each candidate is evaluated ``trials`` times
+        with different seeds (the mechanisms are probabilistic).
+        ``factory(p, seed)`` builds the mitigation -- classic
+        :class:`~repro.mitigations.para.Para` by default, or e.g.
+        :class:`~repro.mitigations.timeaware.PressWeightedPara`.
+
+        Protection is monotone in ``p`` (more refreshes never hurt), so
+        the bracket invariant holds throughout: ``fails_at`` failed at
+        least one trial, ``protects_at`` protected all of them.  The
+        initial ``lo = 0`` is failing a priori: probability 0 never
+        refreshes, i.e. the unprotected baseline.
+        """
+        build = factory if factory is not None else Para
+        runs = [0]
+
+        def protects(p: float) -> bool:
+            outcomes = []
+            for seed in range(trials):
+                runs[0] += 1
+                outcomes.append(
+                    self.run(
+                        pattern, t_on, build(p, seed), iterations=iterations
+                    ).protected
+                )
+            return all(outcomes)
+
+        if not protects(1.0):
+            raise MitigationError(
+                f"{getattr(build, '__name__', 'mitigation')} cannot protect "
+                f"this pattern even at p = 1.0"
+            )
+        lo, hi = 0.0, 1.0
+        while hi - lo > tolerance:
+            mid = 0.5 * (lo + hi)
+            if protects(mid):
+                hi = mid
+            else:
+                lo = mid
+        return CriticalParameter(
+            value=hi, protects_at=hi, fails_at=lo, n_runs=runs[0]
+        )
+
+    def search_critical_threshold(
+        self,
+        pattern: AccessPattern,
+        t_on: float,
+        factory: Optional[Callable[[int], Mitigation]] = None,
+        iterations: Optional[int] = None,
+        cap: int = GRAPHENE_SEARCH_CAP,
+    ) -> CriticalParameter:
+        """Bracketed search for the largest protecting threshold.
+
+        Counting mechanisms are deterministic, so a single run per
+        candidate suffices; the search is a doubling ramp plus
+        bisection.  ``factory(threshold)`` builds the mitigation --
+        classic :class:`~repro.mitigations.graphene.Graphene` by
+        default, or e.g.
+        :class:`~repro.mitigations.timeaware.PressWeightedGraphene`.
+
+        If the ramp exceeds ``cap`` without finding a failing threshold
+        the pattern cannot defeat the mechanism at all; a warning is
+        logged and the result carries ``cap_hit=True`` with the last
+        verified threshold as ``value`` (``fails_at`` is ``None``).
+        """
+        build = factory if factory is not None else Graphene
+        runs = [0]
+
+        def protects(threshold: int) -> bool:
+            runs[0] += 1
+            return self.run(
+                pattern, t_on, build(threshold), iterations=iterations
+            ).protected
+
+        if not protects(1):
+            raise MitigationError(
+                f"{getattr(build, '__name__', 'mitigation')} cannot protect "
+                f"this pattern even at threshold 1"
+            )
+        lo = 1
+        hi = 2
+        while protects(hi):
+            lo = hi
+            hi *= 2
+            if hi > cap:
+                logger.warning(
+                    "critical-threshold search for %s at tAggON=%g ns "
+                    "ramped past the cap (%d) without finding a failing "
+                    "threshold: the pattern cannot defeat %s within this "
+                    "budget; reporting the last verified threshold %d "
+                    "(cap_hit=True), not a tight critical point",
+                    pattern.name,
+                    t_on,
+                    cap,
+                    getattr(build, "__name__", "the mechanism"),
+                    lo,
+                )
+                return CriticalParameter(
+                    value=float(lo),
+                    protects_at=float(lo),
+                    fails_at=None,
+                    n_runs=runs[0],
+                    cap_hit=True,
+                )
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if protects(mid):
+                lo = mid
+            else:
+                hi = mid
+        return CriticalParameter(
+            value=float(lo),
+            protects_at=float(lo),
+            fails_at=float(hi),
+            n_runs=runs[0],
+        )
+
+    # ------------------------------------------------- scalar conveniences
 
     def critical_para_probability(
         self,
@@ -140,32 +311,11 @@ class MitigationEvaluator:
         tolerance: float = 0.02,
         trials: int = 3,
     ) -> float:
-        """Smallest PARA probability that protects in all trials.
-
-        Bisects on ``p``; each candidate is evaluated ``trials`` times
-        with different seeds (PARA is probabilistic).
-        """
-
-        def protects(p: float) -> bool:
-            return all(
-                self.run(
-                    pattern, t_on, Para(p, seed), iterations=iterations
-                ).protected
-                for seed in range(trials)
-            )
-
-        if not protects(1.0):
-            raise MitigationError(
-                "PARA cannot protect this pattern even at p = 1.0"
-            )
-        lo, hi = 0.0, 1.0
-        while hi - lo > tolerance:
-            mid = 0.5 * (lo + hi)
-            if protects(mid):
-                hi = mid
-            else:
-                lo = mid
-        return hi
+        """Smallest PARA probability that protects in all trials."""
+        return self.search_critical_probability(
+            pattern, t_on, iterations=iterations, tolerance=tolerance,
+            trials=trials,
+        ).value
 
     def critical_graphene_threshold(
         self,
@@ -173,31 +323,9 @@ class MitigationEvaluator:
         t_on: float,
         iterations: Optional[int] = None,
     ) -> int:
-        """Largest Graphene threshold that still protects.
-
-        Graphene is deterministic, so a single run per candidate suffices;
-        the search is a doubling ramp plus bisection.
-        """
-        def protects(threshold: int) -> bool:
-            return self.run(
-                pattern, t_on, Graphene(threshold), iterations=iterations
-            ).protected
-
-        if not protects(1):
-            raise MitigationError(
-                "Graphene cannot protect this pattern even at threshold 1"
-            )
-        lo = 1
-        hi = 2
-        while protects(hi):
-            lo = hi
-            hi *= 2
-            if hi > 10_000_000:
-                return lo  # unprotected threshold never found: pattern weak
-        while hi - lo > 1:
-            mid = (lo + hi) // 2
-            if protects(mid):
-                lo = mid
-            else:
-                hi = mid
-        return lo
+        """Largest Graphene threshold that still protects."""
+        return int(
+            self.search_critical_threshold(
+                pattern, t_on, iterations=iterations
+            ).value
+        )

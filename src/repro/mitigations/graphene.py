@@ -41,20 +41,31 @@ class Graphene(Mitigation):
         return self._threshold
 
     def on_activate(self, bank: int, physical_row: int, now: float) -> None:
+        self._count(bank, physical_row, now, 1)
+
+    def _count(
+        self, bank: int, physical_row: int, now: float, increment: float
+    ) -> None:
+        """Charge one activation (or a weighted fraction thereof).
+
+        Classic Graphene charges 1 per ACT; the press-weighted subclass
+        (:class:`~repro.mitigations.timeaware.PressWeightedGraphene`)
+        charges by open time, so counters may be floats there.
+        """
         counters = self._counters.setdefault(bank, {})
         spill = self._spillway.setdefault(bank, 0)
         if physical_row in counters:
-            counters[physical_row] += 1
+            counters[physical_row] += increment
         elif len(counters) < self._table_size:
-            counters[physical_row] = spill + 1
+            counters[physical_row] = spill + increment
         else:
             # Misra-Gries: raise the spillway instead of evicting one by
             # one (equivalent aggregate behaviour, O(1)).
-            self._spillway[bank] = spill + 1
+            self._spillway[bank] = spill + increment
             floor = self._spillway[bank]
             for row in [r for r, c in counters.items() if c <= floor]:
                 del counters[row]
-            counters[physical_row] = floor + 1
+            counters[physical_row] = floor + increment
         if counters.get(physical_row, 0) >= self._threshold:
             counters[physical_row] = self._spillway.get(bank, 0)
             self.refresh_neighbors(bank, physical_row, now)

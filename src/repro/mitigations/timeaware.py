@@ -1,0 +1,100 @@
+"""Time-aware (press-weighted) mitigation variants.
+
+The paper's closing implication (Section 5) is that activation-*count*
+mitigations are provisioned against pure-RowHammer ACmin and go blind as
+``tAggON`` grows: the combined pattern reaches bitflips with far fewer
+activations, so a count threshold tuned for RowHammer under-protects.
+These variants close that gap by weighting each activation by how long
+the row was actually open -- the controller observes the ACT-to-PRE
+distance and charges long openings more, approximating the extra
+RowPress disturbance an opening deposits.
+
+The charge function is deliberately simple and model-free (a deployment
+cannot evaluate the chip's calibrated press curve): one unit per
+activation plus a linear term in the open time beyond ``tRAS``,
+normalized so a ``tREFI``-long opening costs one extra unit.  That is an
+*under*-estimate of the synthetic press curve at very large ``tAggON``
+(which grows super-linearly), so the campaign can quantify the residual
+gap rather than define it away.
+"""
+
+from __future__ import annotations
+
+from repro import rng
+from repro.constants import DDR4Timings, DEFAULT_TIMINGS
+from repro.errors import MitigationError
+from repro.mitigations.base import Mitigation
+from repro.mitigations.graphene import Graphene
+
+__all__ = ["press_charge", "PressWeightedPara", "PressWeightedGraphene"]
+
+
+def press_charge(
+    t_open_ns: float, timings: DDR4Timings = DEFAULT_TIMINGS
+) -> float:
+    """Weight of one activation that kept its row open ``t_open_ns``.
+
+    1.0 for a timing-minimal opening (``t_open <= tRAS``: plain
+    RowHammer), growing linearly so an opening of ``tRAS + tREFI``
+    costs 2.0.  Monotone non-decreasing in ``t_open_ns``.
+    """
+    if t_open_ns <= timings.tRAS:
+        return 1.0
+    return 1.0 + (t_open_ns - timings.tRAS) / timings.tREFI
+
+
+class PressWeightedPara(Mitigation):
+    """PARA whose refresh probability scales with the row's open time.
+
+    Acts on PRE (the only point where the open time is known): with
+    probability ``min(1, p * press_charge(t_open))`` one neighbor of the
+    just-closed row is refreshed.  At ``t_open = tRAS`` this is exactly
+    classic PARA; long openings are refreshed proportionally more often,
+    so the *configured* ``p`` needed for protection stays much flatter in
+    ``tAggON`` than classic PARA's.
+    """
+
+    def __init__(self, probability: float, seed: int = 0) -> None:
+        super().__init__()
+        if not 0.0 <= probability <= 1.0:
+            raise MitigationError("probability must be in [0, 1]")
+        self._p = probability
+        self._gen = rng.stream("para-press", seed)
+
+    @property
+    def probability(self) -> float:
+        return self._p
+
+    def on_precharge(
+        self, bank: int, physical_row: int, t_open: float, now: float
+    ) -> None:
+        effective = min(1.0, self._p * press_charge(t_open))
+        if self._gen.random() >= effective:
+            return
+        chip = self._session.chip
+        side = -1 if self._gen.random() < 0.5 else 1
+        victim = physical_row + side
+        bank_obj = chip.bank(bank)
+        if 0 <= victim < chip.geometry.rows and victim != bank_obj.open_row:
+            bank_obj.refresh_row(victim, now)
+            self.neighbor_refreshes += 1
+
+
+class PressWeightedGraphene(Graphene):
+    """Graphene counting press charge instead of raw activations.
+
+    The Misra-Gries table is inherited unchanged; only the increment
+    moves from ``on_activate`` (+1 per ACT) to ``on_precharge``
+    (+``press_charge(t_open)`` per closed opening), so a threshold
+    configured in pure-RowHammer units keeps protecting as ``tAggON``
+    grows.  Counters are floats; the threshold semantics are identical.
+    """
+
+    def on_activate(self, bank: int, physical_row: int, now: float) -> None:
+        # Counting happens at PRE, where the open time is known.
+        pass
+
+    def on_precharge(
+        self, bank: int, physical_row: int, t_open: float, now: float
+    ) -> None:
+        self._count(bank, physical_row, now, press_charge(t_open))

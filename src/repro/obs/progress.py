@@ -86,10 +86,14 @@ class StderrProgress(ProgressReporter):
             )
         elif kind == "shard_finish":
             done, total = event.get("n_done"), event.get("n_total")
+            # Characterization shards carry module/die; other campaign
+            # kinds (e.g. mitigation shards) carry a ready-made label.
+            label = event.get("label")
+            if label is None:
+                label = f"{event.get('module')} die {event.get('die')}"
             self._write(
                 f"[{done:>4}/{total}] shard {event.get('shard')} "
-                f"({event.get('module')} die {event.get('die')}) done"
-                f"{_eta_text(event)}"
+                f"({label}) done{_eta_text(event)}"
             )
         elif kind == "shard_retry":
             self._write(

@@ -45,11 +45,13 @@ from repro.validate.schema import (
     BENCH_FORMAT,
     JOURNAL_FORMAT,
     METRICS_FORMAT,
+    MITIGATION_FORMAT,
     RESULTS_FORMAT,
     validate_bench_payload,
     validate_journal_entry,
     validate_journal_header,
     validate_metrics_payload,
+    validate_mitigation_payload,
     validate_results_payload,
     validate_trace_event,
 )
@@ -67,19 +69,28 @@ __all__ = [
     # re-exported lazily via __getattr__ (see module docstring):
     "check_result_invariants",
     "require_result_invariants",
+    "check_mitigation_invariants",
+    "require_mitigation_invariants",
     "check_cross_executor",
     "results_digest",
+    "mitigation_results_digest",
 ]
 
 #: Artifact kinds :func:`detect_kind` can identify.
-ARTIFACT_KINDS = ("results", "checkpoint", "metrics", "trace", "bench", "sidecar")
+ARTIFACT_KINDS = (
+    "results", "mitigation", "checkpoint", "metrics", "trace", "bench",
+    "sidecar",
+)
 
 #: Names re-exported from the lazily imported invariants module.
 _LAZY = (
     "check_result_invariants",
     "require_result_invariants",
+    "check_mitigation_invariants",
+    "require_mitigation_invariants",
     "check_cross_executor",
     "results_digest",
+    "mitigation_results_digest",
 )
 
 
@@ -175,6 +186,8 @@ def detect_kind(path: PathLike, raw: Optional[bytes] = None) -> str:
         fmt = payload.get("format")
         if fmt == RESULTS_FORMAT or "measurements" in payload:
             return "results"
+        if fmt == MITIGATION_FORMAT or "points" in payload:
+            return "mitigation"
         if fmt == METRICS_FORMAT or "counters" in payload:
             return "metrics"
         if fmt == BENCH_FORMAT or "speedup_vs_seed" in payload:
@@ -182,7 +195,7 @@ def detect_kind(path: PathLike, raw: Optional[bytes] = None) -> str:
         raise ArtifactInvalidError(
             f"{path}: $ is a JSON object of no known artifact kind "
             f"(format={fmt!r}; expected one of {RESULTS_FORMAT!r}, "
-            f"{METRICS_FORMAT!r}, {BENCH_FORMAT!r})"
+            f"{MITIGATION_FORMAT!r}, {METRICS_FORMAT!r}, {BENCH_FORMAT!r})"
         )
     # Multi-line content that is not one JSON document: JSONL.  Classify
     # by the first line; a first line that does not parse means a torn
@@ -286,6 +299,22 @@ def validate_artifact(
             require_result_invariants(
                 ResultSet.from_json(text), source=str(path)
             )
+    elif kind == "mitigation":
+        payload = _parse_json(path, text)
+        validate_mitigation_payload(payload, source=str(path))
+        report.n_records = len(payload["points"])
+        if check_invariants:
+            # Lazy: the campaign machinery (engine, executors) must not
+            # load for pure schema checks on other artifact kinds.
+            from repro.mitigations.campaign import MitigationResults
+            from repro.validate.invariants import (
+                require_mitigation_invariants,
+            )
+
+            require_mitigation_invariants(
+                MitigationResults.from_json(text, source=str(path)),
+                source=str(path),
+            )
     elif kind == "checkpoint":
         report.n_records, warnings = _validate_journal_text(path, text)
         report.warnings.extend(warnings)
@@ -355,7 +384,9 @@ def _validate_journal_text(
                 f"{path}: line {number} is not parseable JSON ({exc}) and "
                 f"is not the trailing line; the journal was corrupted"
             ) from exc
-        shard = validate_journal_entry(entry, number, source=str(path))
+        shard = validate_journal_entry(
+            entry, number, source=str(path), entries=header.get("entries")
+        )
         if shard in seen:
             raise ArtifactInvalidError(
                 f"{path}: line {number}: $.shard {shard} was already "

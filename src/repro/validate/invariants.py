@@ -37,6 +37,34 @@ line; :func:`require_result_invariants` raises
 :class:`~repro.errors.InvariantViolationError` listing them.
 :func:`check_cross_executor` proves determinism by running the same
 small campaign on two executors and comparing canonical digests.
+
+Mitigation-campaign artifacts (``repro-mitigation-v1``) get their own
+guard family, mechanizing the paper's Section 5 implication and the
+campaign's Hypothesis 2:
+
+* **M1 -- baseline consistency**: the bare (unprotected) baseline of a
+  (chip, pattern, tAggON) point is mechanism-independent, so every
+  mechanism evaluated at that point must record the identical
+  ``baseline_acmin`` / ``baseline_iterations`` / ``time_to_first_ns``.
+* **M2 -- baseline monotonicity**: like I1, the bare ACmin never
+  increases with tAggON along a (chip, pattern) curve.
+* **M3 -- probability monotonicity** (Hypothesis 2): along each (chip,
+  probability-mechanism, pattern) series the *true* critical
+  probability -- bracketed in ``(fails_at, protects_at]`` -- is
+  non-decreasing in tAggON; a defeated point (no finite ``p`` protects)
+  is ``+inf`` and must never be followed by a finite requirement.
+* **M4 -- threshold monotonicity** (Hypothesis 2, counting side): along
+  each (chip, counting-mechanism, pattern) series the critical
+  threshold never *increases* with tAggON -- the mitigation must only
+  get stronger (refresh earlier); a defeated point is treated as
+  threshold 0 and must never be followed by a weaker requirement.
+* **M5 -- tRAS degeneracy**: at ``tAggON == tRAS`` the combined
+  pattern *is* double-sided RowHammer, so the paired points must agree
+  on every measured field (baseline and critical parameter alike).
+* **M6 -- refresh-window consistency**: the survival booleans must
+  match their own record's ``time_to_first_ns`` against ``tREFW`` (and
+  ``tREFW/4``), and surviving the full window implies surviving the
+  quarter window.
 """
 
 from __future__ import annotations
@@ -54,8 +82,11 @@ from repro.errors import InvariantViolationError
 __all__ = [
     "check_result_invariants",
     "require_result_invariants",
+    "check_mitigation_invariants",
+    "require_mitigation_invariants",
     "check_cross_executor",
     "results_digest",
+    "mitigation_results_digest",
 ]
 
 #: Patterns that activate their aggressors in pairs (one per victim side).
@@ -329,6 +360,261 @@ def require_result_invariants(
             f"{prefix}{len(violations)} physical-invariant violation(s):"
             f"\n  - {listing}"
         )
+
+
+# ----------------------------------------------------------- mitigation
+
+#: Mechanisms searched on a probability in [0, 1] (PARA family) vs. an
+#: activation-count threshold (Graphene family).  Kept in sync with
+#: ``repro.validate.schema.KNOWN_MITIGATIONS``.
+_PROBABILITY_MECHANISMS = ("para", "para-press")
+_THRESHOLD_MECHANISMS = ("graphene", "graphene-press")
+
+
+def _mitigation_label(p) -> str:
+    return f"{p.chip_key} {p.mitigation} {p.pattern} t_on={p.t_on:g}ns"
+
+
+def _probability_requirement(p) -> Tuple[float, float]:
+    """(lower, upper) bound on the true critical probability of a point.
+
+    The bisection brackets the true critical ``p*`` in
+    ``(fails_at, protects_at]``; a defeated point requires more than any
+    probability (``+inf``), and a point whose baseline never flipped
+    requires nothing (``0``).
+    """
+    if p.defeated:
+        return (math.inf, math.inf)
+    if p.critical_value is None:
+        return (0.0, 0.0)
+    lower = p.fails_at if p.fails_at is not None else 0.0
+    return (lower, p.protects_at)
+
+
+def _threshold_requirement(p) -> float:
+    """The critical threshold of a point, on the "strength" ordering.
+
+    Smaller thresholds refresh earlier, i.e. are *stronger*; a defeated
+    point needs a threshold below any integer (``0``), and a point with
+    no baseline flip -- or whose doubling ramp hit the cap without ever
+    failing -- tolerates an unbounded threshold (``+inf``).
+    """
+    if p.defeated:
+        return 0.0
+    if p.critical_value is None or p.cap_hit:
+        return math.inf
+    return p.critical_value
+
+
+def check_mitigation_invariants(
+    results,
+    timings: Optional[DDR4Timings] = None,
+    max_violations: int = 20,
+) -> List[str]:
+    """Check the mitigation guards (M1-M6); returns violation lines.
+
+    ``results`` is a :class:`repro.mitigations.campaign.MitigationResults`
+    (any iterable of points with its field surface works -- the checks
+    are duck-typed so this layer never imports the campaign machinery).
+    """
+    timings = timings if timings is not None else DDR4Timings()
+    violations: List[str] = []
+
+    baselines: Dict[Tuple, object] = {}
+    series: Dict[Tuple, List] = defaultdict(list)
+    by_point: Dict[Tuple, object] = {}
+    for p in results:
+        if len(violations) >= max_violations:
+            return violations
+
+        # M1: one bare baseline per (chip, pattern, t_on), whichever
+        # mechanism measured it.
+        key = (p.chip_key, p.pattern, p.t_on)
+        seen = baselines.get(key)
+        if seen is None:
+            baselines[key] = p
+        elif (
+            (p.baseline_acmin, p.baseline_iterations, p.time_to_first_ns)
+            != (
+                seen.baseline_acmin,
+                seen.baseline_iterations,
+                seen.time_to_first_ns,
+            )
+        ):
+            violations.append(
+                f"M1 baseline consistency: {_mitigation_label(p)} records "
+                f"baseline acmin={p.baseline_acmin!r} "
+                f"iterations={p.baseline_iterations!r} "
+                f"time={p.time_to_first_ns!r}, but {seen.mitigation} "
+                f"measured acmin={seen.baseline_acmin!r} "
+                f"iterations={seen.baseline_iterations!r} "
+                f"time={seen.time_to_first_ns!r} at the same point (the "
+                f"bare baseline is mechanism-independent)"
+            )
+
+        series[(p.chip_key, p.mitigation, p.pattern)].append(p)
+        by_point[(p.chip_key, p.mitigation, p.pattern, p.t_on)] = p
+
+        # M6: record-local refresh-window consistency.
+        survives_full = (
+            p.time_to_first_ns is None or p.time_to_first_ns > timings.tREFW
+        )
+        survives_quarter = (
+            p.time_to_first_ns is None
+            or p.time_to_first_ns > timings.tREFW / 4.0
+        )
+        if p.protected_by_trefw != survives_full:
+            violations.append(
+                f"M6 refresh window: {_mitigation_label(p)} records "
+                f"protected_by_trefw={p.protected_by_trefw}, but "
+                f"time_to_first_ns={p.time_to_first_ns!r} vs "
+                f"tREFW={timings.tREFW:g}ns says {survives_full}"
+            )
+        elif p.protected_by_trefw_quarter != survives_quarter:
+            violations.append(
+                f"M6 refresh window: {_mitigation_label(p)} records "
+                f"protected_by_trefw_quarter={p.protected_by_trefw_quarter},"
+                f" but time_to_first_ns={p.time_to_first_ns!r} vs "
+                f"tREFW/4={timings.tREFW / 4.0:g}ns says {survives_quarter}"
+            )
+        elif p.protected_by_trefw and not p.protected_by_trefw_quarter:
+            violations.append(
+                f"M6 refresh window: {_mitigation_label(p)} survives the "
+                f"full tREFW window but not the shorter tREFW/4 window "
+                f"(more frequent refresh can only help)"
+            )
+
+    # M2 / M3 / M4: per-series orderings along tAggON.
+    for (chip, mitigation, pattern), points in sorted(series.items()):
+        if len(violations) >= max_violations:
+            return violations
+        points.sort(key=lambda p: p.t_on)
+
+        previous = None
+        for p in points:
+            if p.baseline_acmin is None:
+                continue
+            if (
+                previous is not None
+                and p.baseline_acmin > previous.baseline_acmin
+            ):
+                violations.append(
+                    f"M2 baseline monotonicity: {chip} {mitigation} "
+                    f"{pattern}: bare acmin rises from "
+                    f"{previous.baseline_acmin} at "
+                    f"t_on={previous.t_on:g}ns to {p.baseline_acmin} at "
+                    f"t_on={p.t_on:g}ns (ACmin must be non-increasing in "
+                    f"tAggON)"
+                )
+                break
+            previous = p
+
+        if mitigation in _PROBABILITY_MECHANISMS:
+            previous = None
+            for p in points:
+                if previous is not None:
+                    # Non-decreasing true requirement: the next point's
+                    # upper bound must not sit below the previous
+                    # point's lower bound.
+                    lower_prev, _ = _probability_requirement(previous)
+                    _, upper_next = _probability_requirement(p)
+                    if upper_next < lower_prev:
+                        violations.append(
+                            f"M3 probability monotonicity: {chip} "
+                            f"{mitigation} {pattern}: the critical "
+                            f"probability falls from above "
+                            f"{lower_prev:g} at t_on={previous.t_on:g}ns "
+                            f"to at most {upper_next:g} at "
+                            f"t_on={p.t_on:g}ns (Hypothesis 2: required "
+                            f"strength is non-decreasing in tAggON)"
+                        )
+                        break
+                previous = p
+        elif mitigation in _THRESHOLD_MECHANISMS:
+            previous = None
+            for p in points:
+                if previous is not None:
+                    thr_prev = _threshold_requirement(previous)
+                    thr_next = _threshold_requirement(p)
+                    if thr_next > thr_prev:
+                        violations.append(
+                            f"M4 threshold monotonicity: {chip} "
+                            f"{mitigation} {pattern}: the critical "
+                            f"threshold rises from {thr_prev:g} at "
+                            f"t_on={previous.t_on:g}ns to {thr_next:g} "
+                            f"at t_on={p.t_on:g}ns (Hypothesis 2: the "
+                            f"counter must only get stricter as tAggON "
+                            f"grows)"
+                        )
+                        break
+                previous = p
+
+    # M5: combined == double-sided at tAggON = tRAS.
+    for (chip, mitigation, pattern, t_on), p in sorted(by_point.items()):
+        if len(violations) >= max_violations:
+            return violations
+        if pattern != "combined":
+            continue
+        if not math.isclose(t_on, timings.tRAS, rel_tol=_FLOAT_RTOL):
+            continue
+        ds = by_point.get((chip, mitigation, "double-sided", t_on))
+        if ds is None:
+            continue
+        fields = (
+            "baseline_acmin",
+            "baseline_iterations",
+            "time_to_first_ns",
+            "critical_value",
+            "defeated",
+        )
+        for name in fields:
+            mine, theirs = getattr(p, name), getattr(ds, name)
+            if mine != theirs:
+                violations.append(
+                    f"M5 RowHammer degeneracy: {chip} {mitigation} at "
+                    f"t_on=tRAS={timings.tRAS:g}ns: combined "
+                    f"{name}={mine!r} != double-sided {name}={theirs!r} "
+                    f"(the patterns are identical at tAggON=tRAS)"
+                )
+                break
+    return violations[:max_violations]
+
+
+def require_mitigation_invariants(
+    results,
+    source: Optional[str] = None,
+    timings: Optional[DDR4Timings] = None,
+) -> None:
+    """Raise :class:`InvariantViolationError` listing every violation."""
+    violations = check_mitigation_invariants(results, timings=timings)
+    if violations:
+        prefix = f"{source}: " if source else ""
+        listing = "\n  - ".join(violations)
+        raise InvariantViolationError(
+            f"{prefix}{len(violations)} mitigation-invariant violation(s):"
+            f"\n  - {listing}"
+        )
+
+
+def mitigation_results_digest(results) -> str:
+    """Canonical sha256 of a MitigationResults (order-independent).
+
+    The mitigation counterpart of :func:`results_digest`: points are
+    serialized with sorted keys and sorted lexicographically, so two
+    campaigns digest equal iff they produced the same points --
+    regardless of executor, resume, or merge order.
+    """
+    from repro.mitigations.campaign import point_to_record
+
+    records = sorted(
+        json.dumps(point_to_record(p), sort_keys=True, allow_nan=False)
+        for p in results
+    )
+    digest = hashlib.sha256()
+    for record in records:
+        digest.update(record.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 # ------------------------------------------------------------ determinism

@@ -31,7 +31,11 @@ __all__ = [
     "JOURNAL_FORMAT",
     "METRICS_FORMAT",
     "BENCH_FORMAT",
+    "MITIGATION_FORMAT",
+    "MITIGATION_POINT_FORMAT",
     "KNOWN_PATTERNS",
+    "KNOWN_MITIGATIONS",
+    "KNOWN_JOURNAL_ENTRIES",
     "validate_results_payload",
     "validate_journal_header",
     "validate_journal_entry",
@@ -39,19 +43,34 @@ __all__ = [
     "validate_trace_event",
     "validate_bench_payload",
     "validate_measurement_record",
+    "validate_mitigation_record",
+    "validate_mitigation_payload",
 ]
 
 #: Format identifiers, kept in sync with the writers (results.py,
-#: checkpoint.py, obs/metrics.py, benchmarks/test_perf_sweep.py).  Schema
-#: validation must not import those modules: the writers import *us*.
+#: checkpoint.py, obs/metrics.py, mitigations/campaign.py,
+#: benchmarks/test_perf_sweep.py).  Schema validation must not import
+#: those modules: the writers import *us*.
 RESULTS_FORMAT = "repro-results-v1"
 JOURNAL_FORMAT = "repro-checkpoint-v1"
 METRICS_FORMAT = "repro-metrics-v1"
 BENCH_FORMAT = "repro-bench-v1"
+MITIGATION_FORMAT = "repro-mitigation-v1"
+MITIGATION_POINT_FORMAT = "repro-mitigation-point-v1"
 
 #: The paper's three access patterns (Section 3); every measurement
 #: record must carry one of them.
 KNOWN_PATTERNS = ("single-sided", "double-sided", "combined")
+
+#: The mechanisms the mitigation campaign evaluates (kept in sync with
+#: ``repro.mitigations.campaign.MITIGATION_KINDS``, which imports *us*).
+KNOWN_MITIGATIONS = ("para", "para-press", "graphene", "graphene-press")
+
+#: Journal entry-record formats the checkpoint layer can carry: the
+#: header's absent/``None`` ``entries`` means characterization
+#: measurements (the pre-codec journal shape); mitigation campaigns
+#: declare their point records explicitly.
+KNOWN_JOURNAL_ENTRIES = (None, MITIGATION_POINT_FORMAT)
 
 
 def _fail(source: Optional[str], path: str, problem: str) -> None:
@@ -235,6 +254,177 @@ def validate_results_payload(payload, source: Optional[str] = None) -> Dict:
     return {"legacy": legacy}
 
 
+# -------------------------------------------------------------- mitigation
+
+
+def validate_mitigation_record(
+    rec, path: str, source: Optional[str] = None
+) -> Tuple[str, str, str, float]:
+    """Validate one mitigation-campaign point record.
+
+    Returns the record's identity ``(chip_key, mitigation, pattern,
+    t_on)`` so callers can detect duplicates without re-reading fields.
+    """
+    _require_dict(rec, path, source)
+    chip_key = _require(
+        _get(rec, "chip_key", path, source),
+        f"{path}.chip_key", str, source, "a string",
+    )
+    mitigation = _require(
+        _get(rec, "mitigation", path, source),
+        f"{path}.mitigation", str, source, "a string",
+    )
+    if mitigation not in KNOWN_MITIGATIONS:
+        _fail(
+            source,
+            f"{path}.mitigation",
+            f"must be one of {list(KNOWN_MITIGATIONS)}, got {mitigation!r}",
+        )
+    pattern = _require(
+        _get(rec, "pattern", path, source),
+        f"{path}.pattern", str, source, "a string",
+    )
+    if pattern not in KNOWN_PATTERNS:
+        _fail(
+            source,
+            f"{path}.pattern",
+            f"must be one of {list(KNOWN_PATTERNS)}, got {pattern!r}",
+        )
+    t_on = _require_finite(
+        _get(rec, "t_on", path, source), f"{path}.t_on", source
+    )
+    if t_on <= 0:
+        _fail(source, f"{path}.t_on", f"must be > 0 ns, got {t_on!r}")
+
+    acmin = _get(rec, "baseline_acmin", path, source)
+    if acmin is not None:
+        _require(
+            acmin, f"{path}.baseline_acmin", int, source,
+            "an integer or null",
+        )
+        if acmin <= 0:
+            _fail(source, f"{path}.baseline_acmin", f"must be > 0, got {acmin}")
+    iterations = _get(rec, "baseline_iterations", path, source)
+    if iterations is not None:
+        _require(
+            iterations, f"{path}.baseline_iterations", int, source,
+            "an integer or null",
+        )
+        if iterations <= 0:
+            _fail(
+                source, f"{path}.baseline_iterations",
+                f"must be > 0, got {iterations}",
+            )
+    time_to_first = _get(rec, "time_to_first_ns", path, source)
+    if time_to_first is not None:
+        _require_finite(time_to_first, f"{path}.time_to_first_ns", source)
+        if time_to_first <= 0:
+            _fail(
+                source, f"{path}.time_to_first_ns",
+                f"must be > 0 ns, got {time_to_first!r}",
+            )
+    # A point with no baseline bitflip has neither a time to first flip
+    # nor a critical-parameter search.
+    if acmin is None and time_to_first is not None:
+        _fail(
+            source,
+            f"{path}.time_to_first_ns",
+            f"must be null when baseline_acmin is null (no baseline "
+            f"bitflip means no time-to-first), got {time_to_first!r}",
+        )
+
+    critical = _get(rec, "critical_value", path, source)
+    if critical is not None:
+        _require_finite(critical, f"{path}.critical_value", source)
+        if critical <= 0:
+            _fail(
+                source, f"{path}.critical_value",
+                f"must be > 0, got {critical!r}",
+            )
+    for key in ("protects_at", "fails_at"):
+        value = _get(rec, key, path, source)
+        if value is not None:
+            _require_finite(value, f"{path}.{key}", source)
+    n_runs = _require(
+        _get(rec, "n_runs", path, source),
+        f"{path}.n_runs", int, source, "an integer",
+    )
+    if n_runs < 0:
+        _fail(source, f"{path}.n_runs", f"must be >= 0, got {n_runs}")
+    for key in (
+        "cap_hit",
+        "defeated",
+        "protected_by_trefw",
+        "protected_by_trefw_quarter",
+    ):
+        _require(
+            _get(rec, key, path, source), f"{path}.{key}", bool, source,
+            "a boolean",
+        )
+    if rec["defeated"] and critical is not None:
+        _fail(
+            source,
+            f"{path}.critical_value",
+            f"must be null when defeated is true (no finite parameter "
+            f"protects), got {critical!r}",
+        )
+    if rec["cap_hit"] and rec["fails_at"] is not None:
+        _fail(
+            source,
+            f"{path}.fails_at",
+            f"must be null when cap_hit is true (the ramp never found a "
+            f"failing parameter), got {rec['fails_at']!r}",
+        )
+    # Probability mechanisms live in (0, 1]; a probability above 1 marks
+    # a corrupted or hand-edited record.
+    if (
+        mitigation in ("para", "para-press")
+        and critical is not None
+        and critical > 1.0
+    ):
+        _fail(
+            source,
+            f"{path}.critical_value",
+            f"must be a probability in (0, 1] for {mitigation!r}, "
+            f"got {critical!r}",
+        )
+    return (chip_key, mitigation, pattern, float(t_on))
+
+
+def validate_mitigation_payload(payload, source: Optional[str] = None) -> Dict:
+    """Validate a parsed ``repro-mitigation-v1`` dump.
+
+    Unlike results dumps there is no legacy shape to accept: the format
+    field is required, unknown versions and duplicate ``(chip_key,
+    mitigation, pattern, t_on)`` records are rejected.
+    """
+    _require_dict(payload, "$", source)
+    fmt = _get(payload, "format", "$", source)
+    if fmt != MITIGATION_FORMAT:
+        _fail(
+            source, "$.format",
+            f"has unknown mitigation format {fmt!r} "
+            f"(this library reads {MITIGATION_FORMAT!r})",
+        )
+    records = _require_list(
+        _get(payload, "points", "$", source), "$.points", source
+    )
+    seen: Dict[Tuple, int] = {}
+    for i, rec in enumerate(records):
+        identity = validate_mitigation_record(rec, f"$.points[{i}]", source)
+        if identity in seen:
+            _fail(
+                source,
+                f"$.points[{i}]",
+                f"duplicates $.points[{seen[identity]}]: "
+                f"(chip_key={identity[0]!r}, mitigation={identity[1]!r}, "
+                f"pattern={identity[2]!r}, t_on={identity[3]!r}) "
+                f"evaluated twice",
+            )
+        seen[identity] = i
+    return payload
+
+
 # ----------------------------------------------------------------- journal
 
 
@@ -258,18 +448,31 @@ def validate_journal_header(header, source: Optional[str] = None) -> Dict:
     )
     if n_shards < 0:
         _fail(source, "$.n_shards", f"must be >= 0, got {n_shards}")
+    entries = header.get("entries")
+    if entries not in KNOWN_JOURNAL_ENTRIES:
+        _fail(
+            source, "$.entries",
+            f"has unknown journal entry format {entries!r} (this library "
+            f"reads {[e for e in KNOWN_JOURNAL_ENTRIES if e is not None]}, "
+            f"or no entries field for characterization measurements)",
+        )
     if "provenance" in header:
         _require_dict(header["provenance"], "$.provenance", source)
     return header
 
 
 def validate_journal_entry(
-    entry, line_no: int, source: Optional[str] = None
+    entry,
+    line_no: int,
+    source: Optional[str] = None,
+    entries: Optional[str] = None,
 ) -> int:
     """Validate one shard entry line; returns the shard index.
 
     ``line_no`` is the 1-based journal line the entry came from, used in
-    the JSON-path prefix (``line 3: $.shard ...``).
+    the JSON-path prefix (``line 3: $.shard ...``).  ``entries`` is the
+    header's declared record format: ``None`` for characterization
+    measurements, :data:`MITIGATION_POINT_FORMAT` for mitigation points.
     """
     path = f"line {line_no}: $"
     _require_dict(entry, path, source)
@@ -283,8 +486,13 @@ def validate_journal_entry(
         _get(entry, "measurements", path, source),
         f"{path}.measurements", source,
     )
+    validate_record = (
+        validate_mitigation_record
+        if entries == MITIGATION_POINT_FORMAT
+        else validate_measurement_record
+    )
     for i, rec in enumerate(records):
-        validate_measurement_record(rec, f"{path}.measurements[{i}]", source)
+        validate_record(rec, f"{path}.measurements[{i}]", source)
     return shard
 
 
