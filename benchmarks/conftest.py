@@ -31,14 +31,18 @@ SWEEP_T_VALUES = [36.0, 120.0, 636.0, 2_000.0, 7_800.0, 30_000.0, 70_200.0]
 ANCHOR_T_VALUES = [36.0, 7_800.0, T_AGG_ON_9TREFI]
 
 
-def bench_workers() -> int:
+def bench_workers():
     """Sweep workers for the benchmark fixtures.
 
     ``REPRO_BENCH_WORKERS`` selects the engine parallelism (0/1: serial;
-    N>1: process pool).  Results are executor-independent, so the
-    benchmark assertions hold at any setting.
+    N>1: process pool; ``auto``: calibrated executor selection).
+    Results are executor-independent, so the benchmark assertions hold
+    at any setting.
     """
-    return int(os.environ.get("REPRO_BENCH_WORKERS", "0") or 0)
+    raw = (os.environ.get("REPRO_BENCH_WORKERS", "0") or "0").strip()
+    if raw.lower() == "auto":
+        return "auto"
+    return int(raw)
 
 
 @pytest.fixture(scope="session")

@@ -3,7 +3,7 @@
 Times the paper's full 14-module characterization protocol -- the 7-point
 tAggON sweep and the Table 2 anchor points, each measurement repeated
 ``TRIALS_PER_MEASUREMENT`` (3) times as in the paper's methodology --
-through three execution paths:
+through five execution paths:
 
 * ``seed``: a frozen replica of the pre-engine serial loop (per-row cell
   draws, per-measurement role weights, per-trial jitter regeneration,
@@ -11,14 +11,23 @@ through three execution paths:
   file so the baseline cannot silently inherit later optimizations;
 * ``engine_serial``: the :class:`~repro.core.engine.SweepEngine` with the
   serial executor (workers=1) and the batched multi-trial fast path;
-* ``engine_workers4``: the same engine with ``workers=4`` (process pool).
+* ``engine_workers4``: the same engine with ``workers=4`` and the default
+  share mode (fork-inherited worker state on Linux);
+* ``engine_workers_shm``: ``workers=4`` pinned to the shared-memory
+  segment path (the portable zero-copy mode);
+* ``engine_auto``: the CLI-default :class:`~repro.core.engine.AutoExecutor`
+  -- calibration probe, then serial / thread / process per its decision.
 
 The host this runs on shows bursty 2-3x timing noise, so the sides are
 interleaved round-robin and each side's best-of-N is used; the measured
-numbers and speedups are recorded in ``BENCH_sweep.json`` at the repo
-root.  On a single-CPU host the process pool can only add overhead, so
-the >= 3x acceptance gate applies to the best engine configuration (and
-additionally to ``workers=4`` where there are cores for it to use).
+numbers, speedups, per-executor worker counts, and the auto executor's
+calibration decision are recorded in ``BENCH_sweep.json`` at the repo
+root.  Gates: the best engine configuration must clear the >= 3x
+acceptance bar everywhere; with >= 2 cores (or ``REPRO_BENCH_GATE=workers``,
+the CI perf-smoke setting) the parallel paths must also beat the serial
+engine; on a single core the auto executor must have *chosen* serial --
+the pool can only add overhead there, and the calibration probe exists
+precisely to avoid paying it.
 """
 
 from __future__ import annotations
@@ -311,23 +320,42 @@ def _campaign_seed(config, modules):
     return sweep, anchors
 
 
-def _campaign_engine(config, modules, workers):
+def _campaign_engine(
+    config, modules, workers=None, executor_factory=None, reports=None
+):
+    """One engine-side campaign: sweep + anchors on a fresh runner.
+
+    ``executor_factory`` (when given) builds a fresh executor per
+    engine run and overrides ``workers``; ``reports`` (a list) collects
+    the :class:`~repro.core.faults.RunReport` of each run so the
+    benchmark can record the auto executor's calibration decision.
+    """
     _clear_shared_caches()
     runner = CharacterizationRunner(config)
+
+    def _kwargs():
+        if executor_factory is not None:
+            return {"executor": executor_factory()}
+        return {"workers": workers}
+
     sweep = runner.characterize(
         modules,
         SWEEP_T_VALUES,
         ALL_PATTERNS,
         trials=TRIALS_PER_MEASUREMENT,
-        workers=workers,
+        **_kwargs(),
     )
+    if reports is not None:
+        reports.append(runner.last_report)
     anchors = runner.characterize(
         modules,
         ANCHOR_T_VALUES,
         ALL_PATTERNS,
         trials=TRIALS_PER_MEASUREMENT,
-        workers=workers,
+        **_kwargs(),
     )
+    if reports is not None:
+        reports.append(runner.last_report)
     return sweep, anchors
 
 
@@ -355,11 +383,31 @@ def test_disabled_observability_is_zero_overhead(bench_config, modules, monkeypa
 @pytest.mark.perf
 def test_sweep_engine_speedup(bench_config, modules):
     """Engine + batch fast path >= 3x over the seed loop, recorded."""
+    from repro.core.engine import AutoExecutor, ProcessExecutor
+    from repro.core.shm import fork_sharing_available
+
+    cpu_count = os.cpu_count() or 1
+    pool_workers = min(4, max(2, cpu_count))
+    auto_reports: List[object] = []
     sides: Dict[str, object] = {
         "seed": lambda: _campaign_seed(bench_config, modules),
         "engine_serial": lambda: _campaign_engine(bench_config, modules, 1),
         "engine_workers4": lambda: _campaign_engine(bench_config, modules, 4),
+        "engine_workers_shm": lambda: _campaign_engine(
+            bench_config,
+            modules,
+            executor_factory=lambda: ProcessExecutor(
+                pool_workers, share_mode="shm"
+            ),
+        ),
+        "engine_auto": lambda: _campaign_engine(
+            bench_config,
+            modules,
+            executor_factory=lambda: AutoExecutor(),
+            reports=auto_reports,
+        ),
     }
+    engine_sides = [name for name in sides if name != "seed"]
     times: Dict[str, List[float]] = {name: [] for name in sides}
     outputs: Dict[str, Tuple[ResultSet, ResultSet]] = {}
     # Interleave the sides round-robin: the host's timing noise is bursty,
@@ -375,17 +423,19 @@ def test_sweep_engine_speedup(bench_config, modules):
     # All sides measured the same campaign.
     n_sweep = len(outputs["seed"][0])
     n_anchor = len(outputs["seed"][1])
-    for name in ("engine_serial", "engine_workers4"):
+    for name in engine_sides:
         assert len(outputs[name][0]) == n_sweep
         assert len(outputs[name][1]) == n_anchor
-    # Executor determinism: serial and process-pool runs are identical.
-    assert list(outputs["engine_serial"][0]) == list(outputs["engine_workers4"][0])
-    assert list(outputs["engine_serial"][1]) == list(outputs["engine_workers4"][1])
+    # Executor determinism: every engine side is bit-identical.
+    for name in engine_sides[1:]:
+        assert list(outputs["engine_serial"][0]) == list(outputs[name][0]), name
+        assert list(outputs["engine_serial"][1]) == list(outputs[name][1]), name
 
-    speedups = {
-        name: best["seed"] / best[name]
-        for name in ("engine_serial", "engine_workers4")
-    }
+    auto_decision = None
+    for report in auto_reports:
+        if report is not None and report.auto_decision is not None:
+            auto_decision = dict(report.auto_decision)
+    speedups = {name: best["seed"] / best[name] for name in engine_sides}
     record = {
         "format": "repro-bench-v1",
         "campaign": {
@@ -397,7 +447,22 @@ def test_sweep_engine_speedup(bench_config, modules):
             "n_sweep_measurements": n_sweep,
             "n_anchor_measurements": n_anchor,
         },
-        "host": {"cpu_count": os.cpu_count()},
+        "host": {
+            "cpu_count": cpu_count,
+            "fork_sharing_available": fork_sharing_available(),
+        },
+        "executors": {
+            "engine_serial": {"workers": 1},
+            "engine_workers4": {"workers": 4, "share_mode": "auto"},
+            "engine_workers_shm": {
+                "workers": pool_workers,
+                "share_mode": "shm",
+            },
+            "engine_auto": {
+                "workers": "auto",
+                "calibration": auto_decision,
+            },
+        },
         "reps_per_side": _REPS,
         "seconds": {name: round(val, 3) for name, val in best.items()},
         "all_seconds": {
@@ -415,6 +480,27 @@ def test_sweep_engine_speedup(bench_config, modules):
         f"best engine speedup {best_speedup:.2f}x < {_REQUIRED_SPEEDUP}x "
         f"(seed {best['seed']:.2f}s, engine {best})"
     )
-    if (os.cpu_count() or 1) >= 4:
+    # The auto executor's calibration must have run and reached a verdict.
+    assert auto_decision is not None and auto_decision.get("chosen")
+    if cpu_count == 1:
+        # One core: a pool can only add overhead, and the probe exists to
+        # notice that.  Auto must have *chosen* serial (a wall-clock gate
+        # would just re-measure host noise).
+        assert auto_decision["chosen"] == "serial", auto_decision
+    gate_workers = os.environ.get("REPRO_BENCH_GATE", "") == "workers"
+    if cpu_count >= 2 or gate_workers:
+        # With real cores the zero-copy pool must actually win: no slower
+        # than the serial engine (strict in CI gate mode, 10% timing-noise
+        # allowance elsewhere).
+        margin = 1.0 if gate_workers else 1.10
+        parallel_best = min(
+            best["engine_workers4"], best["engine_workers_shm"]
+        )
+        assert parallel_best <= best["engine_serial"] * margin, (
+            f"parallel engine best {parallel_best:.2f}s does not beat "
+            f"serial engine {best['engine_serial']:.2f}s on "
+            f"{cpu_count} cores (times: {best})"
+        )
+    if cpu_count >= 4:
         # With real cores the process pool itself must clear the bar.
         assert speedups["engine_workers4"] >= _REQUIRED_SPEEDUP

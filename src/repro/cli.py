@@ -46,6 +46,21 @@ def sweep_points(n: int, t_max: float = T_AGG_ON_MAX) -> List[float]:
     return sorted(t for t in points if t <= t_max + 1e-9)
 
 
+def _workers_arg(value: str):
+    """``--workers`` converter: 'auto' or a non-negative worker count."""
+    if value.strip().lower() == "auto":
+        return "auto"
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or an integer worker count, got {value!r}"
+        ) from None
+    if workers < 0:
+        raise argparse.ArgumentTypeError("worker count must be >= 0")
+    return workers
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-characterize",
@@ -86,10 +101,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--workers",
-        type=int,
-        default=0,
-        help="parallel sweep workers (0/1: serial; N>1: process pool "
-        "sharded by (module, die); results are identical to serial)",
+        type=_workers_arg,
+        default="auto",
+        help="parallel sweep workers: 'auto' (default) calibrates a probe "
+        "and picks serial or a pool sized to the machine; 0/1: serial; "
+        "N>1: process pool sharded by (module, die); results are "
+        "identical to serial either way",
     )
     parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of ASCII plots"

@@ -16,11 +16,26 @@ Structure
   state is built exactly once per worker instead of being shipped across
   an executor boundary.
 * Executors run shards: :class:`SerialExecutor` in-process in plan order,
-  :class:`ThreadExecutor` on a thread pool, and :class:`ProcessExecutor`
-  on a :class:`~concurrent.futures.ProcessPoolExecutor`.  The process
-  executor partitions shards into per-worker chunks along module
-  boundaries and rebuilds each module inside the worker from its profile
-  key -- cell arrays never cross the pool boundary.
+  :class:`ThreadExecutor` on a thread pool, :class:`ProcessExecutor`
+  on a :class:`~concurrent.futures.ProcessPoolExecutor`, and
+  :class:`AutoExecutor` -- the default behind ``--workers auto`` -- which
+  probes the first unmemoized shard and picks serial/thread/process per
+  campaign from the measured cost.
+* Process workers get their state zero-copy (:mod:`repro.core.shm`):
+  under the ``fork`` start method they inherit the parent runner --
+  modules, stacked dies, analyzer caches, and memoized measurements --
+  via a fork-state token; elsewhere the parent publishes each die's
+  fused cell stack into a shared-memory segment and workers attach
+  read-only views through a picklable handle, with the role-weight
+  tables precomputed parent-side.  Only when a runner supports neither
+  does the executor fall back to the legacy rebuild-from-profile spec.
+  Cell arrays never cross the pool boundary in any mode.
+* Shard granularity is adaptive on the fast path: shards whose every
+  unit is already memoized run inline in the parent (trivial shards
+  coalesce to zero pool traffic), partially memoized shards dispatch
+  only their missing units, and stragglers split into unit slices using
+  the observed per-unit execute times (``shard.unit_seconds`` p50) fed
+  back from the metrics registry.
 * Results stream back per shard and are reassembled in canonical order:
   modules in call order, dies ascending, then patterns x tAggON x trials
   exactly as the serial 5-deep loop would have emitted them.
@@ -56,6 +71,7 @@ import logging
 import math
 import os
 import time
+import warnings as _warnings
 from concurrent.futures import (
     FIRST_COMPLETED,
     ProcessPoolExecutor,
@@ -65,9 +81,22 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.acmin import DieAnalysis, DieSweepAnalyzer
+from repro.core.acmin import (
+    DieAnalysis,
+    DieSweepAnalyzer,
+    build_role_weight_table,
+)
+from repro.core.shm import (
+    SharedDieStore,
+    StackedDieHandle,
+    attached_stacked,
+    discard_fork_state,
+    fork_sharing_available,
+    fork_state,
+    install_fork_state,
+)
 from repro.core.checkpoint import CheckpointJournal, plan_fingerprint
 from repro.core.experiment import CharacterizationConfig
 from repro.core.faults import (
@@ -98,9 +127,12 @@ __all__ = [
     "Shard",
     "SweepPlan",
     "CharacterizationWorkerSpec",
+    "ForkWorkerSpec",
+    "ShmCharacterizationSpec",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "AutoExecutor",
     "make_executor",
     "executor_ladder",
     "run_plan",
@@ -278,6 +310,93 @@ class CharacterizationWorkerSpec:
         )
 
 
+@dataclass(frozen=True)
+class ForkWorkerSpec:
+    """Fork-inherited worker state: only a registry token crosses the pool.
+
+    The parent installs its live runner (module objects, stacked dies,
+    analyzer caches, memoized measurements -- everything) in the
+    fork-state registry (:mod:`repro.core.shm`) before creating the
+    pool; forked workers read the very same objects back copy-on-write.
+    Nothing is rebuilt and nothing but this spec is pickled, which is
+    why the fork path has no "profiled modules only" restriction.
+
+    ``inner`` optionally carries a campaign spec whose ``check_shards``
+    still applies (the mitigation campaign validates shard vocabulary
+    regardless of how worker state travels).
+    """
+
+    token: int
+    inner: Optional[object] = None
+
+    def check_shards(self, shards: Sequence) -> None:
+        if self.inner is not None:
+            self.inner.check_shards(shards)
+
+    def build_runner(self):
+        return fork_state(self.token)
+
+
+@dataclass(frozen=True)
+class _SharedModuleState:
+    """What a shared-memory worker needs of a module: key and model.
+
+    The cell arrays live in shared memory and the stacked dies are
+    attached by handle, so workers never call ``module.chip``; the
+    model (a few scalars) rides along in the spec.
+    """
+
+    key: str
+    model: object
+
+
+@dataclass(frozen=True)
+class ShmCharacterizationSpec:
+    """Shared-memory worker recipe: attach, don't rebuild.
+
+    Carries per-die segment handles (name + layout manifest), the
+    per-module disturbance models (hundreds of bytes each), and the
+    parent-precomputed role-weight tables.  Workers reassemble read-only
+    :class:`~repro.core.stacked.StackedDie` views over the parent's
+    segments -- no calibration solver, no cell-array generation, no
+    pickled arrays.
+    """
+
+    config: CharacterizationConfig
+    models: Dict[str, object]
+    handles: Dict[Tuple[str, int], StackedDieHandle]
+    weights_tables: Dict[str, Dict]
+
+    def check_shards(self, shards: Sequence[Shard]) -> None:
+        missing = sorted(
+            {
+                (s.module_key, s.die)
+                for s in shards
+                if (s.module_key, s.die) not in self.handles
+            }
+        )
+        if missing:
+            raise ExperimentError(
+                f"shared-memory worker spec has no published segment for "
+                f"dies {missing[:4]}; publish every dispatched die before "
+                f"building the spec"
+            )
+
+    def build_runner(self) -> "ShardRunner":
+        modules = {
+            key: _SharedModuleState(key, model)
+            for key, model in self.models.items()
+        }
+        return ShardRunner(
+            self.config,
+            modules.__getitem__,
+            stacked_provider=lambda key, die: attached_stacked(
+                self.handles[(key, die)]
+            ),
+            weights_tables=self.weights_tables,
+        )
+
+
 class ShardRunner:
     """Executes shards against modules, caching one StackedDie per die.
 
@@ -306,6 +425,8 @@ class ShardRunner:
         ] = None,
         analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
         metrics=None,
+        stacked_provider: Optional[Callable[[str, int], StackedDie]] = None,
+        weights_tables: Optional[Dict[str, Dict]] = None,
     ) -> None:
         self._config = config
         self._module_provider = module_provider
@@ -313,6 +434,8 @@ class ShardRunner:
         self._measurement_cache = measurement_cache
         self._analyzer_cache = analyzer_cache if analyzer_cache is not None else {}
         self._metrics = metrics
+        self._stacked_provider = stacked_provider
+        self._weights_tables = weights_tables
 
     #: Result-integrity check executors apply to this runner's results
     #: (identity tuples must match the shard's units, in order).
@@ -327,6 +450,97 @@ class ShardRunner:
         """The picklable recipe process workers rebuild this runner from."""
         return CharacterizationWorkerSpec(self._config)
 
+    def fork_runner(self) -> "ShardRunner":
+        """The zero-copy clone fork-started workers inherit.
+
+        Shares this runner's modules and caches by reference
+        (copy-on-write after the fork) but carries no metrics registry:
+        the parent's registry lock must never be touched from a forked
+        worker.
+        """
+        return ShardRunner(
+            self._config,
+            self._module_provider,
+            self._stacked_cache,
+            self._measurement_cache,
+            self._analyzer_cache,
+            metrics=None,
+            stacked_provider=self._stacked_provider,
+            weights_tables=self._weights_tables,
+        )
+
+    def shm_spec(
+        self, shards: Sequence[Shard], store: SharedDieStore
+    ) -> ShmCharacterizationSpec:
+        """Publish every dispatched die and build the attach-side spec.
+
+        The parent builds (or reuses from its cache) each shard's
+        stacked die, copies its fused arrays into a shared-memory
+        segment owned by ``store``, and precomputes the role-weight
+        tables for every (pattern, tAggON) point of the dispatched
+        shards -- so workers start measuring immediately on attach.
+        """
+        models: Dict[str, object] = {}
+        points: Dict[str, Tuple[Dict[str, AccessPattern], set]] = {}
+        for shard in shards:
+            module = self._module_provider(shard.module_key)
+            store.publish(self.stacked(module, shard.die))
+            models.setdefault(module.key, module.model)
+            patterns, t_values = points.setdefault(module.key, ({}, set()))
+            for unit in shard.units:
+                patterns.setdefault(unit.pattern.name, unit.pattern)
+                t_values.add(unit.t_on)
+        tables = {
+            key: build_role_weight_table(
+                list(patterns.values()),
+                sorted(t_values),
+                models[key],
+                self._config.temperature_c,
+                self._config.timings,
+            )
+            for key, (patterns, t_values) in points.items()
+        }
+        return ShmCharacterizationSpec(
+            self._config, models, store.handles, tables
+        )
+
+    def cached_units(
+        self, shard: Shard
+    ) -> Optional[Tuple[Tuple[WorkUnit, ...], Tuple[WorkUnit, ...]]]:
+        """Split a shard's units into (memoized, missing), or ``None``.
+
+        ``None`` means no measurement cache is attached and the
+        executors must treat the whole shard as missing.  The process
+        executor's fast path uses this to coalesce fully memoized
+        shards into inline parent execution and to dispatch only the
+        missing units of partially memoized shards.
+        """
+        cache = self._measurement_cache
+        if cache is None:
+            return None
+        hits: List[WorkUnit] = []
+        missing: List[WorkUnit] = []
+        for unit in shard.units:
+            key = (
+                unit.module_key,
+                unit.die,
+                unit.pattern.name,
+                unit.t_on,
+                unit.trial,
+            )
+            (hits if key in cache else missing).append(unit)
+        return tuple(hits), tuple(missing)
+
+    @staticmethod
+    def unit_key(unit: WorkUnit) -> Tuple[str, float, int]:
+        """Within-shard identity of a unit (for split-result merges)."""
+        return (unit.pattern.name, unit.t_on, unit.trial)
+
+    @staticmethod
+    def result_key(measurement: DieMeasurement) -> Tuple[str, float, int]:
+        """Within-shard identity of a measurement (mirrors unit_key)."""
+        return (measurement.pattern, measurement.t_on, measurement.trial)
+
     def stacked(self, module: Module, die: int) -> StackedDie:
         key = (module.key, die)
         stacked = self._stacked_cache.get(key)
@@ -336,12 +550,17 @@ class ShardRunner:
                 else "cache.stacked.misses"
             )
         if stacked is None:
-            stacked = build_stacked_die(
-                module.chip(die),
-                self._config.bank,
-                self._config.selection,
-                self._config.data_pattern,
-            )
+            if self._stacked_provider is not None:
+                # Shared-memory workers attach the parent-published
+                # segment instead of regenerating cell arrays.
+                stacked = self._stacked_provider(module.key, die)
+            else:
+                stacked = build_stacked_die(
+                    module.chip(die),
+                    self._config.bank,
+                    self._config.selection,
+                    self._config.data_pattern,
+                )
             self._stacked_cache[key] = stacked
         return stacked
 
@@ -365,6 +584,11 @@ class ShardRunner:
                 module.model,
                 temperature_c=self._config.temperature_c,
                 timings=self._config.timings,
+                weights_table=(
+                    self._weights_tables.get(module.key)
+                    if self._weights_tables is not None
+                    else None
+                ),
             )
             self._analyzer_cache[key] = analyzer
         return analyzer
@@ -474,7 +698,12 @@ def _execute_shard(
         )
     else:
         measurements = runner.run(shard)
-    obs.metrics.observe("shard.execute_seconds", time.monotonic() - start)
+    elapsed = time.monotonic() - start
+    obs.metrics.observe("shard.execute_seconds", elapsed)
+    # Normalized per-unit cost: the adaptive chunker's feedback signal.
+    obs.metrics.observe(
+        "shard.unit_seconds", elapsed / max(1, len(shard.units))
+    )
     return measurements
 
 
@@ -573,26 +802,126 @@ class ThreadExecutor:
 
 
 class ProcessExecutor:
-    """Runs shards on a process pool.
+    """Runs shards on a process pool with zero-copy worker state.
 
-    Shards are partitioned into per-worker chunks along module boundaries
-    (so a worker rebuilds each of its modules once) and dispatched as
-    whole chunks; each worker process rebuilds its modules from the
-    profile key via :func:`repro.system.build_module` and builds one
-    StackedDie per shard.  Only measurement records cross the pool
-    boundary -- never cell arrays.
+    Worker state travels by ``share_mode``:
 
-    Because workers rebuild modules from profiles, this executor requires
-    modules built through :func:`repro.system.build_module` /
-    :func:`build_modules` with the same configuration the engine runs
-    under; passing hand-assembled modules raises
-    :class:`~repro.errors.ExperimentError`.
+    * ``"fork"`` -- workers inherit the parent's live runner (modules,
+      stacked dies, analyzer caches, memoized measurements)
+      copy-on-write; only a registry token is pickled.  Requires the
+      ``fork`` start method and a runner exposing ``fork_runner()``.
+    * ``"shm"`` -- the parent publishes each dispatched die's fused cell
+      stack into a :mod:`multiprocessing.shared_memory` segment
+      (:mod:`repro.core.shm`); workers attach read-only views via
+      picklable handles and get the role-weight tables precomputed.
+      Requires a runner exposing ``shm_spec(shards, store)``.
+    * ``"pickle"`` -- the legacy protocol: a tiny spec crosses the pool
+      and workers rebuild modules from profile keys (the only mode that
+      restricts the process executor to profiled modules).
+    * ``None`` / ``"auto"`` (default) -- fork when the platform start
+      method supports it, else shm, else pickle.
+
+    On the fast path (no retry policy, no fault plan) shard granularity
+    is adaptive: fully memoized shards run inline in the parent,
+    partially memoized shards dispatch only their missing units, and
+    straggler shards split into unit slices sized by the observed
+    per-unit p50.  Results are bit-identical in every mode and at every
+    granularity -- measurements are pure functions of their identity.
     """
 
     name = "process"
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    _SHARE_MODES = ("auto", "fork", "shm", "pickle")
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        share_mode: Optional[str] = None,
+    ) -> None:
         self.workers = workers or (os.cpu_count() or 1)
+        if share_mode is not None and share_mode not in self._SHARE_MODES:
+            raise ExperimentError(
+                f"unknown share_mode {share_mode!r} "
+                f"(expected one of {self._SHARE_MODES})"
+            )
+        self.share_mode = share_mode
+
+    # ------------------------------------------------------- worker state
+
+    def _resolved_mode(self, runner) -> str:
+        mode = self.share_mode or "auto"
+        if mode == "auto":
+            if fork_sharing_available() and hasattr(runner, "fork_runner"):
+                return "fork"
+            if hasattr(runner, "shm_spec"):
+                return "shm"
+            return "pickle"
+        return mode
+
+    def _worker_state(
+        self, runner, shards: Sequence[Shard], obs: Optional[Observability]
+    ) -> Tuple[object, Callable[[], None], str]:
+        """Prepare worker state; returns (spec, cleanup, mode).
+
+        ``cleanup`` must run in a ``finally`` -- it discards the
+        fork-state registration or unlinks the shared-memory segments,
+        whichever the mode created.
+        """
+        mode = self._resolved_mode(runner)
+        if mode == "fork":
+            factory = getattr(runner, "fork_runner", None)
+            if factory is None or not fork_sharing_available():
+                raise ExperimentError(
+                    "share_mode='fork' needs the fork start method and a "
+                    "runner exposing fork_runner(); use share_mode='shm' "
+                    "or 'pickle' instead"
+                )
+            token = install_fork_state(factory())
+            if obs is not None:
+                obs.metrics.inc("worker_state.fork")
+                obs.emit("worker_state", mode="fork", token=token)
+            spec = ForkWorkerSpec(
+                token, inner=getattr(runner, "fork_check_spec", None)
+            )
+            return spec, lambda: discard_fork_state(token), mode
+        if mode == "shm":
+            factory = getattr(runner, "shm_spec", None)
+            if factory is None:
+                raise ExperimentError(
+                    "share_mode='shm' needs a runner exposing "
+                    "shm_spec(shards, store); use share_mode='pickle' "
+                    "for this runner"
+                )
+            store = SharedDieStore()
+            try:
+                spec = factory(shards, store)
+            except BaseException:
+                store.close()
+                raise
+            if obs is not None:
+                obs.metrics.inc("shm.segments_published", len(store))
+                obs.emit(
+                    "shm_publish", segments=len(store), nbytes=store.nbytes
+                )
+
+            def cleanup() -> None:
+                segments = len(store)
+                store.close()
+                if obs is not None:
+                    obs.metrics.inc("shm.segments_unlinked", segments)
+                    obs.emit("shm_unlink", segments=segments)
+
+            return spec, cleanup, mode
+        spec = getattr(runner, "spec", None)
+        if spec is None:
+            raise ExperimentError(
+                "the process executor needs a runner exposing a picklable "
+                "worker spec (runner.spec); use the serial or thread "
+                "executor for this runner"
+            )
+        return spec, lambda: None, mode
+
+    # ----------------------------------------------------------- dispatch
 
     def map_shards(
         self,
@@ -606,14 +935,6 @@ class ProcessExecutor:
     ) -> List[List[DieMeasurement]]:
         if not plan.shards:
             return []
-        spec = getattr(runner, "spec", None)
-        if spec is None:
-            raise ExperimentError(
-                "the process executor needs a runner exposing a picklable "
-                "worker spec (runner.spec); use the serial or thread "
-                "executor for this runner"
-            )
-        spec.check_shards(plan.shards)
         if fault_plan is not None and fault_plan.state_dir is None:
             raise ExperimentError(
                 "a FaultPlan used with the process executor needs a "
@@ -621,10 +942,15 @@ class ProcessExecutor:
             )
         if policy is None and fault_plan is None:
             return self._map_chunked(plan, runner, on_shard, obs)
-        return self._map_resilient(
-            plan, runner, policy or RetryPolicy(), fault_plan, on_shard,
-            report, obs,
-        )
+        spec, cleanup, _ = self._worker_state(runner, plan.shards, obs)
+        try:
+            spec.check_shards(plan.shards)
+            return self._map_resilient(
+                plan, runner, spec, policy or RetryPolicy(), fault_plan,
+                on_shard, report, obs,
+            )
+        finally:
+            cleanup()
 
     def _map_chunked(
         self,
@@ -633,43 +959,111 @@ class ProcessExecutor:
         on_shard: Optional[OnShard],
         obs: Optional[Observability] = None,
     ) -> List[List[DieMeasurement]]:
-        """Fast path: whole per-worker chunks, no retry bookkeeping."""
+        """Fast path: cache-aware splits, adaptive chunks, no retries."""
+        inline: List[Shard] = []
+        partial_hits: Dict[int, Shard] = {}
+        dispatch: List[Shard] = []
+        cached_units = getattr(runner, "cached_units", None)
+        for shard in plan.shards:
+            split = cached_units(shard) if cached_units is not None else None
+            if split is None:
+                dispatch.append(shard)
+                continue
+            hits, missing = split
+            if not missing:
+                # Trivial shard: every unit memoized -- coalesce to
+                # inline parent execution, zero pool traffic.
+                inline.append(shard)
+            elif hits:
+                partial_hits[shard.index] = replace(shard, units=tuple(hits))
+                dispatch.append(replace(shard, units=tuple(missing)))
+            else:
+                dispatch.append(shard)
+
         shard_by_index = {shard.index: shard for shard in plan.shards}
-        chunks = _partition_shards(plan.shards, self.workers)
         by_index: Dict[int, List[DieMeasurement]] = {}
-        try:
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-                submitted = time.monotonic()
-                futures = [
-                    pool.submit(_run_shard_chunk, runner.spec, chunk)
-                    for chunk in chunks
-                ]
-                for future in futures:
-                    chunk_results = future.result()
-                    if obs is not None:
-                        # Workers are uninstrumented (the registry never
-                        # crosses the pickle boundary); observe each
-                        # chunk's submit-to-drain wall time instead.
-                        obs.metrics.observe(
-                            "chunk.wall_seconds",
-                            time.monotonic() - submitted,
-                        )
-                    for index, measurements in chunk_results:
-                        by_index[index] = measurements
-                        if on_shard is not None:
-                            on_shard(shard_by_index[index], measurements)
-        except BrokenProcessPool as exc:
-            # No retry budget on the fast path: surface the breakage in
-            # the engine's vocabulary so the degradation ladder applies.
-            raise PoolBrokenError(
-                f"process pool broke while running chunked shards: {exc}"
-            ) from exc
+
+        def finish(index: int, measurements: List[DieMeasurement]) -> None:
+            shard = shard_by_index[index]
+            hits_shard = partial_hits.get(index)
+            if hits_shard is not None:
+                hit_results = _execute_shard(runner, hits_shard, obs)
+                measurements = _merge_by_identity(
+                    runner, shard, hit_results, measurements
+                )
+            by_index[index] = measurements
+            if on_shard is not None:
+                on_shard(shard, measurements)
+
+        for shard in inline:
+            finish(shard.index, _execute_shard(runner, shard, obs))
+
+        if dispatch:
+            spec, cleanup, mode = self._worker_state(runner, dispatch, obs)
+            try:
+                spec.check_shards(dispatch)
+                tasks = _adaptive_tasks(dispatch, self.workers, obs)
+                # Module affinity only matters when workers rebuild
+                # modules (pickle mode); zero-copy modes pack purely by
+                # cost so straggler slices spread across the pool.
+                chunks = _partition_tasks(
+                    tasks, self.workers, affinity=(mode == "pickle")
+                )
+                expected: Dict[int, int] = {}
+                for shard, _part in tasks:
+                    expected[shard.index] = expected.get(shard.index, 0) + 1
+                parts: Dict[int, Dict[int, List[DieMeasurement]]] = {}
+                with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                    submitted = time.monotonic()
+                    futures = {
+                        pool.submit(
+                            _run_shard_chunk,
+                            spec,
+                            tuple(shard for shard, _ in chunk),
+                        ): chunk
+                        for chunk in chunks
+                    }
+                    for future in as_completed(futures):
+                        chunk = futures[future]
+                        chunk_results = future.result()
+                        if obs is not None:
+                            # Workers are uninstrumented (the registry
+                            # never crosses the pool boundary); observe
+                            # each chunk's submit-to-drain wall time.
+                            obs.metrics.observe(
+                                "chunk.wall_seconds",
+                                time.monotonic() - submitted,
+                            )
+                        for (shard, part), (index, measurements) in zip(
+                            chunk, chunk_results
+                        ):
+                            got = parts.setdefault(index, {})
+                            got[part] = measurements
+                            if len(got) == expected[index]:
+                                finish(
+                                    index,
+                                    [
+                                        m
+                                        for _, ms in sorted(got.items())
+                                        for m in ms
+                                    ],
+                                )
+            except BrokenProcessPool as exc:
+                # No retry budget on the fast path: surface the breakage
+                # in the engine's vocabulary so the degradation ladder
+                # applies.
+                raise PoolBrokenError(
+                    f"process pool broke while running chunked shards: {exc}"
+                ) from exc
+            finally:
+                cleanup()
         return [by_index[shard.index] for shard in plan.shards]
 
     def _map_resilient(
         self,
         plan: SweepPlan,
         runner: ShardRunner,
+        spec,
         policy: RetryPolicy,
         fault_plan: Optional[FaultPlan],
         on_shard: Optional[OnShard],
@@ -687,8 +1081,13 @@ class ProcessExecutor:
         killed individually either, so a shard timeout abandons the
         current pool and resubmits the innocent in-flight shards --
         harmless, since measurements are pure functions of the plan.
+
+        ``spec`` is the prepared worker spec of the chosen share mode
+        (fork token, shm handles, or the legacy rebuild recipe); pool
+        restarts reuse it -- re-forked workers still find the fork
+        state installed, and shm segments stay linked until the
+        caller's cleanup runs.
         """
-        spec = runner.spec
         failures: Dict[int, int] = {shard.index: 0 for shard in plan.shards}
         done: Dict[int, List[DieMeasurement]] = {}
         pending: List[Shard] = list(plan.shards)
@@ -837,28 +1236,119 @@ class ProcessExecutor:
 def _partition_shards(
     shards: Sequence[Shard], workers: int
 ) -> List[Tuple[Shard, ...]]:
-    """Partition shards into at most ``workers`` chunks.
+    """Partition shards into at most ``workers`` chunks (affinity-kept).
 
-    Consecutive shards sharing a ``group_key`` (the module for
-    characterization shards) stay together so each worker rebuilds that
-    state at most once; groups are then spread greedily onto the
-    least-loaded chunk.  Deterministic, and harmless to result order
-    (shards carry their canonical index).
+    Retained for the legacy (pickle) protocol semantics: consecutive
+    shards sharing a ``group_key`` stay together so each worker rebuilds
+    that state at most once.  The adaptive fast path goes through
+    :func:`_adaptive_tasks` / :func:`_partition_tasks` instead.
     """
-    groups: List[List[Shard]] = []
-    for shard in shards:
-        if groups and groups[-1][0].group_key == shard.group_key:
-            groups[-1].append(shard)
+    tasks = [(shard, 0) for shard in shards]
+    chunks = _partition_tasks(tasks, workers, affinity=True)
+    return [tuple(shard for shard, _ in chunk) for chunk in chunks]
+
+
+def _adaptive_tasks(
+    shards: Sequence[Shard],
+    workers: int,
+    obs: Optional[Observability],
+) -> List[Tuple[Shard, int]]:
+    """Split straggler shards into unit slices; returns (shard, part) tasks.
+
+    Cost model: a shard costs its unit count times the observed
+    per-unit p50 (the ``shard.unit_seconds`` timer the serial executor
+    and the auto-calibration probe feed), defaulting to uniform unit
+    cost when no feedback exists yet.  Shards estimated above twice the
+    balance target (total cost over ~4 tasks per worker) split into
+    contiguous unit slices -- bit-identical by construction, since
+    every measurement is a pure function of its (module, die, pattern,
+    tAggON, trial) identity, never of which task measured it.
+    """
+    unit_cost = 1.0
+    if obs is not None:
+        timer_summary = getattr(obs.metrics, "timer_summary", None)
+        summary = (
+            timer_summary("shard.unit_seconds")
+            if timer_summary is not None
+            else None
+        )
+        if summary and summary.get("p50_s", 0.0) > 0.0:
+            unit_cost = summary["p50_s"]
+    costs = [len(shard.units) * unit_cost for shard in shards]
+    total = sum(costs)
+    if workers <= 1 or total <= 0.0:
+        return [(shard, 0) for shard in shards]
+    target = max(total / (4 * workers), unit_cost)
+    tasks: List[Tuple[Shard, int]] = []
+    for shard, cost in zip(shards, costs):
+        n_units = len(shard.units)
+        if cost <= 2 * target or n_units <= 1:
+            tasks.append((shard, 0))
+            continue
+        k = min(n_units, max(2, math.ceil(cost / target)))
+        bounds = [round(i * n_units / k) for i in range(k + 1)]
+        part = 0
+        for lo, hi in zip(bounds, bounds[1:]):
+            if lo == hi:
+                continue
+            tasks.append((replace(shard, units=shard.units[lo:hi]), part))
+            part += 1
+    return tasks
+
+
+def _partition_tasks(
+    tasks: Sequence[Tuple[Shard, int]], workers: int, affinity: bool
+) -> List[List[Tuple[Shard, int]]]:
+    """Pack (shard, part) tasks into at most ``workers`` chunks.
+
+    With ``affinity`` (pickle mode), consecutive tasks sharing a
+    ``group_key`` stay on one worker so it rebuilds that module once;
+    zero-copy modes pack each task independently.  Groups go greedily
+    to the least-loaded chunk, weighted by unit count.  Deterministic,
+    and harmless to result order (tasks carry their canonical shard
+    index and part number).
+    """
+    groups: List[List[Tuple[Shard, int]]] = []
+    for task in tasks:
+        if (
+            affinity
+            and groups
+            and groups[-1][0][0].group_key == task[0].group_key
+        ):
+            groups[-1].append(task)
         else:
-            groups.append([shard])
+            groups.append([task])
     n_chunks = max(1, min(workers, len(groups)))
-    chunks: List[List[Shard]] = [[] for _ in range(n_chunks)]
+    chunks: List[List[Tuple[Shard, int]]] = [[] for _ in range(n_chunks)]
     loads = [0] * n_chunks
     for group in groups:
         target = loads.index(min(loads))
         chunks[target].extend(group)
-        loads[target] += len(group)
-    return [tuple(chunk) for chunk in chunks if chunk]
+        loads[target] += sum(len(shard.units) for shard, _ in group)
+    return [chunk for chunk in chunks if chunk]
+
+
+def _merge_by_identity(
+    runner, shard: Shard, hit_results: Sequence, missing_results: Sequence
+) -> List:
+    """Reassemble a cache-split shard's results in canonical unit order."""
+    unit_key = getattr(runner, "unit_key", None)
+    result_key = getattr(runner, "result_key", None)
+    if unit_key is None or result_key is None:
+        raise ExecutorError(
+            f"shard {shard.index} was split against the measurement cache "
+            f"but its runner exposes no unit_key/result_key to merge by"
+        )
+    by_key = {result_key(m): m for m in hit_results}
+    for m in missing_results:
+        by_key[result_key(m)] = m
+    try:
+        return [by_key[unit_key(unit)] for unit in shard.units]
+    except KeyError as exc:
+        raise ResultIntegrityError(
+            f"shard {shard.index} ({shard.label}): split execution "
+            f"returned no measurement for unit {exc}"
+        ) from exc
 
 
 #: Per-worker-process module cache (populated lazily by ``_worker_module``).
@@ -908,14 +1398,205 @@ def _run_shard_remote(
     return shard.index, measurements
 
 
-def make_executor(workers: Optional[int] = None, kind: Optional[str] = None):
+class AutoExecutor:
+    """Calibrates, then delegates: serial, thread, or process per campaign.
+
+    The CLI default (``--workers auto``).  Instead of trusting a flag,
+    the executor runs a short calibration probe -- the leading shards of
+    the plan, serially, until one actually had unmemoized units -- and
+    estimates the remaining serial cost from the probe's measured
+    per-unit time.  Campaigns too small to amortize a pool (or machines
+    with one core, or plans that are fully memoized) run serially;
+    everything else goes to the process pool (thread pool when the
+    runner cannot cross a process boundary).  Probe results are kept,
+    so calibration costs nothing: every measurement the probe makes is
+    part of the campaign.
+
+    The decision (chosen executor, cpu count, probe seconds, estimated
+    serial seconds, reason) lands in ``RunReport.auto_decision`` and is
+    emitted as an ``executor_calibrated`` event.
+    """
+
+    name = "auto"
+
+    #: Estimated remaining serial seconds below which a pool cannot pay
+    #: for its own startup (worker spawn + state transfer).
+    min_parallel_seconds = 1.0
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        share_mode: Optional[str] = None,
+    ) -> None:
+        self.requested_workers = workers
+        self.workers = workers or (os.cpu_count() or 1)
+        self.share_mode = share_mode
+        self.last_decision: Optional[Dict] = None
+
+    def _choose(
+        self, plan: SweepPlan, runner, policy, fault_plan, report, obs
+    ) -> Tuple[Dict, List[Tuple[Shard, List[DieMeasurement]]]]:
+        cpus = os.cpu_count() or 1
+        workers = max(1, min(self.workers, cpus))
+        decision: Dict = {
+            "cpu_count": cpus,
+            "workers": workers,
+            "n_shards": len(plan.shards),
+            "probe_seconds": None,
+            "estimated_serial_seconds": None,
+        }
+        if workers <= 1:
+            decision.update(
+                chosen="serial",
+                reason=f"{cpus} usable core(s): nothing to parallelize",
+            )
+            return decision, []
+        if len(plan.shards) == 1:
+            decision.update(chosen="serial", reason="single-shard plan")
+            return decision, []
+        cached_units = getattr(runner, "cached_units", None)
+
+        def missing_count(shard: Shard) -> int:
+            split = cached_units(shard) if cached_units is not None else None
+            return len(shard.units) if split is None else len(split[1])
+
+        # Probe: run leading shards serially until one had real work.
+        # Fully memoized shards execute in microseconds and say nothing
+        # about measurement cost, so they don't end the probe.
+        probed: List[Tuple[Shard, List[DieMeasurement]]] = []
+        per_unit = None
+        probe_seconds = None
+        for shard in plan.shards:
+            missing = missing_count(shard)
+            start = time.monotonic()
+            measurements = _run_shard_guarded(
+                runner, shard, policy, fault_plan, report, obs
+            )
+            elapsed = time.monotonic() - start
+            probed.append((shard, measurements))
+            if missing > 0:
+                per_unit = elapsed / missing
+                probe_seconds = elapsed
+                break
+        if per_unit is None:
+            decision.update(
+                chosen="serial",
+                reason="every shard fully memoized: ran inline",
+            )
+            return decision, probed
+        remaining = sum(
+            missing_count(shard) * per_unit
+            for shard in plan.shards[len(probed):]
+        )
+        decision.update(
+            probe_seconds=round(probe_seconds, 6),
+            estimated_serial_seconds=round(remaining, 6),
+        )
+        if remaining < self.min_parallel_seconds:
+            decision.update(
+                chosen="serial",
+                reason=(
+                    f"~{remaining:.3f}s of serial work left, below the "
+                    f"{self.min_parallel_seconds:g}s pool-amortization "
+                    f"threshold"
+                ),
+            )
+            return decision, probed
+        crossable = any(
+            hasattr(runner, attr)
+            for attr in ("fork_runner", "shm_spec", "spec")
+        )
+        if crossable:
+            decision.update(
+                chosen="process",
+                reason=(
+                    f"~{remaining:.1f}s of measurement across "
+                    f"{len(plan.shards) - len(probed)} shards on "
+                    f"{workers} workers"
+                ),
+            )
+        else:
+            decision.update(
+                chosen="thread",
+                reason="runner state cannot cross a process boundary",
+            )
+        return decision, probed
+
+    def map_shards(
+        self,
+        plan: SweepPlan,
+        runner: ShardRunner,
+        policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        on_shard: Optional[OnShard] = None,
+        report: Optional[RunReport] = None,
+        obs: Optional[Observability] = None,
+    ) -> List[List[DieMeasurement]]:
+        if not plan.shards:
+            return []
+        decision, probed = self._choose(
+            plan, runner, policy, fault_plan, report, obs
+        )
+        self.last_decision = decision
+        if report is not None:
+            report.auto_decision = dict(decision)
+        if obs is not None:
+            obs.metrics.inc(f"executor.auto.{decision['chosen']}")
+            obs.emit("executor_calibrated", **decision)
+        out: List[List[DieMeasurement]] = []
+        for shard, measurements in probed:
+            if on_shard is not None:
+                on_shard(shard, measurements)
+            out.append(measurements)
+        rest = plan.shards[len(probed):]
+        if not rest:
+            return out
+        chosen = decision["chosen"]
+        workers = decision["workers"]
+        if chosen == "serial":
+            delegate = SerialExecutor()
+        elif chosen == "thread":
+            delegate = ThreadExecutor(workers)
+        else:
+            delegate = ProcessExecutor(workers, share_mode=self.share_mode)
+        out.extend(
+            delegate.map_shards(
+                replace(plan, shards=rest),
+                runner,
+                policy=policy,
+                fault_plan=fault_plan,
+                on_shard=on_shard,
+                report=report,
+                obs=obs,
+            )
+        )
+        return out
+
+
+def make_executor(
+    workers: Union[int, str, None] = None, kind: Optional[str] = None
+):
     """Build an executor from a worker count and optional kind.
 
     ``workers`` of ``None``, 0, or 1 select the serial executor (one
     worker has nothing to parallelize); more workers default to the
-    process executor, the only one that escapes the GIL.  ``kind`` forces
-    ``"serial"``, ``"thread"``, or ``"process"``.
+    process executor, the only one that escapes the GIL.  ``workers``
+    of ``"auto"`` -- the CLI default -- selects the self-calibrating
+    :class:`AutoExecutor`.  ``kind`` forces ``"serial"``, ``"thread"``,
+    ``"process"``, or ``"auto"``.
     """
+    if isinstance(workers, str):
+        if workers == "auto":
+            workers = None
+            if kind is None:
+                kind = "auto"
+        else:
+            try:
+                workers = int(workers)
+            except ValueError:
+                raise ExperimentError(
+                    f"workers must be an integer or 'auto', got {workers!r}"
+                ) from None
     if kind is None:
         kind = "serial" if not workers or workers <= 1 else "process"
     if kind == "serial":
@@ -924,8 +1605,11 @@ def make_executor(workers: Optional[int] = None, kind: Optional[str] = None):
         return ThreadExecutor(workers)
     if kind == "process":
         return ProcessExecutor(workers)
+    if kind == "auto":
+        return AutoExecutor(workers)
     raise ExperimentError(
-        f"unknown executor kind {kind!r} (expected serial, thread, or process)"
+        f"unknown executor kind {kind!r} "
+        f"(expected serial, thread, process, or auto)"
     )
 
 
@@ -933,10 +1617,11 @@ def executor_ladder(executor) -> List:
     """Degradation ladder starting at the given executor.
 
     A repeatedly broken process pool degrades process -> thread ->
-    serial; a thread executor degrades to serial; the serial executor
-    has no fallback.
+    serial; the auto executor (whose worst pick is a process pool)
+    degrades the same way; a thread executor degrades to serial; the
+    serial executor has no fallback.
     """
-    if isinstance(executor, ProcessExecutor):
+    if isinstance(executor, (ProcessExecutor, AutoExecutor)):
         return [executor, ThreadExecutor(executor.workers), SerialExecutor()]
     if isinstance(executor, ThreadExecutor):
         return [executor, SerialExecutor()]
@@ -980,6 +1665,30 @@ def run_plan(
         report = RunReport(n_shards=len(plan.shards), fingerprint=fingerprint)
     if obs is not None and obs.campaign_t0 is None:
         obs.campaign_t0 = time.monotonic()
+
+    primary = ladder[0] if ladder else None
+    # Oversubscription is only worth warning about for process-backed
+    # executors: each extra process duplicates worker state and contends
+    # for cores, while surplus *threads* merely idle (and the thread
+    # executor's counter totals must stay executor-independent).
+    requested = None
+    if isinstance(primary, (ProcessExecutor, AutoExecutor)):
+        requested = getattr(primary, "requested_workers", None)
+        if requested is None and not isinstance(primary, AutoExecutor):
+            requested = getattr(primary, "workers", None)
+    cpus = os.cpu_count() or 1
+    if isinstance(requested, int) and requested > cpus:
+        message = (
+            f"{requested} workers requested but only {cpus} CPU core(s) "
+            f"are available; the pool will oversubscribe"
+        )
+        _warnings.warn(message, UserWarning, stacklevel=2)
+        report.warnings.append(message)
+        if obs is not None:
+            obs.metrics.inc("executor.oversubscribed")
+            obs.emit(
+                "executor_oversubscribed", workers=requested, cpu_count=cpus
+            )
 
     journal = (
         CheckpointJournal(checkpoint, digest=digest, codec=codec)
@@ -1074,7 +1783,12 @@ def run_plan(
                 f"{left} shard(s)"
             )
             logger.warning(message)
+            # A degraded campaign still completes -- which is exactly why
+            # the fallback must be loud: UserWarning for interactive
+            # runs, RunReport.warnings for artifacts.
+            _warnings.warn(message, UserWarning, stacklevel=2)
             report.degradations.append(message)
+            report.warnings.append(message)
             if obs is not None:
                 obs.metrics.inc("executor.degradations")
                 obs.emit(

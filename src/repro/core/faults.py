@@ -381,6 +381,8 @@ class RunReport:
     fingerprint: str = ""
     executors: List[str] = field(default_factory=list)
     degradations: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    auto_decision: Optional[Dict] = None
     metrics: Optional[Dict] = None
     provenance: Optional[Dict] = None
 
@@ -390,8 +392,15 @@ class RunReport:
             f"checkpoint, {self.n_executed} executed; retries: "
             f"{self.n_retries}; pool restarts: {self.n_pool_restarts}"
         )
+        if self.auto_decision:
+            line += (
+                f"; auto executor: {self.auto_decision.get('chosen', '?')}"
+                f" ({self.auto_decision.get('reason', 'no reason recorded')})"
+            )
         if self.degradations:
             line += "; degradations: " + " | ".join(self.degradations)
+        if self.warnings:
+            line += "; warnings: " + " | ".join(self.warnings)
         if self.metrics:
             timers = self.metrics.get("timers", {})
             execute = timers.get("shard.execute_seconds")

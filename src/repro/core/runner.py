@@ -106,7 +106,9 @@ class CharacterizationRunner:
 
     # ----------------------------------------------------------------- sweeps
 
-    def _engine(self, workers: Optional[int], executor) -> SweepEngine:
+    def _engine(
+        self, workers: Optional[Union[int, str]], executor
+    ) -> SweepEngine:
         if executor is None:
             executor = make_executor(workers)
         engine = SweepEngine(self._config, executor=executor, obs=self._obs)
@@ -120,7 +122,7 @@ class CharacterizationRunner:
         patterns: Sequence[AccessPattern] = ALL_PATTERNS,
         dies: Optional[Iterable[int]] = None,
         trials: Optional[int] = None,
-        workers: Optional[int] = None,
+        workers: Optional[Union[int, str]] = None,
         executor=None,
         policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[Union[str, os.PathLike]] = None,
@@ -151,7 +153,7 @@ class CharacterizationRunner:
         t_values: Sequence[float],
         patterns: Sequence[AccessPattern] = ALL_PATTERNS,
         trials: Optional[int] = None,
-        workers: Optional[int] = None,
+        workers: Optional[Union[int, str]] = None,
         executor=None,
         policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[Union[str, os.PathLike]] = None,
@@ -161,10 +163,12 @@ class CharacterizationRunner:
     ) -> ResultSet:
         """Full sweep over several modules.
 
-        ``workers`` selects parallelism (0/1: serial in-process; more:
-        a process pool sharded by (module, die)); an explicit ``executor``
-        from :mod:`repro.core.engine` overrides it.  Results are identical
-        to the serial sweep regardless of executor.
+        ``workers`` selects parallelism (0/1: serial in-process; more: a
+        process pool sharded by (module, die); the string ``"auto"``
+        calibrates a probe and picks serial or a pool sized to the
+        machine); an explicit ``executor`` from :mod:`repro.core.engine`
+        overrides it.  Results are identical to the serial sweep
+        regardless of executor.
 
         ``policy`` adds shard retry/timeout behaviour; ``checkpoint`` /
         ``resume`` journal completed shards and skip them on restart

@@ -44,6 +44,26 @@ ROLE_OFFSETS: Dict[str, int] = {"outer_lo": -1, "inner": 1, "outer_hi": 3}
 #: :data:`ROLE_OFFSETS`).
 ROLE_ORDER: Tuple[str, ...] = tuple(ROLE_OFFSETS)
 
+#: Array fields of :class:`RoleArrays`, in the order they are packed
+#: when a fused stack is serialized (e.g. into a shared-memory segment
+#: by :mod:`repro.core.shm`).  ``rows`` is 1-D; every other field is a
+#: ``(rows, n_cells)`` stack.
+FUSED_FIELDS: Tuple[str, ...] = (
+    "rows",
+    "theta",
+    "g_h_lo",
+    "g_h_hi",
+    "g_p_lo",
+    "g_p_hi",
+    "solo_hammer_mod",
+    "solo_press_exp",
+    "charged",
+    "stored",
+    "press_lo",
+    "press_hi",
+    "stored_bool",
+)
+
 
 @dataclass(frozen=True)
 class RoleArrays:
@@ -190,30 +210,39 @@ def build_stacked_die(
         press_hi=np.where(charged, block["g_p_hi"], 0.0),
         stored_bool=stored_bool,
     )
+    return stacked_from_fused(
+        chip.module_key, chip.die_index, bank, tuple(base_rows), fused
+    )
+
+
+def stacked_from_fused(
+    module_key: str,
+    die_index: int,
+    bank: int,
+    base_rows: Tuple[int, ...],
+    fused: RoleArrays,
+) -> StackedDie:
+    """Assemble a :class:`StackedDie` around an existing fused stack.
+
+    The per-role :class:`RoleArrays` are views into ``fused`` (role-major
+    slices in :data:`ROLE_ORDER`).  Both the build path
+    (:func:`build_stacked_die`) and the shared-memory attach path
+    (:mod:`repro.core.shm`) go through this constructor, so the two can
+    never disagree about the stack layout.
+    """
+    n_loc = len(base_rows)
     roles: Dict[str, RoleArrays] = {}
     for k, role in enumerate(ROLE_ORDER):
         sl = slice(k * n_loc, (k + 1) * n_loc)
         roles[role] = RoleArrays(
             role=role,
-            rows=fused.rows[sl],
-            theta=fused.theta[sl],
-            g_h_lo=fused.g_h_lo[sl],
-            g_h_hi=fused.g_h_hi[sl],
-            g_p_lo=fused.g_p_lo[sl],
-            g_p_hi=fused.g_p_hi[sl],
-            solo_hammer_mod=fused.solo_hammer_mod[sl],
-            solo_press_exp=fused.solo_press_exp[sl],
-            charged=fused.charged[sl],
-            stored=fused.stored[sl],
-            press_lo=fused.press_lo[sl],
-            press_hi=fused.press_hi[sl],
-            stored_bool=fused.stored_bool[sl],
+            **{name: getattr(fused, name)[sl] for name in FUSED_FIELDS},
         )
     return StackedDie(
-        module_key=chip.module_key,
-        die_index=chip.die_index,
+        module_key=module_key,
+        die_index=die_index,
         bank=bank,
-        base_rows=tuple(base_rows),
+        base_rows=base_rows,
         roles=roles,
         fused=fused,
     )

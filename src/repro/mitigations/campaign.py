@@ -574,6 +574,21 @@ class MitigationShardRunner:
     def spec(self) -> MitigationWorkerSpec:
         return self._spec
 
+    @property
+    def fork_check_spec(self) -> MitigationWorkerSpec:
+        """Vocabulary validator fork-mode executors run before dispatch."""
+        return self._spec
+
+    def fork_runner(self) -> "MitigationShardRunner":
+        """A runner for fork-inherited workers.
+
+        The runner is stateless apart from its immutable spec, so the
+        fork payload is simply a sibling over the same spec -- workers
+        inherit it copy-on-write and nothing crosses the pool boundary
+        but the registry token.
+        """
+        return MitigationShardRunner(self._spec)
+
     @staticmethod
     def validate(
         shard: MitigationShard, points: Sequence[MitigationPoint]

@@ -133,6 +133,19 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0)
 
+    def timer_summary(self, name: str) -> Optional[Dict[str, float]]:
+        """Summary of one timer (count / total / p50 / p90 ...), or
+        ``None`` if nothing was observed under ``name``.
+
+        The adaptive chunker feeds ``shard.execute_seconds`` p50/p90
+        back into shard granularity; it reads through this accessor so
+        disabled observability (:class:`NullRegistry`) degrades to the
+        static heuristics instead of raising.
+        """
+        with self._lock:
+            series = self._timers.get(name)
+            return series.summarize() if series is not None else None
+
     def snapshot(self) -> Dict[str, Dict]:
         """A JSON-safe flat view: counters, gauges, timer summaries."""
         with self._lock:
@@ -177,6 +190,9 @@ class NullRegistry(MetricsRegistry):
 
     def counter(self, name: str) -> int:
         return 0
+
+    def timer_summary(self, name: str) -> Optional[Dict[str, float]]:
+        return None
 
     def snapshot(self) -> Dict[str, Dict]:
         return {"counters": {}, "gauges": {}, "timers": {}}
@@ -224,6 +240,8 @@ class MetricsReport:
                 "n_pool_restarts": report.n_pool_restarts,
                 "executors": list(report.executors),
                 "degradations": list(report.degradations),
+                "warnings": list(report.warnings),
+                "auto_decision": report.auto_decision,
                 "summary": report.summary(),
             }
         if provenance:

@@ -656,18 +656,20 @@ def check_cross_executor(
     """Prove cross-executor determinism on a small probe campaign.
 
     Runs the same (modules, t_values, trials) sweep on each named
-    executor (``"serial"``, ``"thread"``, ``"process"``) with
-    independent caches and compares canonical digests; raises
-    :class:`InvariantViolationError` on a mismatch and returns the
-    common digest otherwise.  The probe is deliberately small (one
-    module, two points by default): determinism is a property of the
-    named-RNG derivation, not of campaign size.  The default pair stays
-    in-process; include ``"process"`` to also prove the pool path (a
-    few seconds of pool spin-up).
+    executor (``"serial"``, ``"thread"``, ``"process"``,
+    ``"process-fork"`` / ``"process-shm"`` / ``"process-pickle"`` for a
+    pinned share mode, or ``"auto"``) with independent caches and
+    compares canonical digests; raises :class:`InvariantViolationError`
+    on a mismatch and returns the common digest otherwise.  The probe is
+    deliberately small (one module, two points by default): determinism
+    is a property of the named-RNG derivation, not of campaign size.
+    The default pair stays in-process; include a process variant to also
+    prove the pool path (a few seconds of pool spin-up).
     """
     # Local imports: the validation layer must not drag the execution
     # engine in for pure artifact checks.
     from repro.core.engine import (
+        AutoExecutor,
         ProcessExecutor,
         SerialExecutor,
         SweepEngine,
@@ -681,6 +683,12 @@ def check_cross_executor(
         "serial": SerialExecutor,
         "thread": lambda: ThreadExecutor(workers),
         "process": lambda: ProcessExecutor(workers),
+        "process-fork": lambda: ProcessExecutor(workers, share_mode="fork"),
+        "process-shm": lambda: ProcessExecutor(workers, share_mode="shm"),
+        "process-pickle": lambda: ProcessExecutor(
+            workers, share_mode="pickle"
+        ),
+        "auto": lambda: AutoExecutor(workers),
     }
     if len(executors) < 2:
         raise ExperimentError(
