@@ -1,0 +1,43 @@
+"""Pluggable device backends and the hardened device-session layer.
+
+See :mod:`repro.backend.base` for the :class:`DeviceBackend` protocol,
+:mod:`repro.backend.sim` / :mod:`repro.backend.noisy` for the two
+shipped backends, :mod:`repro.backend.session` for the health-hardened
+:class:`DeviceSession`, and :mod:`repro.backend.preflight` for the
+mandatory methodology preflight.
+"""
+
+from repro.backend.base import (
+    BackendSpec,
+    DeviceBackend,
+    DeviceOp,
+    NoiseProfile,
+    ProgramExecution,
+    SessionWorkerSpec,
+    build_session,
+    demo_noise,
+    make_backends,
+    worker_session,
+)
+from repro.backend.noisy import NoisySiliconBackend
+from repro.backend.preflight import run_preflight
+from repro.backend.session import DeviceHealth, DeviceSession
+from repro.backend.sim import SimBackend
+
+__all__ = [
+    "BackendSpec",
+    "DeviceBackend",
+    "DeviceHealth",
+    "DeviceOp",
+    "DeviceSession",
+    "NoiseProfile",
+    "NoisySiliconBackend",
+    "ProgramExecution",
+    "SessionWorkerSpec",
+    "SimBackend",
+    "build_session",
+    "demo_noise",
+    "make_backends",
+    "run_preflight",
+    "worker_session",
+]

@@ -1,0 +1,167 @@
+"""NoisySiliconBackend: seeded fault injection over any inner backend.
+
+Models the failure surface of a real SoftMC/DRAM-Bender rig: dropped
+command trains, readback timeouts, garbled transfers, latency jitter,
+dies with intermittent contact, and outright device loss.  Every fault
+is a deterministic function of (seed, device, op key, attempt), so a
+campaign misbehaves identically on every run and in every worker
+process -- which is what lets the test suite assert that retry +
+quarantine + re-scheduling reproduce the fault-free results bit for
+bit.
+
+Injected corruption is *detectable by construction*: garbling truncates
+or duplicates a list result (the session's length check catches it
+before the engine ever sees the data), and scalar results raise instead
+of being silently altered.  A fault backend that could alter a
+measurement undetectably would break the bit-identity contract -- by
+design it cannot.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Tuple
+
+from repro.backend.base import DeviceBackend, DeviceOp, NoiseProfile, stable_hash
+from repro.errors import (
+    CommandDropError,
+    DeviceLostError,
+    IntermittentDieError,
+    ReadbackCorruptError,
+    ReadbackTimeoutError,
+)
+
+__all__ = ["NoisySiliconBackend"]
+
+
+class NoisySiliconBackend(DeviceBackend):
+    """Wraps an inner backend with a seeded :class:`NoiseProfile`."""
+
+    kind = "noisy"
+
+    def __init__(
+        self,
+        inner: DeviceBackend,
+        profile: NoiseProfile,
+        seed: int = 0,
+        device_id: str = "noisy0",
+    ) -> None:
+        super().__init__(device_id)
+        self._inner = inner
+        self._profile = profile
+        self._seed = seed
+        self._attempts: Dict[Tuple, int] = {}
+        self._ops_served = 0
+        self._lost = False
+
+    @property
+    def profile(self) -> NoiseProfile:
+        return self._profile
+
+    def describe(self) -> Dict[str, object]:
+        desc = dict(self._inner.describe())
+        desc["kind"] = self.kind
+        desc["device_id"] = self.device_id
+        desc["noise"] = True
+        return desc
+
+    # ---------------------------------------------------------- fault seam
+
+    def _flaky_die_hit(self, key: Tuple) -> bool:
+        """Does this op touch a die listed as intermittent?
+
+        Die-addressed op keys carry (module_key, die) at positions 1-2
+        (``("measure", module, die, ...)`` / ``("program", module,
+        die)``); other ops (mitigation points, preflight probes) never
+        touch a characterization die.
+        """
+        if len(key) >= 3 and key[0] in ("measure", "program"):
+            return (key[1], key[2]) in self._profile.flaky_dies
+        return False
+
+    def execute(self, op: DeviceOp) -> object:
+        profile = self._profile
+        self._ops_served += 1
+        if (
+            profile.lose_device == self.device_id
+            and self._ops_served > profile.lose_after_ops
+        ):
+            self._lost = True
+        if self._lost:
+            self.count("faults.device_lost")
+            raise DeviceLostError(
+                f"device {self.device_id} is gone (lost after "
+                f"{profile.lose_after_ops} ops)"
+            )
+        attempt = self._attempts.get(op.key, 0) + 1
+        self._attempts[op.key] = attempt
+        rng = random.Random(
+            stable_hash((self._seed, self.device_id, op.key, attempt))
+        )
+        if profile.latency_jitter_s > 0:
+            jitter = rng.random() * profile.latency_jitter_s
+            self.count("jitter_us", int(jitter * 1e6))
+            time.sleep(jitter)
+        # The per-(device, key) cap guarantees retry convergence: after
+        # max_faults_per_op injected failures the op runs clean.
+        inject = attempt <= profile.max_faults_per_op
+        if inject and self._flaky_die_hit(op.key):
+            if rng.random() < profile.p_flaky_die:
+                self.count("faults.die_intermittent")
+                raise IntermittentDieError(
+                    f"device {self.device_id}: intermittent die failure "
+                    f"on op {op.key} (attempt {attempt})"
+                )
+        if inject and rng.random() < profile.p_command_drop:
+            self.count("faults.command_drop")
+            raise CommandDropError(
+                f"device {self.device_id} dropped the command train of "
+                f"op {op.key} (attempt {attempt})"
+            )
+        if inject and rng.random() < profile.p_readback_timeout:
+            self.count("faults.readback_timeout")
+            raise ReadbackTimeoutError(
+                f"device {self.device_id}: readback of op {op.key} "
+                f"timed out (attempt {attempt})"
+            )
+        result = self._inner.execute(op)
+        if inject and rng.random() < profile.p_readback_garble:
+            self.count("faults.readback_garble")
+            if isinstance(result, list) and result:
+                # Truncate or duplicate -- length-detectable corruption
+                # the session's expect check turns into a retry.  Never
+                # substitute or reorder: that could slip a wrong value
+                # past identity checks.
+                garbled = list(result)
+                if rng.random() < 0.5 or len(garbled) == 1:
+                    garbled.pop(rng.randrange(len(garbled)))
+                else:
+                    garbled.insert(0, garbled[0])
+                return garbled
+            raise ReadbackCorruptError(
+                f"device {self.device_id}: readback of op {op.key} "
+                f"failed its transfer CRC (attempt {attempt})"
+            )
+        return result
+
+    def run_program(self, chip, program):
+        execution = self.execute(
+            DeviceOp(
+                key=("program", chip.module_key, chip.die_index),
+                fn=lambda: self._inner.run_program(chip, program),
+            )
+        )
+        execution.device_id = self.device_id
+        return execution
+
+    def open_session(self, chip):
+        if self._lost:
+            raise DeviceLostError(f"device {self.device_id} is gone")
+        return self._inner.open_session(chip)
+
+    def health_snapshot(self) -> Dict[str, object]:
+        snapshot = super().health_snapshot()
+        snapshot["lost"] = self._lost
+        snapshot["ops_served"] = self._ops_served
+        return snapshot

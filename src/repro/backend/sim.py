@@ -1,0 +1,61 @@
+"""SimBackend: the repro.dram model behind the DeviceBackend protocol.
+
+Backend #1.  Executing an operation simply evaluates it against the
+simulated arrays -- the exact code path the engine ran before the
+protocol existed -- so a campaign routed through a ``SimBackend`` is
+bit-identical to the pre-protocol path (pinned by the backend test
+suite against the recorded digest).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.backend.base import DeviceBackend, DeviceOp, ProgramExecution
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(DeviceBackend):
+    """The simulated-silicon device: perfect commands, honest readbacks."""
+
+    kind = "sim"
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "device_id": self.device_id,
+            # The simulated modules are characterization-ready by
+            # construction: no target-row-refresh sampler is attached
+            # outside the mitigation layer, and on-die ECC is a
+            # per-chip property the preflight verifies separately.
+            "trr_enabled": False,
+            "ecc_enabled": False,
+        }
+
+    def execute(self, op: DeviceOp) -> object:
+        self.count("ops")
+        return op.fn()
+
+    def run_program(self, chip, program) -> ProgramExecution:
+        from repro.bender.interpreter import Interpreter
+
+        def run() -> ProgramExecution:
+            result = Interpreter(chip).run(program)
+            return ProgramExecution(
+                reads=list(result.reads),
+                elapsed_ns=result.elapsed_ns,
+                activations=result.activations,
+                refreshes=result.refreshes,
+                device_id=self.device_id,
+            )
+
+        return self.execute(
+            DeviceOp(key=("program", chip.module_key, chip.die_index), fn=run)
+        )
+
+    def open_session(self, chip):
+        from repro.bender.softmc import SoftMCSession
+
+        self.count("sessions")
+        return SoftMCSession(chip)

@@ -28,6 +28,7 @@ import numpy as np
 from repro.analysis.ascii_plot import ascii_line_plot
 from repro.analysis.figures import fig4_series, fig5_series, fig6_series, series_to_csv
 from repro.analysis.tables import format_table, table1_inventory, table2_rows
+from repro.backend import BackendSpec, demo_noise
 from repro.constants import T_AGG_ON_MAX, T_AGG_ON_TRAS
 from repro.core.experiment import CharacterizationConfig
 from repro.core.faults import RetryPolicy
@@ -110,6 +111,34 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of ASCII plots"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("sim", "noisy"),
+        default="sim",
+        help="device backend campaigns run against: 'sim' (default) is "
+        "the simulated rig behind the hardened device session "
+        "(mandatory preflight, fault classification, health ledger); "
+        "'noisy' wraps it with seeded fault injection on a two-device "
+        "pool (command drops, garbled/timed-out readbacks, a flaky die, "
+        "one device lost mid-campaign) -- results are bit-identical "
+        "either way",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the noisy backend's fault injection (default: 0); "
+        "two runs with the same seed misbehave identically",
+    )
+    parser.add_argument(
+        "--quarantine-threshold",
+        type=float,
+        default=0.6,
+        metavar="EWMA",
+        help="per-device error-rate EWMA above which the session "
+        "quarantines a device and re-routes its work (default: 0.6)",
     )
     parser.add_argument(
         "--chips",
@@ -224,6 +253,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         sys.stderr.write(f"error: {exc}\n")
         return 2
+    except KeyboardInterrupt:
+        # Shared-memory segments are unlinked by the engine's cleanup
+        # handlers as the interrupt unwinds; exit on the shell
+        # convention for SIGINT (128 + 2).
+        sys.stderr.write("interrupted\n")
+        return 130
+
+
+def _backend(args) -> BackendSpec:
+    """The device-backend recipe the CLI flags describe."""
+    if args.backend == "noisy":
+        return BackendSpec(
+            kind="noisy",
+            n_devices=2,
+            seed=args.fault_seed,
+            noise=demo_noise(args.modules[0]),
+            quarantine_threshold=args.quarantine_threshold,
+        )
+    return BackendSpec(
+        kind="sim", quarantine_threshold=args.quarantine_threshold
+    )
 
 
 def _resilience(args, runner: CharacterizationRunner) -> dict:
@@ -272,7 +322,13 @@ def _report_summary(runner) -> None:
     report = runner.last_report
     if report is None:
         return
-    if report.n_resumed or report.n_retries or report.degradations:
+    if (
+        report.n_resumed
+        or report.n_retries
+        or report.degradations
+        or report.n_device_faults
+        or report.n_devices_lost
+    ):
         sys.stderr.write(report.summary() + "\n")
 
 
@@ -351,7 +407,8 @@ def _run_mitigate(args, obs: Optional[Observability]) -> int:
     from repro.mitigations.campaign import MitigationCampaign
 
     campaign = MitigationCampaign(
-        executor=make_executor(args.workers), obs=obs
+        executor=make_executor(args.workers), obs=obs,
+        backend=_backend(args),
     )
     policy = RetryPolicy(
         max_retries=args.max_retries, shard_timeout=args.shard_timeout
@@ -393,7 +450,7 @@ def _run_mitigate(args, obs: Optional[Observability]) -> int:
 def _run_campaign(args, obs: Optional[Observability]) -> int:
     config = CharacterizationConfig()
     modules = build_modules(args.modules, config)
-    runner = CharacterizationRunner(config, obs=obs)
+    runner = CharacterizationRunner(config, obs=obs, backend=_backend(args))
 
     if args.artifact == "table2":
         results = runner.characterize(

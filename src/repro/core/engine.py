@@ -427,6 +427,8 @@ class ShardRunner:
         metrics=None,
         stacked_provider: Optional[Callable[[str, int], StackedDie]] = None,
         weights_tables: Optional[Dict[str, Dict]] = None,
+        session=None,
+        backend_spec=None,
     ) -> None:
         self._config = config
         self._module_provider = module_provider
@@ -436,6 +438,16 @@ class ShardRunner:
         self._metrics = metrics
         self._stacked_provider = stacked_provider
         self._weights_tables = weights_tables
+        self._session = session
+        self._backend_spec = backend_spec
+
+    def attach_session(self, session) -> None:
+        """Route this runner's measurements through a device session.
+
+        Worker-side wiring: :class:`~repro.backend.base.SessionWorkerSpec`
+        re-attaches the (worker-cached) session after ``build_runner``.
+        """
+        self._session = session
 
     #: Result-integrity check executors apply to this runner's results
     #: (identity tuples must match the shard's units, in order).
@@ -446,9 +458,20 @@ class ShardRunner:
         return self._config
 
     @property
-    def spec(self) -> CharacterizationWorkerSpec:
-        """The picklable recipe process workers rebuild this runner from."""
-        return CharacterizationWorkerSpec(self._config)
+    def spec(self):
+        """The picklable recipe process workers rebuild this runner from.
+
+        With a backend selected, the recipe is wrapped so workers
+        re-attach a session built from the same spec (same seeds, same
+        noise) -- plan fingerprints hash only the inner spec, keeping
+        checkpoints backend-independent.
+        """
+        inner = CharacterizationWorkerSpec(self._config)
+        if self._backend_spec is None:
+            return inner
+        from repro.backend.base import SessionWorkerSpec
+
+        return SessionWorkerSpec(inner, self._backend_spec)
 
     def fork_runner(self) -> "ShardRunner":
         """The zero-copy clone fork-started workers inherit.
@@ -456,7 +479,8 @@ class ShardRunner:
         Shares this runner's modules and caches by reference
         (copy-on-write after the fork) but carries no metrics registry:
         the parent's registry lock must never be touched from a forked
-        worker.
+        worker.  A device session travels as a worker clone (same
+        devices, no obs/report plumbing back to the parent).
         """
         return ShardRunner(
             self._config,
@@ -467,6 +491,12 @@ class ShardRunner:
             metrics=None,
             stacked_provider=self._stacked_provider,
             weights_tables=self._weights_tables,
+            session=(
+                self._session.worker_clone()
+                if self._session is not None
+                else None
+            ),
+            backend_spec=self._backend_spec,
         )
 
     def shm_spec(
@@ -500,9 +530,14 @@ class ShardRunner:
             )
             for key, (patterns, t_values) in points.items()
         }
-        return ShmCharacterizationSpec(
+        spec = ShmCharacterizationSpec(
             self._config, models, store.handles, tables
         )
+        if self._backend_spec is None:
+            return spec
+        from repro.backend.base import SessionWorkerSpec
+
+        return SessionWorkerSpec(spec, self._backend_spec)
 
     def cached_units(
         self, shard: Shard
@@ -624,8 +659,8 @@ class ShardRunner:
                 if analyzer is None:  # lazily: fully cached shards skip it
                     module = self._module_provider(shard.module_key)
                     analyzer = self.analyzer(module, shard.die)
-                analyses = analyzer.analyze_trials(
-                    pattern, t_on, missing, cfg.jitter_sigma
+                analyses = self._measure_point(
+                    shard, analyzer, pattern, t_on, missing
                 )
                 for trial, analysis in zip(missing, analyses):
                     measurement = measurement_from_analysis(
@@ -645,6 +680,34 @@ class ShardRunner:
                         ] = measurement
             out.extend(measured[trial] for trial in trials)
         return out
+
+    def _measure_point(
+        self,
+        shard: Shard,
+        analyzer: DieSweepAnalyzer,
+        pattern: AccessPattern,
+        t_on: float,
+        missing: Sequence[int],
+    ) -> List:
+        """Analyze one (pattern, tAggON) point's missing trials.
+
+        Without a device session this is the direct analyzer call --
+        zero overhead, bit-identical to the pre-backend path.  With one,
+        the operation routes through the session's hardened device path
+        (fault classification, retries, watchdog, quarantine/reroute);
+        the result is the same analyses because measurements are pure
+        functions of their identity, whatever device computes them.
+        """
+        evaluate = lambda: analyzer.analyze_trials(  # noqa: E731
+            pattern, t_on, list(missing), self._config.jitter_sigma
+        )
+        if self._session is None:
+            return evaluate()
+        return self._session.call(
+            ("measure", shard.module_key, shard.die, pattern.name, t_on),
+            evaluate,
+            expect=len(missing),
+        )
 
 
 def _grouped_points(
@@ -1683,7 +1746,7 @@ def run_plan(
             f"are available; the pool will oversubscribe"
         )
         _warnings.warn(message, UserWarning, stacklevel=2)
-        report.warnings.append(message)
+        report.add_warning(message, cause="oversubscription")
         if obs is not None:
             obs.metrics.inc("executor.oversubscribed")
             obs.emit(
@@ -1788,7 +1851,10 @@ def run_plan(
             # runs, RunReport.warnings for artifacts.
             _warnings.warn(message, UserWarning, stacklevel=2)
             report.degradations.append(message)
-            report.warnings.append(message)
+            report.add_warning(
+                message,
+                cause=f"degradation:{executor.name}->{fallback.name}",
+            )
             if obs is not None:
                 obs.metrics.inc("executor.degradations")
                 obs.emit(
@@ -1834,12 +1900,19 @@ class SweepEngine:
         executor=None,
         policy: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
+        session=None,
     ) -> None:
         self._config = config
         self._executor = executor if executor is not None else SerialExecutor()
         self._policy = policy
         self._obs = obs
+        self._session = session
         self._last_report: Optional[RunReport] = None
+
+    @property
+    def session(self):
+        """The attached device session (``None``: direct model access)."""
+        return self._session
 
     @property
     def obs(self) -> Optional[Observability]:
@@ -1925,6 +1998,16 @@ class SweepEngine:
                 executor=self._executor.name,
             )
 
+        session = self._session
+        if session is not None:
+            session.attach(obs, report)
+            # Mandatory methodology preflight (refresh-window bound,
+            # TRR/ECC off, mapping reverse-engineering) for every
+            # module, before any shard is dispatched.  Cached per
+            # module key, so repeated sweeps pay it once.
+            for module in modules:
+                session.ensure_preflight(module, self._config)
+
         by_key = {module.key: module for module in modules}
         runner = ShardRunner(
             self._config,
@@ -1933,6 +2016,8 @@ class SweepEngine:
             measurement_cache,
             analyzer_cache,
             metrics=obs.metrics if obs is not None else None,
+            session=session,
+            backend_spec=session.spec if session is not None else None,
         )
 
         completed = run_plan(
@@ -1948,6 +2033,9 @@ class SweepEngine:
             report=report,
             obs=obs,
         )
+
+        if session is not None:
+            session.snapshot_into(report)
 
         results = ResultSet()
         for shard in plan.shards:

@@ -46,6 +46,7 @@ from repro.errors import (
     ResultIntegrityError,
     ShardFailedError,
     ShardTimeoutError,
+    TransientDeviceError,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
@@ -114,15 +115,25 @@ class RetryPolicy:
 def is_transient(exc: BaseException) -> bool:
     """Transient-vs-permanent failure classification.
 
-    Timeouts, result-integrity violations, and pool breakage are
-    retryable by construction (measurements are pure functions of the
-    plan).  Any *other* :class:`~repro.errors.ReproError` is a
-    deterministic library failure -- a retry would recur -- so it is
-    permanent.  Unknown exceptions (a worker dying mid-shard surfaces
-    as a plain ``RuntimeError``/``EOFError``) are presumed transient.
+    Timeouts, result-integrity violations, pool breakage, and transient
+    device faults (command drops, readback timeouts/garbling,
+    intermittent dies -- :class:`~repro.errors.TransientDeviceError`)
+    are retryable by construction (measurements are pure functions of
+    the plan).  Any *other* :class:`~repro.errors.ReproError` --
+    including :class:`~repro.errors.DeviceLostError` and
+    :class:`~repro.errors.PreflightError` -- is a deterministic library
+    failure: a retry would recur, so it is permanent.  Unknown
+    exceptions (a worker dying mid-shard surfaces as a plain
+    ``RuntimeError``/``EOFError``) are presumed transient.
     """
     if isinstance(
-        exc, (ShardTimeoutError, ResultIntegrityError, PoolBrokenError)
+        exc,
+        (
+            ShardTimeoutError,
+            ResultIntegrityError,
+            PoolBrokenError,
+            TransientDeviceError,
+        ),
     ):
         return True
     if isinstance(exc, BrokenProcessPool):
@@ -382,9 +393,43 @@ class RunReport:
     executors: List[str] = field(default_factory=list)
     degradations: List[str] = field(default_factory=list)
     warnings: List[str] = field(default_factory=list)
+    warning_counts: Dict[str, int] = field(default_factory=dict)
     auto_decision: Optional[Dict] = None
     metrics: Optional[Dict] = None
     provenance: Optional[Dict] = None
+    # Device-session fields (None / 0 when no backend was selected).
+    backend: Optional[str] = None
+    n_device_faults: int = 0
+    n_device_retries: int = 0
+    n_reroutes: int = 0
+    n_quarantines: int = 0
+    n_readmissions: int = 0
+    n_devices_lost: int = 0
+    device_health: Optional[Dict] = None
+    preflight: Optional[Dict] = None
+    _warning_slots: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def add_warning(self, message: str, cause: Optional[str] = None) -> None:
+        """Record a warning, deduplicated by cause.
+
+        Repeated warnings of the same ``cause`` (e.g. one
+        oversubscription warning per dispatch wave, one degradation per
+        shard batch) collapse into a single ``warnings`` entry suffixed
+        with its occurrence count, instead of flooding the report; the
+        raw counts stay queryable in :attr:`warning_counts`.
+        """
+        key = cause if cause is not None else message
+        count = self.warning_counts.get(key, 0) + 1
+        self.warning_counts[key] = count
+        if count == 1:
+            self._warning_slots[key] = len(self.warnings)
+            self.warnings.append(message)
+        else:
+            self.warnings[self._warning_slots[key]] = (
+                f"{message} (x{count})"
+            )
 
     def summary(self) -> str:
         line = (
@@ -392,6 +437,14 @@ class RunReport:
             f"checkpoint, {self.n_executed} executed; retries: "
             f"{self.n_retries}; pool restarts: {self.n_pool_restarts}"
         )
+        if self.backend is not None:
+            line += (
+                f"; backend: {self.backend} ({self.n_device_faults} device "
+                f"fault(s), {self.n_quarantines} quarantine(s), "
+                f"{self.n_readmissions} readmission(s), "
+                f"{self.n_reroutes} reroute(s), "
+                f"{self.n_devices_lost} lost)"
+            )
         if self.auto_decision:
             line += (
                 f"; auto executor: {self.auto_decision.get('chosen', '?')}"

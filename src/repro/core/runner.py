@@ -14,6 +14,7 @@ from __future__ import annotations
 import os
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
+from repro.backend.base import build_session
 from repro.core.acmin import DieSweepAnalyzer, analyze_die
 from repro.core.engine import SweepEngine, make_executor, measurement_from_analysis
 from repro.core.experiment import CharacterizationConfig
@@ -34,10 +35,23 @@ class CharacterizationRunner:
     counts into its metrics registry and stream progress events to its
     reporters.  With the default ``None`` nothing is recorded and the
     hot path performs zero observability operations.
+
+    ``backend`` selects the device backend sweeps run against: ``None``
+    (default) measures the model directly, exactly as before backends
+    existed; ``"sim"`` / ``"noisy"``, a
+    :class:`~repro.backend.BackendSpec`, or a prebuilt
+    :class:`~repro.backend.DeviceSession` route every measurement
+    through the hardened session layer (mandatory preflight, fault
+    classification + retry, health ledger with quarantine/re-admission,
+    re-scheduling off sick devices).  Results are bit-identical across
+    all of these -- measurements are pure functions of their identity.
     """
 
     def __init__(
-        self, config: CharacterizationConfig, obs: Optional[Observability] = None
+        self,
+        config: CharacterizationConfig,
+        obs: Optional[Observability] = None,
+        backend=None,
     ) -> None:
         self._config = config
         self._obs = obs
@@ -47,10 +61,16 @@ class CharacterizationRunner:
         ] = {}
         self._analyzer_cache: Dict[Tuple[str, int], DieSweepAnalyzer] = {}
         self._last_engine: Optional[SweepEngine] = None
+        self._session = build_session(backend)
 
     @property
     def config(self) -> CharacterizationConfig:
         return self._config
+
+    @property
+    def session(self):
+        """The device session sweeps run through (``None``: direct)."""
+        return self._session
 
     @property
     def obs(self) -> Optional[Observability]:
@@ -111,7 +131,12 @@ class CharacterizationRunner:
     ) -> SweepEngine:
         if executor is None:
             executor = make_executor(workers)
-        engine = SweepEngine(self._config, executor=executor, obs=self._obs)
+        engine = SweepEngine(
+            self._config,
+            executor=executor,
+            obs=self._obs,
+            session=self._session,
+        )
         self._last_engine = engine
         return engine
 

@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.atomicio import atomic_write_text, verify_digest, write_digest
+from repro.backend.base import SessionWorkerSpec, build_session
 from repro.constants import (
     DEFAULT_TIMINGS,
     T_AGG_ON_TRAS,
@@ -567,12 +568,30 @@ class MitigationShardRunner:
     worker runs a shard and when.
     """
 
-    def __init__(self, spec: MitigationWorkerSpec) -> None:
+    def __init__(
+        self,
+        spec: MitigationWorkerSpec,
+        session=None,
+        backend_spec=None,
+    ) -> None:
         self._spec = spec
+        self._session = session
+        self._backend_spec = backend_spec
+
+    def attach_session(self, session) -> None:
+        """Route this runner's evaluations through a device session.
+
+        Worker-side wiring: :class:`~repro.backend.base.SessionWorkerSpec`
+        re-attaches the (worker-cached) session after ``build_runner``.
+        """
+        self._session = session
 
     @property
-    def spec(self) -> MitigationWorkerSpec:
-        return self._spec
+    def spec(self):
+        """The picklable worker recipe (backend-wrapped when selected)."""
+        if self._backend_spec is None:
+            return self._spec
+        return SessionWorkerSpec(self._spec, self._backend_spec)
 
     @property
     def fork_check_spec(self) -> MitigationWorkerSpec:
@@ -587,7 +606,15 @@ class MitigationShardRunner:
         inherit it copy-on-write and nothing crosses the pool boundary
         but the registry token.
         """
-        return MitigationShardRunner(self._spec)
+        return MitigationShardRunner(
+            self._spec,
+            session=(
+                self._session.worker_clone()
+                if self._session is not None
+                else None
+            ),
+            backend_spec=self._backend_spec,
+        )
 
     @staticmethod
     def validate(
@@ -613,9 +640,33 @@ class MitigationShardRunner:
         out: List[MitigationPoint] = []
         for unit in shard.units:
             out.append(
-                self._evaluate_point(unit, evaluator, kind, factory)
+                self._measure_unit(unit, evaluator, kind, factory)
             )
         return out
+
+    def _measure_unit(
+        self,
+        unit: MitigationWorkUnit,
+        evaluator: MitigationEvaluator,
+        kind: str,
+        factory: Callable,
+    ) -> MitigationPoint:
+        """Evaluate one point, through the device session when attached."""
+        evaluate = lambda: self._evaluate_point(  # noqa: E731
+            unit, evaluator, kind, factory
+        )
+        if self._session is None:
+            return evaluate()
+        return self._session.call(
+            (
+                "mitigate",
+                unit.chip_key,
+                unit.mitigation,
+                unit.pattern.name,
+                unit.t_on,
+            ),
+            evaluate,
+        )
 
     def _evaluate_point(
         self,
@@ -747,16 +798,23 @@ class MitigationCampaign:
         executor=None,
         policy: Optional[RetryPolicy] = None,
         obs: Optional[Observability] = None,
+        backend=None,
     ) -> None:
         self._spec = spec if spec is not None else MitigationWorkerSpec()
         self._executor = executor if executor is not None else SerialExecutor()
         self._policy = policy
         self._obs = obs
         self._last_report: Optional[RunReport] = None
+        self._session = build_session(backend)
 
     @property
     def spec(self) -> MitigationWorkerSpec:
         return self._spec
+
+    @property
+    def session(self):
+        """The device session evaluations run through (``None``: direct)."""
+        return self._session
 
     @property
     def last_report(self) -> Optional[RunReport]:
@@ -804,7 +862,18 @@ class MitigationCampaign:
                 executor=self._executor.name,
             )
 
-        runner = self._spec.build_runner()
+        session = self._session
+        if session is not None:
+            session.attach(obs, report)
+            # The module-scoped preflight checks (refresh-window bound,
+            # mapping reverse-engineering) do not apply to the synthetic
+            # evaluation chips; protections are still verified.
+            session.ensure_device_protections()
+        runner = MitigationShardRunner(
+            self._spec,
+            session=session,
+            backend_spec=session.spec if session is not None else None,
+        )
         completed = run_plan(
             plan,
             runner,
@@ -823,6 +892,8 @@ class MitigationCampaign:
         results = MitigationResults()
         for shard in plan.shards:
             results.extend(completed[shard.index])
+        if session is not None:
+            session.snapshot_into(report)
         if validate:
             self._self_check(results, obs)
         if obs is not None:

@@ -570,6 +570,15 @@ _TRACE_EVENTS = frozenset(
         "executor_degraded",
         "campaign_finish",
         "validate",
+        # Device-session events (DESIGN.md, "Device backends & session
+        # hardening"):
+        "preflight",
+        "device_fault",
+        "device_reroute",
+        "device_probe",
+        "device_quarantine",
+        "device_readmit",
+        "device_lost",
     )
 )
 
