@@ -1,0 +1,375 @@
+"""One-pass streaming statistics over measurement iterators.
+
+The in-memory aggregation layer (:mod:`repro.analysis.aggregate`)
+re-scans a materialized :class:`~repro.core.results.ResultSet` per
+(group, pattern, tAggON) cell -- fine for one module, impossible for the
+fleet-scale populations the out-of-core store holds.  This module is the
+streaming twin: every reducer consumes a measurement iterator exactly
+once with O(cells) memory, so the paper's rollups compute over an
+arbitrarily large population fed shard-by-shard from
+:func:`repro.core.flipdb.iter_shard_measurements` (or any iterator).
+
+* :class:`StreamingMoments` -- Welford mean/population-std, emitting the
+  same :class:`~repro.analysis.aggregate.AggregatePoint` (censored
+  measurements counted in ``n_total``) the in-memory aggregators do;
+* :class:`QuantileSketch` -- deterministic compacting quantile sketch
+  (KLL-style level buffers): bounded memory, mergeable across shards,
+  and identical answers for identical input order;
+* :class:`PopulationStats` -- per-(group, pattern, tAggON) rollups of
+  ACmin and time-to-first over one pass, with ``format_table``-ready
+  rows;
+* :class:`SpatialAccumulator` -- per-row flip counts and an equal-width
+  column histogram accumulated across censuses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.analysis.aggregate import AggregatePoint
+from repro.core.results import DieMeasurement
+from repro.errors import ExperimentError
+
+__all__ = [
+    "StreamingMoments",
+    "QuantileSketch",
+    "PopulationStats",
+    "SpatialAccumulator",
+]
+
+
+class StreamingMoments:
+    """Welford one-pass mean and population standard deviation.
+
+    Produces the same :class:`AggregatePoint` semantics as
+    :func:`repro.analysis.aggregate._aggregate`: ``None``/NaN values are
+    censored -- excluded from the moments but counted in ``n_total``.
+    """
+
+    __slots__ = ("n", "n_total", "_mean", "_m2", "_min", "_max", "_sum")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.n_total = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def add(self, value: Optional[float]) -> None:
+        self.n_total += 1
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return
+        self.n += 1
+        self._sum += value
+        delta = value - self._mean
+        self._mean += delta / self.n
+        self._m2 += delta * (value - self._mean)
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another accumulator in (parallel-shard combination)."""
+        if other.n == 0:
+            self.n_total += other.n_total
+            return
+        if self.n == 0:
+            for slot in self.__slots__:
+                setattr(self, slot, getattr(other, slot))
+            return
+        n = self.n + other.n
+        delta = other._mean - self._mean
+        self._m2 += other._m2 + delta * delta * self.n * other.n / n
+        self._mean = (self.n * self._mean + other.n * other._mean) / n
+        self._sum += other._sum
+        self.n = n
+        self.n_total += other.n_total
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.n else math.nan
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation (ddof=0, like ``_aggregate``)."""
+        return math.sqrt(self._m2 / self.n) if self.n else math.nan
+
+    @property
+    def minimum(self) -> float:
+        return self._min if self.n else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return self._max if self.n else math.nan
+
+    @property
+    def total(self) -> float:
+        return self._sum
+
+    def point(self) -> AggregatePoint:
+        """The cell as the in-memory layer's :class:`AggregatePoint`."""
+        return AggregatePoint(self.mean, self.std, self.n, self.n_total)
+
+
+class QuantileSketch:
+    """A deterministic compacting quantile sketch (KLL-style).
+
+    Values land in a level-0 buffer; when a level fills past ``k``
+    elements it is sorted and *every other element* (the even-indexed
+    ones of the sorted run) is promoted to the next level, each promoted
+    element standing for ``2**level`` originals.  Memory is
+    O(k log(n/k)); rank error is bounded by the per-level halving; and
+    compaction is deliberately deterministic (no random offset), so the
+    same stream always yields the same summary -- reproducibility
+    matters more here than the small bias randomization would remove.
+
+    ``merge`` folds another sketch in level-by-level, so per-shard
+    sketches combine into a population sketch without revisiting data.
+    """
+
+    def __init__(self, k: int = 128) -> None:
+        if k < 2:
+            raise ExperimentError(f"sketch capacity k must be >= 2, got {k}")
+        self._k = k
+        self._levels: List[List[float]] = [[]]
+        self.n = 0
+
+    def add(self, value: float) -> None:
+        if value is None or (isinstance(value, float) and math.isnan(value)):
+            return
+        self.n += 1
+        self._levels[0].append(float(value))
+        self._compact()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "QuantileSketch") -> None:
+        while len(self._levels) < len(other._levels):
+            self._levels.append([])
+        for level, buffer in enumerate(other._levels):
+            self._levels[level].extend(buffer)
+        self.n += other.n
+        self._compact()
+
+    def _compact(self) -> None:
+        level = 0
+        while level < len(self._levels):
+            buffer = self._levels[level]
+            if len(buffer) <= self._k:
+                level += 1
+                continue
+            buffer.sort()
+            promoted = buffer[::2]
+            self._levels[level] = []
+            if level + 1 == len(self._levels):
+                self._levels.append([])
+            self._levels[level + 1].extend(promoted)
+            level += 1
+
+    def query(self, q: float) -> float:
+        """The value at quantile ``q`` in [0, 1] (weighted rank)."""
+        if not 0.0 <= q <= 1.0:
+            raise ExperimentError(f"quantile must be in [0, 1], got {q}")
+        weighted: List[Tuple[float, int]] = []
+        for level, buffer in enumerate(self._levels):
+            weight = 1 << level
+            weighted.extend((value, weight) for value in buffer)
+        if not weighted:
+            return math.nan
+        weighted.sort(key=lambda pair: pair[0])
+        total = sum(weight for _, weight in weighted)
+        target = q * total
+        running = 0
+        for value, weight in weighted:
+            running += weight
+            if running >= target:
+                return value
+        return weighted[-1][0]
+
+    def quantiles(self, qs: Sequence[float]) -> List[float]:
+        return [self.query(q) for q in qs]
+
+
+@dataclass
+class _Cell:
+    """One (group, pattern, tAggON) rollup cell."""
+
+    acmin: StreamingMoments
+    time_ms: StreamingMoments
+    acmin_sketch: QuantileSketch
+
+
+class PopulationStats:
+    """Per-(group, pattern, tAggON) rollups over one measurement pass.
+
+    ``group_by`` selects the rollup key: ``"module"`` (per-module rows,
+    like Table 2) or ``"manufacturer"`` (per-vendor rows, like Fig. 4).
+    Feed measurements with :meth:`add` / :meth:`consume`; read cells
+    back as :class:`AggregatePoint` pairs or as ``format_table``-ready
+    row dicts.  Memory is O(distinct cells), never O(measurements).
+    """
+
+    def __init__(self, group_by: str = "module", sketch_k: int = 128) -> None:
+        if group_by not in ("module", "manufacturer"):
+            raise ExperimentError(
+                f"group_by must be 'module' or 'manufacturer', got {group_by!r}"
+            )
+        self._group_by = group_by
+        self._sketch_k = sketch_k
+        self._cells: Dict[Tuple[str, str, float], _Cell] = {}
+        self.n_measurements = 0
+
+    def _key(self, m: DieMeasurement) -> Tuple[str, str, float]:
+        group = m.module_key if self._group_by == "module" else m.manufacturer
+        return (group, m.pattern, m.t_on)
+
+    def add(self, m: DieMeasurement) -> None:
+        self.n_measurements += 1
+        cell = self._cells.get(self._key(m))
+        if cell is None:
+            cell = _Cell(
+                acmin=StreamingMoments(),
+                time_ms=StreamingMoments(),
+                acmin_sketch=QuantileSketch(self._sketch_k),
+            )
+            self._cells[self._key(m)] = cell
+        cell.acmin.add(None if m.acmin is None else float(m.acmin))
+        cell.time_ms.add(m.time_to_first_ms)
+        if m.acmin is not None:
+            cell.acmin_sketch.add(float(m.acmin))
+
+    def consume(self, measurements: Iterable[DieMeasurement]) -> "PopulationStats":
+        for m in measurements:
+            self.add(m)
+        return self
+
+    def groups(self) -> List[str]:
+        return sorted({key[0] for key in self._cells})
+
+    def cells(
+        self,
+    ) -> Iterator[Tuple[Tuple[str, str, float], AggregatePoint, AggregatePoint]]:
+        """Every (key, acmin point, time-ms point), in sorted key order."""
+        for key in sorted(self._cells):
+            cell = self._cells[key]
+            yield key, cell.acmin.point(), cell.time_ms.point()
+
+    def acmin_point(
+        self, group: str, pattern: str, t_on: float
+    ) -> Optional[AggregatePoint]:
+        cell = self._cells.get((group, pattern, t_on))
+        return None if cell is None else cell.acmin.point()
+
+    def time_ms_point(
+        self, group: str, pattern: str, t_on: float
+    ) -> Optional[AggregatePoint]:
+        cell = self._cells.get((group, pattern, t_on))
+        return None if cell is None else cell.time_ms.point()
+
+    def acmin_quantiles(
+        self, group: str, pattern: str, t_on: float, qs: Sequence[float]
+    ) -> Optional[List[float]]:
+        cell = self._cells.get((group, pattern, t_on))
+        return None if cell is None else cell.acmin_sketch.quantiles(qs)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """``format_table``-ready rows, one per (group, pattern, tAggON).
+
+        ACmin and time cells carry the in-memory tables' ``(avg, min)``
+        tuple shape (so ``repro.analysis.tables.format_table`` renders
+        them identically), plus the flip rate, the censored-aware
+        counts, and the sketch's p50/p90 ACmin.
+        """
+        rows: List[Dict[str, object]] = []
+        for (group, pattern, t_on), acmin, time_ms in self.cells():
+            cell = self._cells[(group, pattern, t_on)]
+            rows.append(
+                {
+                    "group": group,
+                    "pattern": pattern,
+                    "tAggON": f"{t_on:g} ns",
+                    "n": acmin.n_total,
+                    "flipped": acmin.n,
+                    "acmin avg (min)": (
+                        None
+                        if acmin.n == 0
+                        else (acmin.mean, cell.acmin.minimum)
+                    ),
+                    "acmin p50": (
+                        "-"
+                        if acmin.n == 0
+                        else f"{cell.acmin_sketch.query(0.5):g}"
+                    ),
+                    "acmin p90": (
+                        "-"
+                        if acmin.n == 0
+                        else f"{cell.acmin_sketch.query(0.9):g}"
+                    ),
+                    "time ms avg (min)": (
+                        None
+                        if time_ms.n == 0
+                        else (time_ms.mean, cell.time_ms.minimum)
+                    ),
+                }
+            )
+        return rows
+
+
+class SpatialAccumulator:
+    """Streaming spatial histograms over bitflip censuses.
+
+    Accumulates the same reductions :mod:`repro.analysis.spatial`
+    computes per census -- flips per physical row and an equal-width
+    column histogram -- across every census of a population, one
+    measurement at a time.
+    """
+
+    def __init__(self, n_cols: int, n_bins: int = 8) -> None:
+        if n_bins < 1 or n_cols < n_bins:
+            raise ExperimentError("need at least one column per bin")
+        self._n_cols = n_cols
+        self._n_bins = n_bins
+        self._rows: Counter = Counter()
+        self._col_bins = [0] * n_bins
+        self.n_flips = 0
+
+    def add(self, m: DieMeasurement) -> None:
+        if m.census is None:
+            return
+        for row, col in m.census.all_flips:
+            if not 0 <= col < self._n_cols:
+                raise ExperimentError(
+                    f"column {col} outside the row ({self._n_cols})"
+                )
+            self._rows[row] += 1
+            self._col_bins[col * self._n_bins // self._n_cols] += 1
+            self.n_flips += 1
+
+    def consume(
+        self, measurements: Iterable[DieMeasurement]
+    ) -> "SpatialAccumulator":
+        for m in measurements:
+            self.add(m)
+        return self
+
+    def flips_per_row(self) -> Dict[int, int]:
+        return dict(self._rows)
+
+    def column_histogram(self) -> Tuple[int, ...]:
+        return tuple(self._col_bins)
+
+    def hottest_rows(self, n: int = 10) -> List[Tuple[int, int]]:
+        """The ``n`` most-flipping physical rows as (row, count)."""
+        return sorted(
+            self._rows.items(), key=lambda item: (-item[1], item[0])
+        )[:n]

@@ -15,9 +15,9 @@ from __future__ import annotations
 
 import io
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.results import ResultSet
+from repro.core.results import DieMeasurement, ResultSet
 from repro.dram.profiles import (
     MANUFACTURER_NAMES,
     MODULE_PROFILES,
@@ -86,6 +86,65 @@ def table2_rows(results: ResultSet) -> List[Dict[str, object]]:
             subset = results.where(module_key=key, pattern=pattern, t_on=t_on)
             row[f"{label} [acmin]"] = _acmin_avg_min(subset)
             row[f"{label} [time ms]"] = _time_avg_min(subset)
+            if profile is not None:
+                row[f"{label} [paper acmin]"] = _paper_acmin(profile, pattern, t_on)
+        rows.append(row)
+    return rows
+
+
+def table2_rows_streaming(
+    measurements: Iterable[DieMeasurement],
+) -> List[Dict[str, object]]:
+    """Measured Table 2 from one pass over a measurement iterator.
+
+    The out-of-core twin of :func:`table2_rows`: consumes any iterator
+    (e.g. :func:`repro.core.flipdb.iter_shard_measurements` over a
+    sealed population) exactly once, keeping only per-(module, anchor)
+    running sums -- never the measurements.  Anchor matching quantizes
+    tAggON (:func:`repro.core.flipdb.quantize_t_on`) so shard-
+    round-tripped on-times still hit their columns, and the avg/min
+    cells carry the same values as the in-memory path (ACmin sums are
+    integer-exact; time sums agree to float accumulation order).
+    """
+    from repro.core.flipdb import quantize_t_on
+
+    anchors = {
+        (pattern, quantize_t_on(t_on)): label
+        for label, pattern, t_on in TABLE2_COLUMNS
+    }
+    # (module, label) -> [sum, n, min] per metric
+    acc_acmin: Dict[Tuple[str, str], List[float]] = {}
+    acc_time: Dict[Tuple[str, str], List[float]] = {}
+    modules = set()
+    for m in measurements:
+        modules.add(m.module_key)
+        label = anchors.get((m.pattern, quantize_t_on(m.t_on)))
+        if label is None:
+            continue
+        if m.acmin is not None:
+            slot = acc_acmin.setdefault((m.module_key, label), [0.0, 0, float("inf")])
+            slot[0] += m.acmin
+            slot[1] += 1
+            slot[2] = min(slot[2], m.acmin)
+        if m.time_to_first_ms is not None:
+            slot = acc_time.setdefault((m.module_key, label), [0.0, 0, float("inf")])
+            slot[0] += m.time_to_first_ms
+            slot[1] += 1
+            slot[2] = min(slot[2], m.time_to_first_ms)
+
+    def cell(acc, key) -> Optional[Tuple[float, float]]:
+        slot = acc.get(key)
+        if slot is None:
+            return None
+        return (slot[0] / slot[1], slot[2])
+
+    rows: List[Dict[str, object]] = []
+    for key in sorted(modules):
+        profile = MODULE_PROFILES.get(key)
+        row: Dict[str, object] = {"module": key}
+        for label, pattern, t_on in TABLE2_COLUMNS:
+            row[f"{label} [acmin]"] = cell(acc_acmin, (key, label))
+            row[f"{label} [time ms]"] = cell(acc_time, (key, label))
             if profile is not None:
                 row[f"{label} [paper acmin]"] = _paper_acmin(profile, pattern, t_on)
         rows.append(row)

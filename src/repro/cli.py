@@ -9,7 +9,11 @@ requested artifact:
 * ``fig5``   -- bitflip-direction fractions vs tAggON;
 * ``fig6``   -- bitflip-set overlap vs tAggON;
 * ``mitigate`` -- the mitigation stress-evaluation campaign (required
-  PARA probability / Graphene threshold vs tAggON, Section 5).
+  PARA probability / Graphene threshold vs tAggON, Section 5);
+* ``export`` -- run the sweep through the streaming flip sink and seal
+  the population into per-module shards + a digest manifest;
+* ``query``  -- streaming rollups (and repeatability) over a previously
+  exported or sunk population, without materializing it.
 
 Example::
 
@@ -71,11 +75,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=(
             "table1", "table2", "fig4", "fig5", "fig6", "report", "campaign",
-            "mitigate", "validate",
+            "mitigate", "validate", "export", "query",
         ),
         help="which paper artifact to regenerate, 'mitigate' to run the "
-        "mitigation stress-evaluation campaign, or 'validate' to check "
-        "previously written artifacts",
+        "mitigation stress-evaluation campaign, 'validate' to check "
+        "previously written artifacts, 'export' to stream a campaign "
+        "into a sharded out-of-core population, or 'query' to compute "
+        "streaming rollups over a stored population",
     )
     parser.add_argument(
         "paths",
@@ -237,6 +243,49 @@ def _build_parser() -> argparse.ArgumentParser:
         "(larger, but needed to rebuild Figs. 5-6 from the dump)",
     )
     parser.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="export mode: directory the population shards and their "
+        "manifest.json are sealed into (required for export)",
+    )
+    parser.add_argument(
+        "--store",
+        metavar="PATH",
+        default=None,
+        help="SQLite flip store: where export streams measurements "
+        "during the sweep (default: <out>/flips.sqlite), and what query "
+        "reads (required for query)",
+    )
+    parser.add_argument(
+        "--module",
+        metavar="KEY",
+        default=None,
+        help="query mode: restrict to one module key",
+    )
+    parser.add_argument(
+        "--die",
+        type=int,
+        metavar="N",
+        default=None,
+        help="query mode: restrict to one die index",
+    )
+    parser.add_argument(
+        "--pattern",
+        choices=("single-sided", "double-sided", "combined"),
+        default=None,
+        help="query mode: restrict to one access pattern",
+    )
+    parser.add_argument(
+        "--t-on",
+        type=float,
+        metavar="NS",
+        default=None,
+        help="query mode: restrict to one tAggON (ns); matching is "
+        "quantization-robust, so a round-tripped float still hits its "
+        "sweep point",
+    )
+    parser.add_argument(
         "--log-level",
         choices=("debug", "info", "warning", "error"),
         default=None,
@@ -386,6 +435,10 @@ def _run(argv: Optional[List[str]] = None) -> int:
             return _run_validate(args, obs)
         if args.artifact == "mitigate":
             return _run_mitigate(args, obs)
+        if args.artifact == "export":
+            return _run_export(args, obs)
+        if args.artifact == "query":
+            return _run_query(args, obs)
         return _run_campaign(args, obs)
     finally:
         if obs is not None:
@@ -444,6 +497,133 @@ def _run_mitigate(args, obs: Optional[Observability]) -> int:
                 ),
             )
         )
+    return 0
+
+
+def _run_export(args, obs: Optional[Observability]) -> int:
+    """The ``export`` mode: sweep -> streaming sink -> sealed shards.
+
+    Runs the figure-style sweep with every completed shard streamed
+    into an out-of-core SQLite store (``--store``, batched WAL
+    transactions, safe under Ctrl-C), then seals the population into
+    per-module ``repro-results-v1`` shards plus a
+    ``repro-flipshards-v1`` manifest under ``--out``.  The manifest's
+    ``results_digest`` is computed out of core and is bit-identical to
+    the in-memory digest of the same campaign, which the CI population
+    job asserts.
+    """
+    import pathlib
+
+    from repro.core.flipdb import FlipSink
+    from repro.obs import MetricsRegistry
+
+    if not args.out:
+        sys.stderr.write("error: export requires --out DIR\n")
+        return 2
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    store = args.store if args.store else str(out / "flips.sqlite")
+    metrics = obs.metrics if obs is not None else MetricsRegistry()
+
+    config = CharacterizationConfig()
+    modules = build_modules(args.modules, config)
+    runner = CharacterizationRunner(config, obs=obs, backend=_backend(args))
+    t_values = sweep_points(args.points, args.t_max)
+    with FlipSink(store, metrics=metrics) as sink:
+        results = runner.characterize(
+            modules, t_values, ALL_PATTERNS, trials=args.trials,
+            workers=args.workers, sink=sink, **_resilience(args, runner),
+        )
+        _report_summary(runner)
+        _maybe_dump(args, results)
+        info = sink.db.export_shards(out, metrics=metrics)
+    counters = metrics.counters_with_prefix("sink.")
+    sys.stdout.write(
+        f"streamed {counters.get('sink.rows_written', 0)} measurement(s) "
+        f"in {counters.get('sink.batches', 0)} batch(es) into {store}\n"
+    )
+    if counters.get("sink.rows_skipped"):
+        sys.stdout.write(
+            f"skipped {counters['sink.rows_skipped']} already-stored "
+            f"measurement(s) (resumed or re-run campaign)\n"
+        )
+    sys.stdout.write(
+        f"sealed {counters.get('sink.shards_sealed', 0)} shard(s), "
+        f"{counters.get('sink.bytes_sealed', 0)} byte(s) under {out}\n"
+    )
+    for shard in info.shards:
+        sys.stdout.write(
+            f"  {shard.name}: {shard.n_measurements} measurement(s), "
+            f"{shard.n_bytes} byte(s), sha256:{shard.sha256[:12]}...\n"
+        )
+    sys.stdout.write(f"manifest: {info.manifest_path}\n")
+    sys.stdout.write(f"results_digest: {info.results_digest}\n")
+    return 0
+
+
+def _run_query(args, obs: Optional[Observability]) -> int:
+    """The ``query`` mode: streaming rollups over a stored population.
+
+    Streams the store's measurements (optionally filtered by
+    ``--module/--die/--pattern/--t-on``) through the one-pass
+    aggregation layer (:mod:`repro.analysis.streaming`) -- per-(module,
+    pattern, tAggON) ACmin and time rollups with sketch quantiles --
+    and, when a (module, pattern, tAggON) point is pinned, the per-die
+    cross-trial repeatability.  The population is never materialized.
+    """
+    import os
+
+    from repro.analysis.streaming import PopulationStats
+    from repro.core.flipdb import BitflipDatabase
+
+    if not args.store:
+        sys.stderr.write("error: query requires --store PATH\n")
+        return 2
+    if not os.path.exists(args.store):
+        sys.stderr.write(f"error: flip store {args.store} does not exist\n")
+        return 2
+    with BitflipDatabase(args.store) as db:
+        stats = PopulationStats(group_by="module").consume(
+            db.iter_measurements(
+                module=args.module, die=args.die, pattern=args.pattern,
+                t_on=args.t_on, with_census=False,
+            )
+        )
+        if obs is not None:
+            obs.metrics.inc("query.rows_scanned", stats.n_measurements)
+        if stats.n_measurements == 0:
+            sys.stdout.write("no measurements match the filters\n")
+            return 0
+        sys.stdout.write(
+            f"{stats.n_measurements} measurement(s) across "
+            f"{len(stats.groups())} module(s) in {args.store}\n"
+        )
+        sys.stdout.write(format_table(stats.rows()))
+        if args.module and args.pattern and args.t_on is not None:
+            dies = sorted(
+                {
+                    m.die
+                    for m in db.iter_measurements(
+                        module=args.module, pattern=args.pattern,
+                        t_on=args.t_on, with_census=False,
+                    )
+                }
+            )
+            lines = []
+            for die in dies:
+                value = db.repeatability(
+                    args.module, die, args.pattern, args.t_on
+                )
+                lines.append(
+                    f"  die {die}: "
+                    + ("n/a (fewer than 2 trials)" if value is None else f"{value:.3f}")
+                )
+            if lines:
+                sys.stdout.write(
+                    f"repeatability of {args.module}/{args.pattern} @ "
+                    f"{args.t_on:g} ns (|intersection|/|union| across "
+                    f"trials):\n" + "\n".join(lines) + "\n"
+                )
     return 0
 
 

@@ -1705,6 +1705,7 @@ def run_plan(
     codec=None,
     report: Optional[RunReport] = None,
     obs: Optional[Observability] = None,
+    sink=None,
 ) -> Dict[int, List]:
     """Execute a shard plan through an executor ladder.
 
@@ -1719,6 +1720,15 @@ def run_plan(
     ``spec`` for the process executor); ``codec`` a
     :class:`~repro.core.checkpoint.JournalCodec` when shard results are
     not :class:`~repro.core.results.DieMeasurement` records.
+
+    ``sink`` is the population-scale seam: anything with
+    ``accept(results)`` (e.g. :class:`~repro.core.flipdb.FlipSink`)
+    receives every completed shard's results as it lands -- right after
+    the checkpoint journal records it -- plus every journal-resumed
+    shard up front, so the sink's store converges to the full population
+    whether or not the campaign was interrupted.  The sink must be
+    idempotent under replay (FlipSink is); the caller owns flushing and
+    closing it.
 
     Returns completed shard results keyed by shard index (including
     journal-resumed shards); raises
@@ -1788,10 +1798,18 @@ def run_plan(
                 )
         else:
             journal.start(fingerprint, len(plan.shards))
+    if sink is not None and completed:
+        # Journal-resumed shards never pass through on_shard; stream
+        # them into the sink up front (in shard order, for determinism)
+        # so its store holds the full population after the run.
+        for index in sorted(completed):
+            sink.accept(completed[index])
 
     def on_shard(shard, results) -> None:
         completed[shard.index] = results
         report.n_executed += 1
+        if sink is not None:
+            sink.accept(results)
         if journal is not None:
             if obs is not None:
                 with obs.profile("checkpoint.record"):
@@ -1953,6 +1971,7 @@ class SweepEngine:
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         validate: bool = False,
+        sink=None,
     ) -> ResultSet:
         """Run a full campaign and return its canonical ResultSet.
 
@@ -1971,6 +1990,11 @@ class SweepEngine:
         :class:`~repro.errors.InvariantViolationError` otherwise.  Off
         (the default), no validation work happens and every artifact's
         bytes are identical to an unvalidated run.
+
+        ``sink`` streams every completed shard's measurements into an
+        out-of-core store as the campaign runs (see
+        :class:`~repro.core.flipdb.FlipSink` and :func:`run_plan`); the
+        sink is flushed -- but not closed -- before this method returns.
         """
         plan = SweepPlan.build(
             modules,
@@ -2032,7 +2056,10 @@ class SweepEngine:
             digest=validate,
             report=report,
             obs=obs,
+            sink=sink,
         )
+        if sink is not None:
+            sink.flush()
 
         if session is not None:
             session.snapshot_into(report)

@@ -154,6 +154,7 @@ class CharacterizationRunner:
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         validate: bool = False,
+        sink=None,
     ) -> ResultSet:
         """Full sweep over one module."""
         return self._engine(workers, executor).run(
@@ -170,6 +171,7 @@ class CharacterizationRunner:
             resume=resume,
             fault_plan=fault_plan,
             validate=validate,
+            sink=sink,
         )
 
     def characterize(
@@ -185,6 +187,7 @@ class CharacterizationRunner:
         resume: bool = False,
         fault_plan: Optional[FaultPlan] = None,
         validate: bool = False,
+        sink=None,
     ) -> ResultSet:
         """Full sweep over several modules.
 
@@ -201,6 +204,11 @@ class CharacterizationRunner:
         deterministic faults (tests only); ``validate`` arms digest
         stamping on the journal plus a post-run physical-invariant
         self-check.  See :meth:`repro.core.engine.SweepEngine.run`.
+
+        ``sink`` (e.g. a :class:`~repro.core.flipdb.FlipSink`) receives
+        every completed shard's measurements as the sweep runs, so
+        fleet-scale populations land in an out-of-core store instead of
+        only in the returned ResultSet.
         """
         return self._engine(workers, executor).run(
             modules,
@@ -215,4 +223,5 @@ class CharacterizationRunner:
             resume=resume,
             fault_plan=fault_plan,
             validate=validate,
+            sink=sink,
         )

@@ -158,6 +158,20 @@ class MetricsRegistry:
                 },
             }
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """Every counter whose name starts with ``prefix``, by name.
+
+        The CLI's population summary reads the streaming-sink counters
+        (``sink.rows_written``, ``sink.batches``, ``sink.shards_sealed``,
+        ``sink.bytes_sealed``) through this without naming each one.
+        """
+        with self._lock:
+            return {
+                name: value
+                for name, value in self._counters.items()
+                if name.startswith(prefix)
+            }
+
     def cache_hit_rates(self) -> Dict[str, Optional[float]]:
         """Hit rate per instrumented cache, ``None`` for untouched ones."""
         rates: Dict[str, Optional[float]] = {}
@@ -193,6 +207,9 @@ class NullRegistry(MetricsRegistry):
 
     def timer_summary(self, name: str) -> Optional[Dict[str, float]]:
         return None
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {}
 
     def snapshot(self) -> Dict[str, Dict]:
         return {"counters": {}, "gauges": {}, "timers": {}}

@@ -44,12 +44,14 @@ from repro.validate.provenance import check_provenance, provenance_stamp
 from repro.validate.schema import (
     BENCH_FORMAT,
     JOURNAL_FORMAT,
+    MANIFEST_FORMAT,
     METRICS_FORMAT,
     MITIGATION_FORMAT,
     RESULTS_FORMAT,
     validate_bench_payload,
     validate_journal_entry,
     validate_journal_header,
+    validate_manifest_payload,
     validate_metrics_payload,
     validate_mitigation_payload,
     validate_results_payload,
@@ -79,7 +81,7 @@ __all__ = [
 #: Artifact kinds :func:`detect_kind` can identify.
 ARTIFACT_KINDS = (
     "results", "mitigation", "checkpoint", "metrics", "trace", "bench",
-    "sidecar",
+    "manifest", "sidecar",
 )
 
 #: Names re-exported from the lazily imported invariants module.
@@ -192,10 +194,13 @@ def detect_kind(path: PathLike, raw: Optional[bytes] = None) -> str:
             return "metrics"
         if fmt == BENCH_FORMAT or "speedup_vs_seed" in payload:
             return "bench"
+        if fmt == MANIFEST_FORMAT or "shards" in payload:
+            return "manifest"
         raise ArtifactInvalidError(
             f"{path}: $ is a JSON object of no known artifact kind "
             f"(format={fmt!r}; expected one of {RESULTS_FORMAT!r}, "
-            f"{MITIGATION_FORMAT!r}, {METRICS_FORMAT!r}, {BENCH_FORMAT!r})"
+            f"{MITIGATION_FORMAT!r}, {METRICS_FORMAT!r}, {BENCH_FORMAT!r}, "
+            f"{MANIFEST_FORMAT!r})"
         )
     # Multi-line content that is not one JSON document: JSONL.  Classify
     # by the first line; a first line that does not parse means a torn
@@ -327,11 +332,46 @@ def validate_artifact(
     elif kind == "trace":
         report.n_records, warnings = _validate_trace_text(path, text)
         report.warnings.extend(warnings)
+    elif kind == "manifest":
+        payload = _parse_json(path, text)
+        validate_manifest_payload(payload, source=str(path))
+        report.n_records = payload["n_measurements"]
+        report.warnings.extend(_verify_manifest_shards(path, payload))
     else:  # bench
         payload = _parse_json(path, text)
         validate_bench_payload(payload, source=str(path))
         report.n_records = len(payload.get("seconds", {}))
     return report
+
+
+def _verify_manifest_shards(path: PathLike, payload: Dict) -> List[str]:
+    """Digest-check every shard a manifest names, one file at a time.
+
+    Each shard's bytes are streamed through sha256
+    (:func:`repro.atomicio.sha256_file`) and compared against the
+    manifest record -- the population is never parsed, let alone
+    materialized, so validation memory stays flat no matter how many
+    measurements the shards hold.  A missing shard raises
+    :class:`~repro.errors.ArtifactInvalidError`; a digest mismatch
+    raises :class:`~repro.errors.ArtifactCorruptError`.
+    """
+    base = os.path.dirname(os.path.abspath(str(path)))
+    for shard in payload["shards"]:
+        shard_path = os.path.join(base, shard["name"])
+        if not os.path.exists(shard_path):
+            raise ArtifactInvalidError(
+                f"{path}: manifest names shard {shard['name']}, which does "
+                f"not exist next to it"
+            )
+        size = os.path.getsize(shard_path)
+        if size != shard["bytes"]:
+            raise ArtifactCorruptError(
+                f"{shard_path}: shard is {size} byte(s) but the manifest "
+                f"records {shard['bytes']}; the shard was truncated or "
+                f"rewritten after it was sealed"
+            )
+        integrity.verify_file_sha256(shard_path, shard["sha256"], what="shard")
+    return [f"verified {len(payload['shards'])} shard digest(s)"]
 
 
 def _validate_sidecar(path: PathLike) -> ArtifactReport:

@@ -35,6 +35,7 @@ __all__ = [
     "verify",
     "has_digest",
     "verify_journal_bytes",
+    "verify_file_sha256",
     "sha256_bytes",
 ]
 
@@ -57,6 +58,30 @@ def has_digest(path: PathLike) -> bool:
 def verify(path: PathLike, required: bool = False) -> Optional[str]:
     """Verify ``path`` against its sidecar; see :func:`~repro.atomicio.verify_digest`."""
     return verify_digest(path, required=required)
+
+
+def verify_file_sha256(
+    path: PathLike, expected: str, what: str = "artifact"
+) -> str:
+    """Stream ``path`` through sha256 and require the ``expected`` digest.
+
+    The population-scale check: the file's bytes are hashed in chunks
+    (:func:`repro.atomicio.sha256_file`) without ever being held in
+    memory, so a multi-gigabyte shard verifies with flat memory.
+    Returns the digest on match; raises
+    :class:`~repro.errors.ArtifactCorruptError` naming both digests on
+    mismatch.
+    """
+    from repro.atomicio import sha256_file
+
+    actual = sha256_file(path)
+    if actual != expected:
+        raise ArtifactCorruptError(
+            f"{path}: {what} digest mismatch -- file hashes to "
+            f"sha256:{actual} but sha256:{expected} was recorded; the "
+            f"{what} was modified or corrupted after it was written"
+        )
+    return actual
 
 
 def verify_journal_bytes(

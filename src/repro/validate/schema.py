@@ -9,7 +9,9 @@ payloads (the caller owns file I/O and digest verification):
   -- checkpoint journals (``repro-checkpoint-v1``);
 * :func:`validate_metrics_payload`   -- metrics reports (``repro-metrics-v1``);
 * :func:`validate_trace_event`       -- JSONL trace lines;
-* :func:`validate_bench_payload`     -- ``BENCH_sweep.json`` records.
+* :func:`validate_bench_payload`     -- ``BENCH_sweep.json`` records;
+* :func:`validate_manifest_payload`  -- sharded-population manifests
+  (``repro-flipshards-v1``).
 
 Every failure raises :class:`~repro.errors.ArtifactInvalidError` whose
 message starts with ``<source>: $<json-path>`` so the offending field is
@@ -31,6 +33,7 @@ __all__ = [
     "JOURNAL_FORMAT",
     "METRICS_FORMAT",
     "BENCH_FORMAT",
+    "MANIFEST_FORMAT",
     "MITIGATION_FORMAT",
     "MITIGATION_POINT_FORMAT",
     "KNOWN_PATTERNS",
@@ -45,6 +48,7 @@ __all__ = [
     "validate_measurement_record",
     "validate_mitigation_record",
     "validate_mitigation_payload",
+    "validate_manifest_payload",
 ]
 
 #: Format identifiers, kept in sync with the writers (results.py,
@@ -55,6 +59,7 @@ RESULTS_FORMAT = "repro-results-v1"
 JOURNAL_FORMAT = "repro-checkpoint-v1"
 METRICS_FORMAT = "repro-metrics-v1"
 BENCH_FORMAT = "repro-bench-v1"
+MANIFEST_FORMAT = "repro-flipshards-v1"
 MITIGATION_FORMAT = "repro-mitigation-v1"
 MITIGATION_POINT_FORMAT = "repro-mitigation-point-v1"
 
@@ -641,3 +646,104 @@ def validate_bench_payload(payload, source: Optional[str] = None) -> Dict:
             for i, value in enumerate(values):
                 _require_finite(value, f"{vpath}[{i}]", source)
     return payload
+
+
+# ---------------------------------------------------------------- manifest
+
+
+def validate_manifest_payload(payload, source: Optional[str] = None) -> Dict:
+    """Validate a parsed sharded-population manifest.
+
+    The manifest (``repro-flipshards-v1``, written by
+    ``BitflipDatabase.export_shards``) names each shard file with its
+    sha256 digest, byte size, and record count, plus the population
+    total and the canonical ``results_digest``.  Only the payload shape
+    is checked here -- shard existence and digest verification are the
+    caller's (``repro.validate.validate_artifact``'s) job, since they
+    require file I/O next to the manifest.
+    """
+    _require_dict(payload, "$", source)
+    fmt = _get(payload, "format", "$", source)
+    if fmt != MANIFEST_FORMAT:
+        _fail(
+            source, "$.format",
+            f"has unknown manifest format {fmt!r} "
+            f"(this library reads {MANIFEST_FORMAT!r})",
+        )
+    _require(
+        _get(payload, "group_by", "$", source),
+        "$.group_by", str, source, "a string",
+    )
+    total = _require(
+        _get(payload, "n_measurements", "$", source),
+        "$.n_measurements", int, source, "an integer",
+    )
+    if total < 0:
+        _fail(source, "$.n_measurements", f"must be >= 0, got {total}")
+    digest = _require(
+        _get(payload, "results_digest", "$", source),
+        "$.results_digest", str, source, "a string",
+    )
+    _require_sha256(digest, "$.results_digest", source)
+    shards = _require_list(
+        _get(payload, "shards", "$", source), "$.shards", source
+    )
+    seen_names: Dict[str, int] = {}
+    counted = 0
+    for i, shard in enumerate(shards):
+        spath = f"$.shards[{i}]"
+        _require_dict(shard, spath, source)
+        name = _require(
+            _get(shard, "name", spath, source),
+            f"{spath}.name", str, source, "a string",
+        )
+        if not name or "/" in name or "\\" in name or name.startswith("."):
+            _fail(
+                source, f"{spath}.name",
+                f"must be a bare file name next to the manifest, got {name!r}",
+            )
+        if name in seen_names:
+            _fail(
+                source, f"{spath}.name",
+                f"duplicates $.shards[{seen_names[name]}].name ({name!r})",
+            )
+        seen_names[name] = i
+        _require(
+            _get(shard, "module", spath, source),
+            f"{spath}.module", str, source, "a string",
+        )
+        count = _require(
+            _get(shard, "n_measurements", spath, source),
+            f"{spath}.n_measurements", int, source, "an integer",
+        )
+        if count < 0:
+            _fail(source, f"{spath}.n_measurements", f"must be >= 0, got {count}")
+        counted += count
+        size = _require(
+            _get(shard, "bytes", spath, source),
+            f"{spath}.bytes", int, source, "an integer",
+        )
+        if size <= 0:
+            _fail(source, f"{spath}.bytes", f"must be > 0, got {size}")
+        _require_sha256(
+            _require(
+                _get(shard, "sha256", spath, source),
+                f"{spath}.sha256", str, source, "a string",
+            ),
+            f"{spath}.sha256",
+            source,
+        )
+    if counted != total:
+        _fail(
+            source, "$.n_measurements",
+            f"is {total}, but the shards sum to {counted} measurement(s)",
+        )
+    return payload
+
+
+def _require_sha256(value: str, path: str, source: Optional[str]) -> None:
+    if len(value) != 64 or any(c not in "0123456789abcdef" for c in value):
+        _fail(
+            source, path,
+            f"must be a lowercase sha256 hex digest (64 chars), got {value!r}",
+        )

@@ -1,0 +1,443 @@
+"""Population-scale flip store: streaming sink, sharded export, streaming stats.
+
+The tentpole property: a campaign streamed through :class:`FlipSink`
+during the sweep reproduces the in-memory ``results_digest``
+bit-identically, and the sealed shard manifest validates shard-by-shard
+without materializing the population.
+"""
+
+import json
+import math
+import random
+
+import pytest
+
+from repro.analysis.aggregate import (
+    AggregatePoint,
+    _aggregate,
+    aggregate_acmin,
+    aggregate_streaming,
+    aggregate_time_ms,
+)
+from repro.analysis.figures import fig4_series, fig4_series_streaming
+from repro.analysis.spatial import column_histogram, flips_per_row
+from repro.analysis.streaming import (
+    PopulationStats,
+    QuantileSketch,
+    SpatialAccumulator,
+    StreamingMoments,
+)
+from repro.analysis.tables import table2_rows, table2_rows_streaming
+from repro.core.flipdb import (
+    BitflipDatabase,
+    FlipSink,
+    iter_shard_measurements,
+    quantize_t_on,
+)
+from repro.core.results import ResultSet
+from repro.errors import (
+    ArtifactCorruptError,
+    ArtifactInvalidError,
+    ExperimentError,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.validate import validate_artifact
+from repro.validate.invariants import results_digest
+from repro.validate.schema import validate_manifest_payload
+
+pytestmark = pytest.mark.population
+
+T_VALUES = [36.0, 7_800.0]
+
+
+@pytest.fixture(scope="module")
+def population(tmp_path_factory, fast_runner, s0_module, m4_module):
+    """One two-module campaign streamed through the sink, sealed to shards.
+
+    Shared by the whole module: the campaign runs once, every test reads
+    the same store/manifest (read-only -- tests that mutate copy first).
+    """
+    root = tmp_path_factory.mktemp("population")
+    store = root / "flips.sqlite"
+    metrics = MetricsRegistry()
+    with FlipSink(store, batch_size=16, metrics=metrics) as sink:
+        results = fast_runner.characterize(
+            [s0_module, m4_module], T_VALUES, trials=2, sink=sink
+        )
+        export = sink.db.export_shards(root / "shards", metrics=metrics)
+        sink_stats = (sink.n_rows, sink.n_skipped, sink.n_batches)
+    return {
+        "root": root,
+        "store": store,
+        "manifest": root / "shards" / export.manifest_path.split("/")[-1],
+        "results": results,
+        "digest": results_digest(results),
+        "export": export,
+        "metrics": metrics,
+        "sink_stats": sink_stats,
+    }
+
+
+# ------------------------------------------------------------ the tentpole
+
+
+def test_sink_digest_matches_in_memory(population):
+    """Streamed store == in-memory ResultSet, bit-identically."""
+    with BitflipDatabase(population["store"]) as db:
+        assert db.results_digest() == population["digest"]
+        assert db.n_measurements() == len(population["results"])
+
+
+def test_export_digest_matches_in_memory(population):
+    assert population["export"].results_digest == population["digest"]
+
+
+def test_sink_counters(population):
+    n_rows, n_skipped, n_batches = population["sink_stats"]
+    assert n_rows == len(population["results"])
+    assert n_skipped == 0
+    # The sink flushes whenever the buffer crosses batch_size=16, so a
+    # 144-row campaign needs several batches but never more than rows.
+    assert 2 <= n_batches <= n_rows
+    counters = population["metrics"].counters_with_prefix("sink.")
+    assert counters["sink.rows_written"] == n_rows
+    assert counters["sink.batches"] == n_batches
+    assert counters["sink.shards_sealed"] == len(population["export"].shards)
+    assert counters["sink.bytes_sealed"] == population["export"].n_bytes
+
+
+def test_sink_replay_is_idempotent(population, tmp_path):
+    """Re-accepting the same measurements stores nothing new."""
+    store = tmp_path / "replay.sqlite"
+    results = list(population["results"])
+    with FlipSink(store, batch_size=32) as sink:
+        sink.accept(results)
+        sink.flush()
+        first_digest = sink.db.results_digest()
+        sink.accept(results)  # a resumed campaign re-streams its shards
+        sink.flush()
+        assert sink.n_rows == len(results)
+        assert sink.n_skipped == len(results)
+        assert sink.db.results_digest() == first_digest == population["digest"]
+
+
+def test_sink_close_is_idempotent(tmp_path):
+    sink = FlipSink(tmp_path / "s.sqlite")
+    sink.close()
+    sink.close()
+    assert sink.closed
+    with pytest.raises(ExperimentError):
+        sink.accept([])
+
+
+def test_sink_close_commits_buffered_measurements(population, tmp_path):
+    """Everything accepted before close() is durable -- the Ctrl-C path."""
+    store = tmp_path / "interrupted.sqlite"
+    results = list(population["results"])[:5]
+    sink = FlipSink(store, batch_size=1024)  # nothing auto-flushes
+    sink.accept(results)
+    sink.close()
+    with BitflipDatabase(store) as db:
+        assert db.n_measurements() == 5
+
+
+def test_sink_resumed_campaign_converges(
+    population, fast_runner, s0_module, m4_module, tmp_path
+):
+    """An interrupted+resumed campaign's sink store equals the clean run.
+
+    The first attempt dies on an injected shard fault having streamed a
+    prefix of the shards; the resume streams journal-recovered shards
+    plus the rest into the *same* store -- idempotent OR IGNORE inserts
+    converge it to the full population, bit-identical by digest.
+    """
+    from repro.core.faults import FaultPlan, FaultSpec, RetryPolicy
+    from repro.errors import ShardFailedError
+
+    store = tmp_path / "resume.sqlite"
+    journal = tmp_path / "campaign.jsonl"
+    policy = RetryPolicy(max_retries=0, backoff_base=0.0)
+    with FlipSink(store, batch_size=4) as sink:
+        with pytest.raises(ShardFailedError):
+            fast_runner.characterize(
+                [s0_module, m4_module], T_VALUES, trials=2,
+                checkpoint=journal, sink=sink, policy=policy,
+                fault_plan=FaultPlan([FaultSpec(shard_index=3, kind="raise")]),
+            )
+    with FlipSink(store, batch_size=4) as sink:
+        resumed = fast_runner.characterize(
+            [s0_module, m4_module], T_VALUES, trials=2,
+            checkpoint=journal, resume=True, sink=sink, policy=policy,
+        )
+        assert sink.db.results_digest() == population["digest"]
+    assert results_digest(resumed) == population["digest"]
+
+
+# --------------------------------------------------------- sharded export
+
+
+def test_manifest_validates_and_counts(population):
+    report = validate_artifact(population["manifest"])
+    assert report.kind == "manifest"
+    assert report.digest_verified  # the manifest's own .sha256 sidecar
+    assert report.n_records == len(population["results"])
+
+
+def test_shards_are_one_per_module(population):
+    shards = population["export"].shards
+    assert sorted(s.module for s in shards) == ["M4", "S0"]
+    for shard in shards:
+        assert shard.name == f"shard-{shard.module}.json"
+
+
+def test_iter_shard_measurements_reproduces_digest(population):
+    streamed = ResultSet(iter_shard_measurements(population["manifest"]))
+    assert results_digest(streamed) == population["digest"]
+
+
+def test_corrupted_shard_fails_validation(population, tmp_path):
+    import shutil
+
+    shard_dir = population["manifest"].parent
+    bad_dir = tmp_path / "bad"
+    shutil.copytree(shard_dir, bad_dir)
+    victim = bad_dir / population["export"].shards[0].name
+    raw = bytearray(victim.read_bytes())
+    raw[len(raw) // 3] ^= 0x04
+    victim.write_bytes(bytes(raw))
+    with pytest.raises(ArtifactCorruptError):
+        validate_artifact(bad_dir / "manifest.json")
+    with pytest.raises(ArtifactCorruptError):
+        list(iter_shard_measurements(bad_dir / "manifest.json"))
+
+
+def test_missing_shard_fails_validation(population, tmp_path):
+    import shutil
+
+    bad_dir = tmp_path / "missing"
+    shutil.copytree(population["manifest"].parent, bad_dir)
+    (bad_dir / population["export"].shards[0].name).unlink()
+    with pytest.raises(ArtifactInvalidError):
+        validate_artifact(bad_dir / "manifest.json")
+
+
+def test_manifest_schema_rejects_count_mismatch(population):
+    payload = json.loads(population["manifest"].read_text())
+    payload["n_measurements"] += 1
+    with pytest.raises(ArtifactInvalidError):
+        validate_manifest_payload(payload)
+
+
+def test_manifest_schema_rejects_path_traversal():
+    with pytest.raises(ArtifactInvalidError):
+        validate_manifest_payload(
+            {
+                "format": "repro-flipshards-v1",
+                "group_by": "module",
+                "n_measurements": 0,
+                "results_digest": "0" * 64,
+                "shards": [
+                    {
+                        "name": "../evil.json",
+                        "module": "S0",
+                        "n_measurements": 0,
+                        "bytes": 1,
+                        "sha256": "0" * 64,
+                    }
+                ],
+            }
+        )
+
+
+# ------------------------------------------------------ streaming statistics
+
+
+def test_streaming_moments_matches_list_aggregate():
+    rng = random.Random(7)
+    values = [
+        None if rng.random() < 0.2 else rng.uniform(-50.0, 50.0)
+        for _ in range(500)
+    ]
+    expected = _aggregate(values)
+    got = aggregate_streaming(iter(values))
+    assert got.n == expected.n and got.n_total == expected.n_total
+    assert got.mean == pytest.approx(expected.mean, rel=1e-12)
+    assert got.std == pytest.approx(expected.std, rel=1e-9)
+
+
+def test_streaming_moments_merge():
+    rng = random.Random(11)
+    values = [rng.gauss(10.0, 3.0) for _ in range(400)]
+    whole = StreamingMoments()
+    left, right = StreamingMoments(), StreamingMoments()
+    for i, v in enumerate(values):
+        whole.add(v)
+        (left if i < 150 else right).add(v)
+    left.merge(right)
+    assert left.n == whole.n
+    assert left.mean == pytest.approx(whole.mean, rel=1e-12)
+    assert left.std == pytest.approx(whole.std, rel=1e-9)
+
+
+def test_streaming_moments_empty_is_nan_point():
+    point = StreamingMoments().point()
+    assert math.isnan(point.mean) and math.isnan(point.std)
+    assert point.n == 0 and point.n_total == 0
+    assert isinstance(point, AggregatePoint)
+
+
+def test_quantile_sketch_exact_below_capacity():
+    sketch = QuantileSketch(k=128)
+    sketch.extend(range(100))
+    assert sketch.query(0.0) == 0
+    assert sketch.query(1.0) == 99
+    assert sketch.query(0.5) == 49
+
+
+def test_quantile_sketch_bounded_error_and_deterministic():
+    n = 10_000
+    rng = random.Random(3)
+    values = [rng.random() for _ in range(n)]
+    a, b = QuantileSketch(k=128), QuantileSketch(k=128)
+    a.extend(values)
+    b.extend(values)
+    ordered = sorted(values)
+    for q in (0.1, 0.5, 0.9, 0.99):
+        estimate = a.query(q)
+        # Determinism: same stream, same sketch, same answer.
+        assert estimate == b.query(q)
+        # Rank error bounded well under 5% of n for k=128.
+        rank = ordered.index(estimate) if estimate in values else min(
+            range(n), key=lambda i: abs(ordered[i] - estimate)
+        )
+        assert abs(rank - q * n) < 0.05 * n
+    assert a.n == n
+
+
+def test_quantile_sketch_merge_matches_single_stream():
+    rng = random.Random(5)
+    values = [rng.uniform(0, 1000) for _ in range(4_000)]
+    whole = QuantileSketch(k=64)
+    whole.extend(values)
+    left, right = QuantileSketch(k=64), QuantileSketch(k=64)
+    left.extend(values[:2_000])
+    right.extend(values[2_000:])
+    left.merge(right)
+    assert left.n == whole.n == 4_000
+    ordered = sorted(values)
+    for q in (0.25, 0.5, 0.75):
+        exact = ordered[int(q * 4_000)]
+        assert abs(left.query(q) - exact) < 0.1 * 1000
+
+
+def test_population_stats_matches_in_memory_aggregates(population):
+    results = population["results"]
+    stats = PopulationStats(group_by="module").consume(iter(results))
+    assert stats.n_measurements == len(results)
+    for key in results.module_keys():
+        for pattern in results.patterns():
+            for t_on in results.t_values():
+                subset = results.where(
+                    module_key=key, pattern=pattern, t_on=t_on
+                )
+                if not len(subset):
+                    continue
+                expected = aggregate_acmin(subset)
+                got = stats.acmin_point(key, pattern, t_on)
+                assert got.n == expected.n
+                assert got.n_total == expected.n_total
+                if expected.n:
+                    assert got.mean == pytest.approx(expected.mean, rel=1e-12)
+                    assert got.std == pytest.approx(
+                        expected.std, rel=1e-9, abs=1e-9
+                    )
+                expected_t = aggregate_time_ms(subset)
+                got_t = stats.time_ms_point(key, pattern, t_on)
+                assert got_t.n == expected_t.n
+                if expected_t.n:
+                    assert got_t.mean == pytest.approx(
+                        expected_t.mean, rel=1e-12
+                    )
+
+
+def test_population_stats_rows_render(population):
+    from repro.analysis.tables import format_table
+
+    stats = PopulationStats(group_by="manufacturer").consume(
+        iter(population["results"])
+    )
+    rows = stats.rows()
+    assert rows  # one per (manufacturer, pattern, t_on)
+    text = format_table(rows)
+    assert "acmin p50" in text
+
+
+def test_spatial_accumulator_matches_per_census(population, fast_config):
+    n_cols = fast_config.geometry.cols_simulated
+    results = population["results"]
+    acc = SpatialAccumulator(n_cols=n_cols, n_bins=8).consume(iter(results))
+    expected_rows = {}
+    expected_bins = [0] * 8
+    for m in results:
+        if m.census is None:
+            continue
+        for row, count in flips_per_row(m.census).items():
+            expected_rows[row] = expected_rows.get(row, 0) + count
+        for i, count in enumerate(column_histogram(m.census, n_cols, 8)):
+            expected_bins[i] += count
+    assert acc.flips_per_row() == expected_rows
+    assert list(acc.column_histogram()) == expected_bins
+    assert acc.n_flips == sum(expected_bins)
+
+
+def test_table2_streaming_matches_in_memory(population):
+    in_memory = {row["module"]: row for row in table2_rows(population["results"])}
+    streamed_rows = table2_rows_streaming(
+        iter_shard_measurements(population["manifest"])
+    )
+    assert {row["module"] for row in streamed_rows} == set(in_memory)
+    for row in streamed_rows:
+        expected = in_memory[row["module"]]
+        assert set(row) == set(expected)
+        for column, value in expected.items():
+            got = row[column]
+            if isinstance(value, tuple):
+                assert got == pytest.approx(value, rel=1e-9), column
+            else:
+                assert got == value, column
+
+
+def test_fig4_streaming_matches_in_memory(population):
+    for metric in ("time", "acmin"):
+        in_memory = fig4_series(population["results"], metric=metric)
+        streamed = fig4_series_streaming(
+            iter_shard_measurements(population["manifest"]), metric=metric
+        )
+        assert [s.label for s in streamed] == [s.label for s in in_memory]
+        for got, expected in zip(streamed, in_memory):
+            assert got.t_values == expected.t_values
+            for g, e in zip(got.points, expected.points):
+                assert g.n == e.n and g.n_total == e.n_total
+                if e.n:
+                    assert g.mean == pytest.approx(e.mean, rel=1e-9)
+                    assert g.std == pytest.approx(e.std, rel=1e-6, abs=1e-9)
+
+
+# ----------------------------------------------------------------- plumbing
+
+
+def test_quantize_t_on_buckets():
+    assert quantize_t_on(36.0 + 0.1 + 0.2) == quantize_t_on(36.3) == 36_300
+    assert quantize_t_on(7_800.0) == 7_800_000
+    assert quantize_t_on(36.0) != quantize_t_on(36.3)
+
+
+def test_store_iteration_order_is_identity_not_insertion(tmp_path):
+    from tests.test_flipdb import meas
+
+    with BitflipDatabase(tmp_path / "order.sqlite") as db:
+        db.store(meas(die=1, t_on=7_800.0))
+        db.store(meas(die=0, t_on=36.0))
+        db.store(meas(die=0, t_on=7_800.0))
+        seen = [(m.die, m.t_on) for m in db.iter_measurements()]
+    assert seen == [(0, 36.0), (0, 7_800.0), (1, 7_800.0)]
