@@ -45,9 +45,11 @@ import hashlib
 import json
 import logging
 import os
+import tempfile
+import weakref
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.atomicio import atomic_write_text, write_digest
 from repro.core.results import (
@@ -55,7 +57,7 @@ from repro.core.results import (
     measurement_from_record,
     measurement_to_record,
 )
-from repro.errors import ArtifactCorruptError, CheckpointError
+from repro.errors import ArtifactCorruptError, CheckpointBusyError, CheckpointError
 from repro.validate.integrity import has_digest, verify_journal_bytes
 from repro.validate.provenance import check_provenance, provenance_stamp
 
@@ -66,10 +68,202 @@ __all__ = [
     "plan_fingerprint",
     "JournalCodec",
     "MEASUREMENT_CODEC",
+    "AdvisoryLock",
     "CheckpointJournal",
 ]
 
 logger = logging.getLogger("repro.checkpoint")
+
+#: Lock tokens held by live lock objects in *this* process, so a
+#: same-pid lockfile can be told apart from one abandoned by an earlier
+#: (garbage-collected) owner: a token that no longer maps to a live
+#: object is stale and is reclaimed instead of deadlocking the process.
+_LIVE_LOCKS: "weakref.WeakValueDictionary[str, AdvisoryLock]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+class AdvisoryLock:
+    """``O_EXCL`` advisory lockfile guarding appends to one file.
+
+    One live writer per journal: the lockfile ``<target>.lock`` holds
+    ``"<pid> <token>"``.  A lock held by a *live* writer makes
+    :meth:`acquire` raise :class:`~repro.errors.CheckpointBusyError`
+    unless ``steal=True`` (lease reclaim), in which case the lockfile is
+    atomically replaced and the displaced writer's next
+    :meth:`verify` fails instead of letting it interleave appends.  A
+    lock whose owner is dead -- a killed process, or a same-pid owner
+    object that was garbage-collected -- is reclaimed with a logged
+    warning.  Shared by :class:`CheckpointJournal` and the campaign
+    service's queue journal (:mod:`repro.service.queue`).
+    """
+
+    def __init__(
+        self,
+        target: Union[str, os.PathLike],
+        steal: bool = False,
+        what: str = "journal",
+    ) -> None:
+        self._target = Path(target)
+        self._steal = steal
+        self._what = what
+        self._token: Optional[str] = None
+
+    @property
+    def lock_path(self) -> Path:
+        """The advisory lockfile guarding the target's appends."""
+        return self._target.with_name(self._target.name + ".lock")
+
+    @property
+    def held(self) -> bool:
+        return self._token is not None
+
+    def _read_lock(self) -> Optional[Tuple[Optional[int], str]]:
+        """Parse the lockfile into ``(owner_pid, token)``.
+
+        ``None`` when no lockfile exists; a malformed lockfile parses as
+        ``(None, "")`` -- unclaimable, hence stale.
+        """
+        try:
+            text = self.lock_path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        parts = text.split()
+        if len(parts) >= 2 and parts[0].isdigit():
+            return int(parts[0]), parts[1]
+        return (None, "")
+
+    @staticmethod
+    def _owner_alive(pid: Optional[int], token: str) -> bool:
+        """Whether the lock's recorded owner is still a live writer."""
+        if pid is None:
+            return False
+        if pid == os.getpid():
+            # Same process: the owner is live iff some lock object
+            # still holds the token (a token abandoned by an owner that
+            # errored out and was collected must not wedge the process).
+            return token in _LIVE_LOCKS
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            pass  # e.g. EPERM: the pid exists but is not ours -- alive
+        return True
+
+    def acquire(self) -> None:
+        """Take the lock (idempotent while held)."""
+        if self._token is not None:
+            return
+        token = f"{os.getpid()}-{os.urandom(8).hex()}"
+        content = f"{os.getpid()} {token}\n"
+        self._target.parent.mkdir(parents=True, exist_ok=True)
+        while True:
+            try:
+                fd = os.open(
+                    str(self.lock_path),
+                    os.O_WRONLY | os.O_CREAT | os.O_EXCL,
+                    0o644,
+                )
+            except FileExistsError:
+                owner = self._read_lock()
+                if owner is None:
+                    continue  # released between our open and read: retry
+                owner_pid, owner_token = owner
+                if self._owner_alive(owner_pid, owner_token):
+                    if not self._steal:
+                        raise CheckpointBusyError(
+                            f"{self._what} {self._target} is locked by "
+                            f"a live writer (pid {owner_pid}, lockfile "
+                            f"{self.lock_path.name}); a second writer "
+                            f"appending would interleave records -- "
+                            f"release the other writer, or open with "
+                            f"steal_lock=True to revoke it (lease reclaim)"
+                        )
+                    logger.warning(
+                        "%s %s: stealing the append lock from live "
+                        "writer pid %s (lease reclaim); its next append "
+                        "will be refused",
+                        self._what,
+                        self._target,
+                        owner_pid,
+                    )
+                else:
+                    logger.warning(
+                        "%s %s: reclaiming a stale append lock left by "
+                        "dead writer pid %s",
+                        self._what,
+                        self._target,
+                        owner_pid,
+                    )
+                # Atomic takeover: replace the lockfile in one rename so
+                # no third writer can slip in through a missing-lock gap.
+                tmp_fd, tmp_name = tempfile.mkstemp(
+                    dir=str(self._target.parent),
+                    prefix=self.lock_path.name + ".",
+                    suffix=".tmp",
+                )
+                try:
+                    with os.fdopen(tmp_fd, "w", encoding="utf-8") as handle:
+                        handle.write(content)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    os.replace(tmp_name, self.lock_path)
+                except BaseException:
+                    try:
+                        os.unlink(tmp_name)
+                    except OSError:
+                        pass
+                    raise
+                self._register(token)
+                return
+            else:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(content)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._register(token)
+                return
+
+    def _register(self, token: str) -> None:
+        self._token = token
+        _LIVE_LOCKS[token] = self
+
+    def verify(self) -> None:
+        """Require that this object still owns the lock."""
+        owner = self._read_lock()
+        if owner is None or owner[1] != self._token:
+            holder = "no writer" if owner is None else f"pid {owner[0]}"
+            raise CheckpointBusyError(
+                f"{self._what} {self._target} append lock was revoked "
+                f"(now held by {holder}): this writer's lease was "
+                f"reclaimed; refusing to append a record that would "
+                f"interleave with the new owner's"
+            )
+
+    def release(self) -> None:
+        """Release the lock (idempotent).
+
+        Only removes the lockfile if this object still owns it -- a
+        stolen lock is left to its new owner.
+        """
+        token = self._token
+        if token is None:
+            return
+        self._token = None
+        _LIVE_LOCKS.pop(token, None)
+        owner = self._read_lock()
+        if owner is not None and owner[1] == token:
+            try:
+                os.unlink(self.lock_path)
+            except OSError:
+                pass
+
+    def __del__(self) -> None:  # best-effort: explicit release preferred
+        try:
+            self.release()
+        except Exception:  # noqa: BLE001 - never raise during teardown
+            pass
 
 
 def plan_fingerprint(config, plan) -> str:
@@ -144,24 +338,59 @@ class CheckpointJournal:
         path: Union[str, os.PathLike],
         digest: bool = False,
         codec: Optional[JournalCodec] = None,
+        steal_lock: bool = False,
     ) -> None:
         self._path = Path(path)
         self._started = False
         self._digest = digest
         self._codec = codec if codec is not None else MEASUREMENT_CODEC
         self._hash = None  # running sha256 of the journal's content
+        self._lock = AdvisoryLock(
+            self._path, steal=steal_lock, what="checkpoint journal"
+        )
 
     @property
     def path(self) -> Path:
         return self._path
 
+    @property
+    def lock_path(self) -> Path:
+        """The advisory lockfile guarding this journal's appends."""
+        return self._lock.lock_path
+
     def exists(self) -> bool:
         return self._path.exists()
+
+    # ----------------------------------------------------------- locking
+
+    def _acquire_lock(self) -> None:
+        self._lock.acquire()
+
+    def _verify_lock(self) -> None:
+        self._lock.verify()
+
+    def release(self) -> None:
+        """Release the advisory append lock (idempotent).
+
+        Only removes the lockfile if this journal still owns it -- a
+        stolen lock is left to its new owner.
+        """
+        self._lock.release()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+    # (no __del__ here: the AdvisoryLock's own finalizer releases the
+    # lockfile when an unreleased journal is collected)
 
     # ----------------------------------------------------------- writing
 
     def start(self, fingerprint: str, n_shards: int) -> None:
         """Begin a fresh journal (truncating any previous one)."""
+        self._acquire_lock()
         header = {
             "format": JOURNAL_FORMAT,
             "fingerprint": fingerprint,
@@ -184,6 +413,8 @@ class CheckpointJournal:
             raise CheckpointError(
                 "journal must be start()ed or load()ed before recording"
             )
+        self._acquire_lock()
+        self._verify_lock()
         entry = {
             "shard": shard_index,
             "measurements": [self._codec.encode(m) for m in measurements],
@@ -212,7 +443,13 @@ class CheckpointJournal:
         trailing line (crash mid-append) is skipped with a warning and
         truncated away; corruption anywhere else raises
         :class:`~repro.errors.CheckpointError`.
+
+        Loading is an open-for-append (the journal is primed for
+        :meth:`record` and may truncate-repair a torn line), so the
+        advisory lock is taken first: a journal being written by another
+        live process raises :class:`~repro.errors.CheckpointBusyError`.
         """
+        self._acquire_lock()
         try:
             raw = self._path.read_bytes()
         except OSError as exc:
@@ -314,12 +551,15 @@ class CheckpointJournal:
                     # Crash mid-append: the final line is torn.  Drop it
                     # (its shard will simply be re-measured) and truncate
                     # the file so the next append starts on a clean line.
+                    # str(exc): a retained log record must not pin this
+                    # journal (and its advisory lock) alive through the
+                    # exception's traceback frames.
                     logger.warning(
                         "checkpoint journal %s has a torn trailing line "
                         "(%s); dropping it and resuming from the %d "
                         "complete shard record(s)",
                         self._path,
-                        exc,
+                        str(exc),
                         len(parsed) - 1,
                     )
                     self._truncate_to(segments, position)

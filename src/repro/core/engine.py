@@ -112,6 +112,7 @@ from repro.core.stacked import StackedDie, build_stacked_die
 from repro.dram.module import Module
 from repro.obs import Observability
 from repro.errors import (
+    CampaignInterruptedError,
     CheckpointError,
     ExecutorError,
     ExperimentError,
@@ -1706,6 +1707,8 @@ def run_plan(
     report: Optional[RunReport] = None,
     obs: Optional[Observability] = None,
     sink=None,
+    stop_check: Optional[Callable[[], bool]] = None,
+    steal_lock: bool = False,
 ) -> Dict[int, List]:
     """Execute a shard plan through an executor ladder.
 
@@ -1729,6 +1732,15 @@ def run_plan(
     whether or not the campaign was interrupted.  The sink must be
     idempotent under replay (FlipSink is); the caller owns flushing and
     closing it.
+
+    ``stop_check`` is the graceful-drain seam: a zero-argument callable
+    polled at every shard boundary (after the finished shard is
+    journaled and streamed).  When it answers true the run raises
+    :class:`~repro.errors.CampaignInterruptedError` -- every completed
+    shard is already durable, so a later ``resume=True`` run finishes
+    the campaign bit-identically.  ``steal_lock`` forcibly takes over
+    the checkpoint journal's advisory append lock (lease reclaim of a
+    wedged writer); the displaced writer's next append is refused.
 
     Returns completed shard results keyed by shard index (including
     journal-resumed shards); raises
@@ -1764,10 +1776,41 @@ def run_plan(
             )
 
     journal = (
-        CheckpointJournal(checkpoint, digest=digest, codec=codec)
+        CheckpointJournal(
+            checkpoint, digest=digest, codec=codec, steal_lock=steal_lock
+        )
         if checkpoint is not None
         else None
     )
+    try:
+        return _run_plan_journaled(
+            plan, runner, ladder, fingerprint, policy=policy,
+            fault_plan=fault_plan, resume=resume, report=report, obs=obs,
+            sink=sink, stop_check=stop_check, journal=journal,
+        )
+    finally:
+        if journal is not None:
+            # The advisory append lock must not outlive the run: the
+            # next resume (same process or another) re-acquires it.
+            journal.release()
+
+
+def _run_plan_journaled(
+    plan,
+    runner,
+    ladder: Sequence,
+    fingerprint: str,
+    *,
+    policy: Optional[RetryPolicy],
+    fault_plan: Optional[FaultPlan],
+    resume: bool,
+    report: RunReport,
+    obs: Optional[Observability],
+    sink,
+    stop_check: Optional[Callable[[], bool]],
+    journal: Optional[CheckpointJournal],
+) -> Dict[int, List]:
+    """The journal-holding body of :func:`run_plan` (lock released there)."""
     completed: Dict[int, List] = {}
     if journal is not None:
         if resume and journal.exists():
@@ -1805,6 +1848,16 @@ def run_plan(
         for index in sorted(completed):
             sink.accept(completed[index])
 
+    def check_stop(boundary: str) -> None:
+        if stop_check is not None and stop_check():
+            raise CampaignInterruptedError(
+                f"campaign stopped {boundary}: "
+                f"{len(completed)}/{report.n_shards} shard(s) are "
+                f"journaled; resume to finish bit-identically"
+            )
+
+    check_stop("before dispatch")
+
     def on_shard(shard, results) -> None:
         completed[shard.index] = results
         report.n_executed += 1
@@ -1834,6 +1887,9 @@ def run_plan(
                 elapsed_s=round(elapsed, 3),
                 eta_s=None if eta is None else round(eta, 3),
             )
+        # Drain seam: the finished shard above is already journaled and
+        # streamed, so stopping here loses no work.
+        check_stop(f"at the shard boundary after shard {shard.index}")
 
     for position, executor in enumerate(ladder):
         remaining = tuple(
@@ -1972,6 +2028,8 @@ class SweepEngine:
         fault_plan: Optional[FaultPlan] = None,
         validate: bool = False,
         sink=None,
+        stop_check=None,
+        steal_lock: bool = False,
     ) -> ResultSet:
         """Run a full campaign and return its canonical ResultSet.
 
@@ -1995,6 +2053,10 @@ class SweepEngine:
         out-of-core store as the campaign runs (see
         :class:`~repro.core.flipdb.FlipSink` and :func:`run_plan`); the
         sink is flushed -- but not closed -- before this method returns.
+
+        ``stop_check`` / ``steal_lock`` are the campaign-service seams
+        (graceful drain at shard boundaries, lease reclaim of a wedged
+        writer's journal); see :func:`run_plan`.
         """
         plan = SweepPlan.build(
             modules,
@@ -2057,6 +2119,8 @@ class SweepEngine:
             report=report,
             obs=obs,
             sink=sink,
+            stop_check=stop_check,
+            steal_lock=steal_lock,
         )
         if sink is not None:
             sink.flush()

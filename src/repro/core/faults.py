@@ -29,6 +29,7 @@ vocabulary:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import multiprocessing
@@ -87,6 +88,12 @@ class RetryPolicy:
             a broken pool before giving up with
             :class:`~repro.errors.PoolBrokenError` (which the engine
             answers by degrading process -> thread -> serial).
+        jitter_seed: when set, backoff delays are scaled by a
+            deterministic per-(seed, salt, failure) factor in
+            ``[0.5, 1.5)`` so concurrent campaigns sharing a worker pool
+            don't retry in lockstep (a retry stampede after a shared
+            transient).  ``None`` (the default) disables jitter and
+            keeps delays bit-identical to earlier releases.
     """
 
     max_retries: int = 2
@@ -94,6 +101,7 @@ class RetryPolicy:
     backoff_factor: float = 2.0
     shard_timeout: Optional[float] = None
     max_pool_restarts: int = 2
+    jitter_seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -105,11 +113,25 @@ class RetryPolicy:
         if self.max_pool_restarts < 0:
             raise ExperimentError("max_pool_restarts must be >= 0")
 
-    def backoff_delay(self, failures: int) -> float:
-        """Backoff before the retry following the ``failures``-th failure."""
+    def backoff_delay(self, failures: int, salt: str = "") -> float:
+        """Backoff before the retry following the ``failures``-th failure.
+
+        ``salt`` decorrelates the jitter of concurrent retriers (the
+        shard/job label); with ``jitter_seed=None`` it has no effect and
+        the exact pre-jitter exponential delays are returned.
+        """
         if failures < 1:
             return 0.0
-        return self.backoff_base * self.backoff_factor ** (failures - 1)
+        delay = self.backoff_base * self.backoff_factor ** (failures - 1)
+        if self.jitter_seed is None:
+            return delay
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}|{salt}|{failures}".encode("utf-8")
+        ).digest()
+        # 8 digest bytes -> uniform [0, 1) -> scale factor [0.5, 1.5):
+        # full desynchronization while preserving the exponential mean.
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return delay * (0.5 + unit)
 
 
 def is_transient(exc: BaseException) -> bool:
@@ -253,7 +275,7 @@ def run_attempts(
                     failures=failures,
                     error=str(exc),
                 )
-            sleep(policy.backoff_delay(failures))
+            sleep(policy.backoff_delay(failures, salt=label))
 
 
 # ------------------------------------------------------------ fault harness

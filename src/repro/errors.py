@@ -94,6 +94,16 @@ class ShardFailedError(ExecutorError):
     budget is exhausted.  Raised with the underlying cause chained."""
 
 
+class CampaignInterruptedError(ExecutorError):
+    """A campaign was cooperatively stopped at a shard boundary.
+
+    Raised by :func:`repro.core.engine.run_plan` when its ``stop_check``
+    callback answers true (graceful drain, job cancellation): every
+    completed shard is already journaled, so a later ``resume=True`` run
+    finishes the campaign bit-identically.  Not a failure -- the caller
+    (the campaign service's worker loop) re-queues the job."""
+
+
 class DeviceError(ReproError):
     """A device backend failed to execute an operation.
 
@@ -151,6 +161,50 @@ class CheckpointError(ReproError):
     """A checkpoint journal cannot be used for this campaign (plan
     fingerprint mismatch, malformed journal, or entries inconsistent
     with the current plan)."""
+
+
+class CheckpointBusyError(CheckpointError):
+    """Another live writer holds the journal's advisory append lock.
+
+    Two writers appending to one journal would interleave shard records
+    (duplicate-shard corruption on the next load), so the journal takes
+    an ``O_EXCL`` lockfile on open-for-append and raises this instead.
+    A lock whose owning process is dead is reclaimed silently; a *live*
+    owner can only be displaced by an explicit ``steal_lock=True``
+    takeover (lease reclaim), after which the displaced writer's next
+    append raises this error rather than interleaving."""
+
+
+class ServiceError(ReproError):
+    """The campaign service failed to accept or execute a request.
+
+    Base class of the service failure domain (:mod:`repro.service`); see
+    :class:`ServiceOverloadError` (backpressure),
+    :class:`ServiceDrainingError` (graceful shutdown),
+    :class:`JobNotFoundError`, and :class:`ServiceProtocolError`.
+    """
+
+
+class ServiceOverloadError(ServiceError):
+    """The service's admission control rejected a submission because a
+    bounded queue is full (globally or for the submitting tenant).
+    Backpressure, not OOM: the client should retry later, with backoff.
+    """
+
+
+class ServiceDrainingError(ServiceError):
+    """The service is draining (SIGTERM/SIGINT or an explicit drain
+    request): no new submissions are admitted; queued and in-flight jobs
+    are checkpointed and re-adopted by the next ``serve --resume``."""
+
+
+class JobNotFoundError(ServiceError):
+    """The named job id is unknown to the service."""
+
+
+class ServiceProtocolError(ServiceError):
+    """A request (or response) violates the line-JSON wire protocol or
+    names an invalid tenant/kind/spec."""
 
 
 class ArtifactError(ReproError):

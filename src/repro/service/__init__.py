@@ -1,0 +1,42 @@
+"""Campaign-as-a-service: a supervised multi-tenant job scheduler.
+
+``repro.service`` is the layer ROADMAP item 1 asked for above the
+per-campaign fault tolerance: a long-running scheduler that accepts
+characterize / mitigate / export job submissions over a small line-JSON
+socket API, runs them on a shared bounded worker pool, and survives
+everything the per-campaign machinery survives -- plus the failure
+modes only a *service* has:
+
+* **crash-safe queue** (:mod:`repro.service.queue`): every job
+  transition is one durable append to a ``repro-service-queue-v1``
+  JSONL journal (same atomic-header + fsync'd-append + running-digest
+  discipline as the checkpoint journal), so ``serve --resume``
+  re-adopts every queued and running job after a SIGKILL;
+* **lease-based execution** (:mod:`repro.service.scheduler`): a running
+  job's worker heartbeats through the campaign's own progress events;
+  a wedged or crashed worker's lease expires and the job is reclaimed
+  and *resumed from its campaign checkpoint*, with the displaced
+  writer's appends revoked through the journal's advisory lock;
+* **backpressure**: bounded global and per-tenant queues reject
+  overload with a typed :class:`~repro.errors.ServiceOverloadError`
+  instead of growing without bound;
+* **fairness**: round-robin across tenants, FIFO within a tenant;
+* **graceful drain**: SIGTERM/SIGINT stops admission, interrupts
+  in-flight campaigns at their next shard boundary (every completed
+  shard already journaled), seals the queue journal, and exits 0.
+
+Entry points: ``repro-characterize serve`` (:mod:`repro.service.server`)
+and :class:`repro.service.client.ServiceClient`.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.queue import JobQueue, JobRecord, QueueJournal
+from repro.service.scheduler import CampaignScheduler
+
+__all__ = [
+    "ServiceClient",
+    "JobQueue",
+    "JobRecord",
+    "QueueJournal",
+    "CampaignScheduler",
+]

@@ -1,0 +1,128 @@
+"""Client for the campaign service's line-JSON socket API.
+
+:class:`ServiceClient` speaks one request per connection to a
+``repro-characterize serve`` process.  Failures come back as the same
+typed exceptions an in-process caller of the scheduler would see --
+:class:`~repro.errors.ServiceOverloadError` when admission control
+rejects, :class:`~repro.errors.ServiceDrainingError` during graceful
+shutdown, :class:`~repro.errors.JobNotFoundError` for a bad job id --
+so client retry logic can match on exception type instead of parsing
+messages.
+
+Two clients sharing one server::
+
+    alice = ServiceClient(root / "service.sock")
+    bob = ServiceClient(root / "service.sock")
+    a = alice.submit("alice", "characterize", {"modules": ["S0"]})
+    b = bob.submit("bob", "mitigate", {"chips": ["E0"]})
+    alice.wait(a)   # round-robin keeps bob's job from starving
+    bob.wait(b)
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ServiceError
+from repro.service.protocol import decode_line, encode_line, raise_error
+from repro.service.queue import TERMINAL_STATES
+
+__all__ = ["ServiceClient"]
+
+
+class ServiceClient:
+    """Connect-per-request client for the service socket."""
+
+    def __init__(
+        self,
+        socket_path: Union[str, "Path"],
+        timeout: float = 10.0,
+    ) -> None:
+        self._socket_path = str(socket_path)
+        self._timeout = timeout
+
+    # ------------------------------------------------------ transport
+
+    def _request(self, payload: Dict) -> Dict:
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self._timeout)
+                sock.connect(self._socket_path)
+                sock.sendall(encode_line(payload))
+                sock.shutdown(socket.SHUT_WR)
+                chunks: List[bytes] = []
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self._socket_path}: {exc}"
+            ) from exc
+        raw = b"".join(chunks)
+        if not raw:
+            raise ServiceError(
+                f"service at {self._socket_path} closed the connection "
+                f"without answering"
+            )
+        response = decode_line(raw)
+        if not response.get("ok"):
+            raise_error(response)
+        return response
+
+    # ------------------------------------------------------------ ops
+
+    def ping(self) -> bool:
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def submit(self, tenant: str, kind: str, spec: Dict) -> str:
+        """Submit one job; returns its id (typed errors on rejection)."""
+        response = self._request(
+            {"op": "submit", "tenant": tenant, "kind": kind, "spec": spec}
+        )
+        return response["job"]
+
+    def status(self, job_id: str) -> Dict:
+        return self._request({"op": "status", "job": job_id})
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        payload: Dict = {"op": "list"}
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return self._request(payload)["jobs"]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self._request({"op": "cancel", "job": job_id})
+
+    def drain(self) -> None:
+        self._request({"op": "drain"})
+
+    def stats(self) -> Dict:
+        return self._request({"op": "stats"})
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: float = 120.0,
+        poll: float = 0.25,
+    ) -> Dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises :class:`~repro.errors.ServiceError` on timeout -- the
+        job keeps running; only the wait gave up.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:.1f}s waiting for job "
+                    f"{job_id} (last state: {status.get('state')!r})"
+                )
+            time.sleep(poll)

@@ -1,0 +1,308 @@
+"""Job specs and execution for the campaign service.
+
+A job is ``(tenant, kind, spec)``.  Three kinds, mirroring the CLI's
+campaign modes:
+
+* ``characterize`` -- a figure-style sweep over calibrated modules;
+* ``mitigate``     -- the mitigation stress-evaluation campaign;
+* ``export``       -- a sweep streamed through the flip sink and sealed
+  into population shards + manifest.
+
+Every job runs inside its own tenant namespace
+``<root>/tenants/<tenant>/jobs/<job_id>/`` holding the job's campaign
+checkpoint (``checkpoint.jsonl``), its JSONL trace (``trace.jsonl``,
+events tagged with the job's ``campaign_id``), and its result artifacts
+(``results.json`` + digest sidecars; export jobs add shard files and a
+manifest).  The checkpoint is what makes lease reclaim cheap: a
+reclaimed or drained job resumes from its journaled shards
+(``resume=True``) with the advisory lock stolen from the displaced
+writer (``steal_lock=True``), and its final results digest is
+bit-identical to an uninterrupted run's.
+
+Specs are validated **at admission** (:func:`validate_spec`), so a bad
+submission is a typed :class:`~repro.errors.ServiceProtocolError` on
+the client, not a failed job discovered minutes later.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.errors import ServiceProtocolError
+from repro.obs import JsonlTrace, Observability, ProgressReporter
+from repro.patterns import ALL_PATTERNS
+from repro.validate.schema import KNOWN_JOB_KINDS
+
+__all__ = [
+    "validate_spec",
+    "execute_job",
+    "job_dir",
+    "HeartbeatReporter",
+]
+
+#: Spec keys every kind accepts.  ``validate`` arms artifact digests +
+#: the post-run invariant self-check; the sweep-shape keys exist so
+#: tests and demos can run small campaigns quickly.
+_COMMON_KEYS = frozenset(
+    ("validate", "rows", "cols", "locations_per_region", "n_regions",
+     "stride", "trials", "backend", "fault_seed")
+)
+_KIND_KEYS = {
+    "characterize": _COMMON_KEYS | {"modules", "points", "t_max"},
+    "export": _COMMON_KEYS | {"modules", "points", "t_max"},
+    "mitigate": _COMMON_KEYS | {"chips", "mitigations", "t_values"},
+}
+
+
+def _require_type(spec: Dict, key: str, types, label: str) -> None:
+    value = spec[key]
+    if isinstance(value, bool) and bool not in (
+        types if isinstance(types, tuple) else (types,)
+    ):
+        raise ServiceProtocolError(f"spec.{key} must be {label}, got bool")
+    if not isinstance(value, types):
+        raise ServiceProtocolError(
+            f"spec.{key} must be {label}, got {type(value).__name__}"
+        )
+
+
+def validate_spec(kind: str, spec: Dict) -> Dict:
+    """Validate and normalize one job spec at admission time."""
+    if kind not in KNOWN_JOB_KINDS:
+        raise ServiceProtocolError(
+            f"unknown job kind {kind!r} (this service runs "
+            f"{list(KNOWN_JOB_KINDS)})"
+        )
+    if not isinstance(spec, dict):
+        raise ServiceProtocolError(
+            f"job spec must be an object, got {type(spec).__name__}"
+        )
+    allowed = _KIND_KEYS[kind]
+    for key in spec:
+        if key not in allowed:
+            raise ServiceProtocolError(
+                f"spec.{key} is not a {kind} spec field (allowed: "
+                f"{sorted(allowed)})"
+            )
+    for key, types, label in (
+        ("modules", list, "an array of module keys"),
+        ("chips", list, "an array of chip keys"),
+        ("mitigations", list, "an array of mechanism names"),
+        ("t_values", list, "an array of tAggON values"),
+        ("points", int, "an integer"),
+        ("trials", int, "an integer"),
+        ("rows", int, "an integer"),
+        ("cols", int, "an integer"),
+        ("locations_per_region", int, "an integer"),
+        ("n_regions", int, "an integer"),
+        ("stride", int, "an integer"),
+        ("fault_seed", int, "an integer"),
+        ("t_max", (int, float), "a number"),
+        ("validate", bool, "a boolean"),
+        ("backend", str, "a backend kind"),
+    ):
+        if key in spec:
+            _require_type(spec, key, types, label)
+    if spec.get("backend") not in (None, "sim", "noisy"):
+        raise ServiceProtocolError(
+            f"spec.backend must be 'sim' or 'noisy', got "
+            f"{spec['backend']!r}"
+        )
+    return spec
+
+
+def job_dir(root: os.PathLike, tenant: str, job_id: str) -> Path:
+    """The per-tenant namespace one job's artifacts live in."""
+    return Path(root) / "tenants" / tenant / "jobs" / job_id
+
+
+class HeartbeatReporter(ProgressReporter):
+    """Feeds every campaign event to the scheduler's lease heartbeat.
+
+    Shard completions are the natural heartbeat of a healthy campaign:
+    a worker wedged inside a shard stops emitting and its lease
+    expires, which is exactly the behaviour the reclaim path wants.
+    """
+
+    def __init__(self, beat: Callable[[], None]) -> None:
+        self._beat = beat
+
+    def emit(self, event: Dict) -> None:
+        self._beat()
+
+
+def _config(spec: Dict):
+    """Build the characterization config a spec describes."""
+    from repro.core.experiment import CharacterizationConfig
+    from repro.dram.rowselect import RowSelection
+    from repro.dram.topology import BankGeometry
+
+    kwargs: Dict = {}
+    if "rows" in spec or "cols" in spec:
+        kwargs["geometry"] = BankGeometry(
+            rows=spec.get("rows", 4096),
+            cols_simulated=spec.get("cols", 256),
+        )
+    if (
+        "locations_per_region" in spec
+        or "n_regions" in spec
+        or "stride" in spec
+    ):
+        kwargs["selection"] = RowSelection(
+            locations_per_region=spec.get("locations_per_region", 12),
+            n_regions=spec.get("n_regions", 3),
+            stride=spec.get("stride", 8),
+        )
+    if "trials" in spec:
+        kwargs["trials"] = spec["trials"]
+    return CharacterizationConfig(**kwargs)
+
+
+def _backend_spec(spec: Dict):
+    """The device backend a spec selects (mirrors the CLI's flags)."""
+    from repro.backend import BackendSpec, demo_noise
+
+    if spec.get("backend") == "noisy":
+        modules = spec.get("modules") or ["S0"]
+        return BackendSpec(
+            kind="noisy",
+            n_devices=2,
+            seed=spec.get("fault_seed", 0),
+            noise=demo_noise(modules[0]),
+        )
+    return BackendSpec(kind="sim")
+
+
+def execute_job(
+    record,
+    root: os.PathLike,
+    stop_check: Optional[Callable[[], bool]] = None,
+    heartbeat: Optional[Callable[[], None]] = None,
+    resume: bool = False,
+) -> Dict:
+    """Run one job to completion inside its tenant namespace.
+
+    ``stop_check`` is polled at shard boundaries (graceful drain /
+    lease revocation raise
+    :class:`~repro.errors.CampaignInterruptedError` out of here);
+    ``heartbeat`` is fed every campaign event.  With ``resume=True``
+    (any re-leased attempt) the job resumes from its own checkpoint
+    with the advisory lock stolen from the attempt it displaced, and
+    the returned digests are bit-identical to an uninterrupted run.
+
+    Returns the job's result payload: artifact paths and the canonical
+    results digest that the chaos proof compares across kill/restart
+    cycles.
+    """
+    directory = job_dir(root, record.tenant, record.job_id)
+    directory.mkdir(parents=True, exist_ok=True)
+    spec = record.spec
+    validate = bool(spec.get("validate", False))
+    checkpoint = directory / "checkpoint.jsonl"
+    reporters = [JsonlTrace(directory / "trace.jsonl", digest=validate)]
+    if heartbeat is not None:
+        reporters.append(HeartbeatReporter(heartbeat))
+    obs = Observability(reporters=reporters, campaign_id=record.job_id)
+    # Resume whenever this job already journaled shards: first attempts
+    # start fresh, re-leased attempts continue where the last one died.
+    resume = resume or (checkpoint.exists() and checkpoint.stat().st_size > 0)
+    try:
+        if record.kind == "mitigate":
+            return _run_mitigate(
+                record, directory, obs,
+                checkpoint=checkpoint, resume=resume,
+                stop_check=stop_check, validate=validate,
+            )
+        return _run_characterize(
+            record, directory, obs,
+            checkpoint=checkpoint, resume=resume,
+            stop_check=stop_check, validate=validate,
+            export=record.kind == "export",
+        )
+    finally:
+        obs.close()
+
+
+def _run_characterize(
+    record, directory: Path, obs, *,
+    checkpoint: Path, resume: bool, stop_check, validate: bool,
+    export: bool,
+) -> Dict:
+    from repro.cli import sweep_points
+    from repro.core.runner import CharacterizationRunner
+    from repro.system import build_modules
+    from repro.validate.invariants import results_digest
+
+    spec = record.spec
+    config = _config(spec)
+    modules = build_modules(spec.get("modules", ["S0"]), config)
+    runner = CharacterizationRunner(
+        config, obs=obs, backend=_backend_spec(spec)
+    )
+    t_values = sweep_points(
+        spec.get("points", 5), spec.get("t_max", 70_200.0)
+    )
+    kwargs = dict(
+        trials=spec.get("trials"),
+        workers=0,  # serial per job; the scheduler parallelizes jobs
+        checkpoint=str(checkpoint),
+        resume=resume,
+        validate=validate,
+        stop_check=stop_check,
+        steal_lock=resume,  # a resumed lease displaces the old writer
+    )
+    result: Dict = {}
+    if export:
+        from repro.core.flipdb import FlipSink
+
+        store = directory / "flips.sqlite"
+        with FlipSink(str(store), metrics=obs.metrics) as sink:
+            results = runner.characterize(
+                modules, t_values, ALL_PATTERNS, sink=sink, **kwargs
+            )
+            info = sink.db.export_shards(directory, metrics=obs.metrics)
+        result["manifest"] = info.manifest_path
+        result["n_shards"] = len(info.shards)
+        result["digest"] = info.results_digest
+    else:
+        results = runner.characterize(
+            modules, t_values, ALL_PATTERNS, **kwargs
+        )
+        result["digest"] = results_digest(results)
+    dump = directory / "results.json"
+    results.dump(dump, include_census=True, digest=True)
+    result["results"] = str(dump)
+    result["n_measurements"] = len(results)
+    return result
+
+
+def _run_mitigate(
+    record, directory: Path, obs, *,
+    checkpoint: Path, resume: bool, stop_check, validate: bool,
+) -> Dict:
+    from repro.mitigations.campaign import MitigationCampaign
+    from repro.validate.invariants import mitigation_results_digest
+
+    spec = record.spec
+    campaign = MitigationCampaign(obs=obs, backend=_backend_spec(spec))
+    kwargs: Dict = dict(
+        chips=spec.get("chips", ["E0"]),
+        mitigations=spec.get("mitigations", ["para", "graphene"]),
+        checkpoint=str(checkpoint),
+        resume=resume,
+        validate=validate,
+        stop_check=stop_check,
+        steal_lock=resume,
+    )
+    if "t_values" in spec:
+        kwargs["t_values"] = spec["t_values"]
+    results = campaign.run(**kwargs)
+    dump = directory / "results.json"
+    results.dump(dump, digest=True)
+    return {
+        "digest": mitigation_results_digest(results),
+        "results": str(dump),
+        "n_measurements": len(results),
+    }

@@ -1,0 +1,93 @@
+"""Line-JSON wire protocol shared by the service server and client.
+
+One request per connection: the client sends a single JSON object on
+one line, the server answers with a single JSON object on one line and
+closes.  Success responses are ``{"ok": true, ...payload}``; failures
+are ``{"ok": false, "error": {"type": <tag>, "message": <str>}}`` where
+``type`` maps back to the typed exception hierarchy in
+:mod:`repro.errors` -- so a client sees the *same* exception an
+in-process caller would (``ServiceOverloadError`` for backpressure,
+``ServiceDrainingError`` during shutdown, ``JobNotFoundError`` for a
+bad id, ``ServiceProtocolError`` for malformed requests).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Tuple, Type
+
+from repro.errors import (
+    JobNotFoundError,
+    ServiceDrainingError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceProtocolError,
+)
+
+__all__ = [
+    "ERROR_TYPES",
+    "encode_line",
+    "decode_line",
+    "error_payload",
+    "raise_error",
+]
+
+#: Wire tag -> exception class.  The generic ``service`` tag is the
+#: fallback for server-side errors with no more specific type.
+ERROR_TYPES: Dict[str, Type[ServiceError]] = {
+    "overload": ServiceOverloadError,
+    "draining": ServiceDrainingError,
+    "not-found": JobNotFoundError,
+    "protocol": ServiceProtocolError,
+    "service": ServiceError,
+}
+_TYPE_TAGS: Tuple[Tuple[Type[ServiceError], str], ...] = (
+    (ServiceOverloadError, "overload"),
+    (ServiceDrainingError, "draining"),
+    (JobNotFoundError, "not-found"),
+    (ServiceProtocolError, "protocol"),
+    (ServiceError, "service"),
+)
+
+
+def encode_line(payload: Dict) -> bytes:
+    """One strict-JSON line, ready to write to the socket."""
+    return (json.dumps(payload, allow_nan=False) + "\n").encode("utf-8")
+
+
+def decode_line(raw: bytes) -> Dict:
+    """Parse one received line; typed error on malformed input."""
+    try:
+        payload = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(
+            f"malformed protocol line: {exc}"
+        ) from exc
+    if not isinstance(payload, dict):
+        raise ServiceProtocolError(
+            f"protocol messages must be JSON objects, got "
+            f"{type(payload).__name__}"
+        )
+    return payload
+
+
+def error_payload(exc: Exception) -> Dict:
+    """The wire form of an exception (typed tag + message)."""
+    tag = "service"
+    for cls, candidate in _TYPE_TAGS:
+        if isinstance(exc, cls):
+            tag = candidate
+            break
+    return {
+        "ok": False,
+        "error": {"type": tag, "message": str(exc)},
+    }
+
+
+def raise_error(payload: Dict) -> None:
+    """Client side: re-raise a failure payload as its typed exception."""
+    error = payload.get("error")
+    if not isinstance(error, dict):
+        raise ServiceError(f"malformed error response: {payload!r}")
+    cls = ERROR_TYPES.get(error.get("type"), ServiceError)
+    raise cls(error.get("message", "service error"))

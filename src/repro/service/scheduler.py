@@ -1,0 +1,290 @@
+"""Lease-based worker pool driving the campaign service's job queue.
+
+:class:`CampaignScheduler` owns the :class:`~repro.service.queue.JobQueue`
+and a small pool of worker threads.  Each worker leases one job at a
+time and runs it through :func:`repro.service.jobs.execute_job` inside
+the job's tenant namespace.  Three supervision mechanisms keep the pool
+honest:
+
+* **heartbeats** -- every campaign progress event refreshes the job's
+  lease.  A healthy campaign heartbeats at least once per shard; a
+  worker wedged *inside* a shard goes silent.
+* **lease reclaim** -- a monitor thread requeues any running job whose
+  lease is older than ``lease_ttl``.  The next lease bumps the job's
+  attempt token, so anything the wedged worker later reports is
+  recognized as stale and dropped; the reclaimed run resumes from the
+  job's campaign checkpoint and *steals* its advisory lock, revoking
+  the displaced writer's appends.
+* **graceful drain** -- :meth:`drain` stops admission and trips every
+  in-flight campaign's ``stop_check``; campaigns stop at their next
+  shard boundary (every completed shard already journaled) and their
+  jobs are requeued for the next ``serve --resume``.
+
+The scheduler takes an injectable ``executor`` callable so tests can
+exercise the supervision machinery (hangs, crashes, stale completions)
+without running real campaigns.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from repro.errors import (
+    CampaignInterruptedError,
+    CheckpointBusyError,
+    ReproError,
+)
+from repro.obs import MetricsRegistry
+from repro.service.jobs import execute_job, validate_spec
+from repro.service.queue import JobQueue, JobRecord, QueueJournal
+
+__all__ = ["CampaignScheduler"]
+
+logger = logging.getLogger("repro.service")
+
+
+class CampaignScheduler:
+    """Supervised multi-tenant campaign scheduler.
+
+    ``root`` is the service's state directory: the queue journal lives
+    at ``<root>/queue.jsonl`` and each job's artifacts under
+    ``<root>/tenants/<tenant>/jobs/<job_id>/``.  ``executor`` defaults
+    to :func:`repro.service.jobs.execute_job`; tests inject stubs with
+    the same signature.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, "Path"],
+        workers: int = 2,
+        max_queued: int = 16,
+        max_queued_per_tenant: int = 8,
+        lease_ttl: float = 30.0,
+        poll_interval: float = 0.2,
+        executor: Optional[Callable] = None,
+        steal_lock: bool = False,
+    ) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._lease_ttl = lease_ttl
+        self._poll = poll_interval
+        self._executor = executor if executor is not None else execute_job
+        journal = QueueJournal(
+            self._root / "queue.jsonl", steal_lock=steal_lock
+        )
+        self.queue = JobQueue(
+            journal,
+            max_queued=max_queued,
+            max_queued_per_tenant=max_queued_per_tenant,
+        )
+        self._n_workers = max(1, workers)
+        self._threads: List[threading.Thread] = []
+        self._monitor: Optional[threading.Thread] = None
+        self._drain_event = threading.Event()
+        self._stop_event = threading.Event()
+        self._started = False
+        #: ``service.*`` counters -- the scheduler's own telemetry,
+        #: alongside each job's per-campaign metrics.
+        self.metrics = MetricsRegistry()
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "completed": 0,
+            "failed": 0,
+            "requeued": 0,
+            "reclaimed": 0,
+            "stale_dropped": 0,
+        }
+
+    # ------------------------------------------------------- lifecycle
+
+    def start(self, resume: bool = False) -> int:
+        """Open the queue and launch the pool; returns re-adopted jobs."""
+        adopted = self.queue.open(resume=resume)
+        for index in range(self._n_workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(f"worker-{index}",),
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self._monitor = threading.Thread(
+            target=self._monitor_loop,
+            name="repro-service-lease-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+        self._started = True
+        return adopted
+
+    def drain(self) -> None:
+        """Stop admission and interrupt in-flight campaigns."""
+        self._drain_event.set()
+        self.queue.drain()
+
+    def stop(self, graceful: bool = True, timeout: float = 60.0) -> None:
+        """Drain, join the pool, and seal the journal.
+
+        With ``graceful=True`` in-flight campaigns stop at their next
+        shard boundary and are requeued (journaled) before the seal, so
+        a later ``serve --resume`` re-adopts them with their completed
+        shards intact.
+        """
+        if graceful:
+            self.drain()
+        self._stop_event.set()
+        self.queue.drain()  # wake any worker blocked in next_job
+        deadline = time.monotonic() + timeout
+        for thread in self._threads:
+            thread.join(max(0.0, deadline - time.monotonic()))
+        if self._monitor is not None:
+            self._monitor.join(max(0.0, deadline - time.monotonic()))
+        self.queue.seal()
+        self._started = False
+
+    # ------------------------------------------------------ client ops
+
+    def submit(self, tenant: str, kind: str, spec: Dict) -> JobRecord:
+        """Validate and admit one job (spec errors are typed, upfront)."""
+        try:
+            validate_spec(kind, spec)
+            record = self.queue.submit(tenant, kind, spec)
+        except ReproError:
+            self.metrics.inc("service.rejected")
+            raise
+        self.metrics.inc("service.submitted")
+        return record
+
+    def status(self, job_id: str) -> Dict:
+        return self.queue.get(job_id).to_wire()
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Dict]:
+        return [record.to_wire() for record in self.queue.jobs(tenant)]
+
+    def cancel(self, job_id: str) -> Dict:
+        return self.queue.cancel(job_id).to_wire()
+
+    def stats(self) -> Dict:
+        with self._stats_lock:
+            supervision = dict(self._stats)
+        return {
+            "jobs": self.queue.counts(),
+            "supervision": supervision,
+            "metrics": self.metrics.counters_with_prefix("service."),
+            "workers": self._n_workers,
+            "draining": self._drain_event.is_set(),
+        }
+
+    def _bump(self, counter: str) -> None:
+        with self._stats_lock:
+            self._stats[counter] += 1
+        self.metrics.inc(f"service.{counter}")
+
+    # ----------------------------------------------------- worker pool
+
+    def _worker_loop(self, worker: str) -> None:
+        while not self._stop_event.is_set():
+            record = self.queue.next_job(worker, timeout=self._poll)
+            if record is None:
+                if self._drain_event.is_set():
+                    return
+                continue
+            self._run_job(worker, record)
+
+    def _run_job(self, worker: str, record: JobRecord) -> None:
+        job_id, attempt = record.job_id, record.attempt
+        leased_at = time.monotonic()
+
+        def stop_check() -> bool:
+            # Stop at the next shard boundary when draining, or when
+            # this lease was reclaimed out from under us (the monitor
+            # decided we were wedged -- better to stand down than to
+            # race the new owner).
+            if self._drain_event.is_set():
+                return True
+            return not self.queue.heartbeat(job_id, attempt)
+
+        def heartbeat() -> None:
+            self.queue.heartbeat(job_id, attempt)
+
+        resumed = attempt > 1
+        try:
+            result = self._executor(
+                record,
+                self._root,
+                stop_check=stop_check,
+                heartbeat=heartbeat,
+                resume=resumed,
+            )
+        except CampaignInterruptedError:
+            # Shard-boundary stop: drain or revoked lease.  Requeue is
+            # attempt-guarded, so a revoked lease's requeue is a no-op.
+            if self.queue.requeue(job_id, attempt, reason="drain"):
+                self._bump("requeued")
+            else:
+                self._bump("stale_dropped")
+            return
+        except CheckpointBusyError as exc:
+            # Our checkpoint lock was stolen: the lease was reclaimed
+            # and the new owner is already writing.  Stand down.
+            logger.warning(
+                "worker %s lost job %s to a reclaimed lease: %s",
+                worker,
+                job_id,
+                exc,
+            )
+            self._bump("stale_dropped")
+            return
+        except ReproError as exc:
+            if not self.queue.fail(job_id, attempt, str(exc)):
+                self._bump("stale_dropped")
+                return
+            self._bump("failed")
+            logger.warning("job %s failed: %s", job_id, exc)
+            return
+        except Exception as exc:  # noqa: BLE001 -- worker must survive
+            if not self.queue.fail(
+                job_id, attempt, f"{type(exc).__name__}: {exc}"
+            ):
+                self._bump("stale_dropped")
+                return
+            self._bump("failed")
+            logger.exception("job %s crashed", job_id)
+            return
+        if self.queue.complete(job_id, attempt, result):
+            self._bump("completed")
+            self.metrics.observe(
+                "service.job_seconds", time.monotonic() - leased_at
+            )
+        else:
+            self._bump("stale_dropped")
+
+    # --------------------------------------------------- lease monitor
+
+    def _monitor_loop(self) -> None:
+        while not self._stop_event.is_set():
+            now = time.monotonic()
+            for record in self.queue.running():
+                lease_t = record.lease_t
+                if lease_t is None or now - lease_t <= self._lease_ttl:
+                    continue
+                if self.queue.requeue(
+                    record.job_id,
+                    record.attempt,
+                    reason="lease-expired",
+                ):
+                    self._bump("reclaimed")
+                    logger.warning(
+                        "reclaimed job %s from worker %s (lease older "
+                        "than %.1fs); it will resume from its "
+                        "checkpoint",
+                        record.job_id,
+                        record.worker,
+                        self._lease_ttl,
+                    )
+            self._stop_event.wait(self._poll)

@@ -1,0 +1,216 @@
+"""Unix-domain-socket front end for the campaign scheduler.
+
+``repro-characterize serve --root DIR`` runs this server: a
+:class:`CampaignScheduler` plus a tiny threaded accept loop speaking
+the one-line-JSON protocol of :mod:`repro.service.protocol` on
+``<root>/service.sock`` (override with ``--socket``).
+
+Supported ops: ``ping``, ``submit``, ``status``, ``list``, ``cancel``,
+``drain``, ``stats``.
+
+SIGTERM and SIGINT trigger the graceful drain: admission stops (new
+submissions get a typed draining rejection), every in-flight campaign
+is interrupted at its next shard boundary and requeued, the queue
+journal is sealed, and the process exits 0.  A later
+``serve --resume`` re-adopts every open job and finishes it from its
+campaign checkpoint -- the chaos contract the service tests assert.
+"""
+
+from __future__ import annotations
+
+import logging
+import signal
+import socketserver
+import sys
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.errors import ReproError, ServiceProtocolError
+from repro.service.protocol import (
+    decode_line,
+    encode_line,
+    error_payload,
+)
+from repro.service.scheduler import CampaignScheduler
+
+__all__ = ["ServiceServer", "serve"]
+
+logger = logging.getLogger("repro.service")
+
+#: Largest accepted request line; submissions are small spec objects,
+#: so anything bigger is a protocol violation, not a real client.
+MAX_LINE = 1 << 20
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "_SocketServer" = self.server  # type: ignore[assignment]
+        try:
+            raw = self.rfile.readline(MAX_LINE + 1)
+            if not raw:
+                return
+            if len(raw) > MAX_LINE:
+                raise ServiceProtocolError(
+                    f"request line exceeds {MAX_LINE} bytes"
+                )
+            request = decode_line(raw)
+            response = server.service.dispatch(request)
+        except Exception as exc:  # noqa: BLE001 -- typed on the wire
+            response = error_payload(exc)
+            if not isinstance(exc, ReproError):
+                logger.exception("request handler crashed")
+        try:
+            self.wfile.write(encode_line(response))
+        except (OSError, ValueError):
+            pass  # client went away; nothing to do
+
+
+class _SocketServer(socketserver.ThreadingUnixStreamServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, path: str, service: "ServiceServer") -> None:
+        self.service = service
+        super().__init__(path, _Handler)
+
+
+class ServiceServer:
+    """The scheduler plus its socket front end and signal handling."""
+
+    def __init__(
+        self,
+        root: Union[str, "Path"],
+        socket_path: Optional[Union[str, "Path"]] = None,
+        **scheduler_kwargs,
+    ) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._socket_path = Path(
+            socket_path
+            if socket_path is not None
+            else self._root / "service.sock"
+        )
+        self.scheduler = CampaignScheduler(self._root, **scheduler_kwargs)
+        self._server: Optional[_SocketServer] = None
+        self._shutdown = threading.Event()
+
+    @property
+    def socket_path(self) -> Path:
+        return self._socket_path
+
+    # ------------------------------------------------------ dispatch
+
+    def dispatch(self, request: Dict) -> Dict:
+        """Execute one request; typed exceptions surface to the wire."""
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            record = self.scheduler.submit(
+                request.get("tenant", ""),
+                request.get("kind", ""),
+                request.get("spec", {}),
+            )
+            return {"ok": True, "job": record.job_id}
+        if op == "status":
+            return {
+                "ok": True,
+                **self.scheduler.status(self._job_id(request)),
+            }
+        if op == "list":
+            tenant = request.get("tenant")
+            return {"ok": True, "jobs": self.scheduler.list_jobs(tenant)}
+        if op == "cancel":
+            return {
+                "ok": True,
+                **self.scheduler.cancel(self._job_id(request)),
+            }
+        if op == "drain":
+            self.request_shutdown()
+            return {"ok": True, "draining": True}
+        if op == "stats":
+            return {"ok": True, **self.scheduler.stats()}
+        raise ServiceProtocolError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _job_id(request: Dict) -> str:
+        job_id = request.get("job")
+        if not isinstance(job_id, str) or not job_id:
+            raise ServiceProtocolError(
+                "request needs a 'job' field with a job id"
+            )
+        return job_id
+
+    # ----------------------------------------------------- lifecycle
+
+    def request_shutdown(self) -> None:
+        """Begin the graceful drain (idempotent, signal-safe)."""
+        if not self._shutdown.is_set():
+            self.scheduler.drain()
+            self._shutdown.set()
+
+    def _install_signal_handlers(self) -> None:
+        def handler(signum, frame) -> None:  # noqa: ARG001
+            logger.info(
+                "received %s; draining", signal.Signals(signum).name
+            )
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, handler)
+        signal.signal(signal.SIGINT, handler)
+
+    def run(self, resume: bool = False) -> int:
+        """Serve until a signal or ``drain`` request; returns 0."""
+        if self._socket_path.exists():
+            # A previous server that died with SIGKILL leaves its
+            # socket file; binding over it needs the unlink.  A *live*
+            # server holds the queue journal's advisory lock, so
+            # start() below would fail before we could race it.
+            self._socket_path.unlink()
+        adopted = self.scheduler.start(resume=resume)
+        self._install_signal_handlers()
+        self._server = _SocketServer(str(self._socket_path), self)
+        acceptor = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-service-acceptor",
+            daemon=True,
+        )
+        acceptor.start()
+        sys.stderr.write(
+            f"repro.service: listening on {self._socket_path}"
+            + (f" (re-adopted {adopted} job(s))" if adopted else "")
+            + "\n"
+        )
+        try:
+            self._shutdown.wait()
+        finally:
+            self._server.shutdown()
+            self._server.server_close()
+            self.scheduler.stop(graceful=True)
+            try:
+                self._socket_path.unlink()
+            except OSError:
+                pass
+            counts = self.scheduler.stats()["jobs"]
+            sys.stderr.write(
+                f"repro.service: drained and sealed (jobs: {counts})\n"
+            )
+        return 0
+
+
+def serve(
+    root: Union[str, "Path"],
+    socket_path: Optional[Union[str, "Path"]] = None,
+    resume: bool = False,
+    **scheduler_kwargs,
+) -> int:
+    """CLI entry: build a server, run it to graceful exit."""
+    server = ServiceServer(root, socket_path, **scheduler_kwargs)
+    return server.run(resume=resume)
+
+
+def default_socket(root: Union[str, "Path"]) -> Path:
+    """Where a server for ``root`` listens unless told otherwise."""
+    return Path(root) / "service.sock"

@@ -47,6 +47,7 @@ from repro.validate.schema import (
     MANIFEST_FORMAT,
     METRICS_FORMAT,
     MITIGATION_FORMAT,
+    QUEUE_FORMAT,
     RESULTS_FORMAT,
     validate_bench_payload,
     validate_journal_entry,
@@ -54,6 +55,8 @@ from repro.validate.schema import (
     validate_manifest_payload,
     validate_metrics_payload,
     validate_mitigation_payload,
+    validate_queue_event,
+    validate_queue_header,
     validate_results_payload,
     validate_trace_event,
 )
@@ -81,7 +84,7 @@ __all__ = [
 #: Artifact kinds :func:`detect_kind` can identify.
 ARTIFACT_KINDS = (
     "results", "mitigation", "checkpoint", "metrics", "trace", "bench",
-    "manifest", "sidecar",
+    "manifest", "queue", "sidecar",
 )
 
 #: Names re-exported from the lazily imported invariants module.
@@ -180,6 +183,8 @@ def detect_kind(path: PathLike, raw: Optional[bytes] = None) -> str:
         # trace) parse as a single document too -- classify by shape.
         if payload.get("format") == JOURNAL_FORMAT:
             return "checkpoint"
+        if payload.get("format") == QUEUE_FORMAT:
+            return "queue"
         if "event" in payload and "t" in payload:
             return "trace"
     if isinstance(payload, list):
@@ -208,6 +213,8 @@ def detect_kind(path: PathLike, raw: Optional[bytes] = None) -> str:
     first = _parse_json(path, lines[0], what="first line")
     if isinstance(first, dict) and first.get("format") == JOURNAL_FORMAT:
         return "checkpoint"
+    if isinstance(first, dict) and first.get("format") == QUEUE_FORMAT:
+        return "queue"
     if isinstance(first, dict) and "event" in first and "t" in first:
         return "trace"
     raise ArtifactInvalidError(
@@ -265,7 +272,9 @@ def validate_artifact(
     if kind == "sidecar":
         return _validate_sidecar(path)
     report = ArtifactReport(path=str(path), kind=kind)
-    if kind == "checkpoint":
+    if kind in ("checkpoint", "queue"):
+        # Both are append-only journals with the crash-window-tolerant
+        # running-hash sidecar discipline.
         verified, note = integrity.verify_journal_bytes(path, raw)
         report.digest_verified = verified
         if note:
@@ -331,6 +340,9 @@ def validate_artifact(
             report.warnings.extend(check_provenance(payload["provenance"]))
     elif kind == "trace":
         report.n_records, warnings = _validate_trace_text(path, text)
+        report.warnings.extend(warnings)
+    elif kind == "queue":
+        report.n_records, warnings = _validate_queue_text(path, text)
         report.warnings.extend(warnings)
     elif kind == "manifest":
         payload = _parse_json(path, text)
@@ -467,6 +479,89 @@ def _validate_trace_text(path: PathLike, text: str) -> Tuple[int, List[str]]:
         validate_trace_event(event, number, source=str(path))
         count += 1
     return count, warnings
+
+
+def _validate_queue_text(path: PathLike, text: str) -> Tuple[int, List[str]]:
+    """Schema-validate a service queue journal and replay its history.
+
+    Beyond per-line schema checks, the replay enforces the queue state
+    machine: every ``lease``/``requeue``/terminal op must name a
+    submitted job, a terminal job never transitions again, and at most
+    one trailing ``seal`` closes the journal.  Returns ``(n_jobs,
+    warnings)``.
+    """
+    warnings: List[str] = []
+    lines = [
+        (number, line)
+        for number, line in enumerate(text.split("\n"), start=1)
+        if line.strip()
+    ]
+    if not lines:
+        raise ArtifactInvalidError(f"{path}: queue journal is empty")
+    header = _parse_json(path, lines[0][1], what="queue header (line 1)")
+    validate_queue_header(header, source=str(path))
+    if "provenance" in header:
+        warnings.extend(check_provenance(header["provenance"]))
+    states: Dict[str, str] = {}
+    sealed_at: Optional[int] = None
+    for ordinal, (number, line) in enumerate(lines[1:], start=1):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if ordinal == len(lines) - 1:
+                # Crash mid-append: identical tolerance to the
+                # checkpoint journal -- replay drops the torn line.
+                warnings.append(
+                    f"line {number} is torn (crash mid-append: {exc}); a "
+                    f"restart will drop it and replay the intact prefix"
+                )
+                break
+            raise ArtifactCorruptError(
+                f"{path}: line {number} is not parseable JSON ({exc}) and "
+                f"is not the trailing line; the queue journal was corrupted"
+            ) from exc
+        op, job = validate_queue_event(event, number, source=str(path))
+        if sealed_at is not None:
+            raise ArtifactInvalidError(
+                f"{path}: line {number}: $.op {op!r} follows the seal on "
+                f"line {sealed_at}; a sealed journal admits no more events"
+            )
+        if op == "seal":
+            sealed_at = number
+            continue
+        state = states.get(job)
+        if op == "submit":
+            if state is not None:
+                raise ArtifactInvalidError(
+                    f"{path}: line {number}: $.job {job!r} was already "
+                    f"submitted (duplicate job id)"
+                )
+            states[job] = "queued"
+            continue
+        if state is None:
+            raise ArtifactInvalidError(
+                f"{path}: line {number}: $.op {op!r} names job {job!r}, "
+                f"which was never submitted"
+            )
+        if state in ("complete", "fail", "cancel"):
+            raise ArtifactInvalidError(
+                f"{path}: line {number}: $.op {op!r} transitions job "
+                f"{job!r}, which already reached terminal state {state!r}"
+            )
+        states[job] = "running" if op == "lease" else (
+            "queued" if op == "requeue" else op
+        )
+    if sealed_at is None:
+        warnings.append(
+            "journal is not sealed (the service was killed or is still "
+            "running); a restart with --resume re-adopts its open jobs"
+        )
+    open_jobs = sum(
+        1 for s in states.values() if s in ("queued", "running")
+    )
+    if open_jobs:
+        warnings.append(f"{open_jobs} job(s) still open (queued or running)")
+    return len(states), warnings
 
 
 def validate_paths(

@@ -101,6 +101,40 @@ def test_retry_policy_validation_and_backoff():
         RetryPolicy(backoff_factor=0.5)
 
 
+def test_backoff_jitter_is_seeded_and_decorrelated():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter_seed=7)
+    same = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter_seed=7)
+    other = RetryPolicy(backoff_base=0.1, backoff_factor=2.0, jitter_seed=8)
+    # Deterministic: same (seed, salt, failure) -> same delay.
+    assert policy.backoff_delay(2, salt="shard-a") == same.backoff_delay(
+        2, salt="shard-a"
+    )
+    # Decorrelated: different salts (concurrent retriers) and different
+    # seeds spread out -- no retry stampede in lockstep.
+    delays = {
+        policy.backoff_delay(2, salt=f"shard-{i}") for i in range(8)
+    }
+    assert len(delays) == 8
+    assert policy.backoff_delay(2, salt="shard-a") != other.backoff_delay(
+        2, salt="shard-a"
+    )
+    # Bounded: jitter scales within [0.5, 1.5) of the exponential delay.
+    base = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+    for failures in (1, 2, 3):
+        expected = base.backoff_delay(failures)
+        for salt in ("a", "b", "c"):
+            jittered = policy.backoff_delay(failures, salt=salt)
+            assert 0.5 * expected <= jittered < 1.5 * expected
+
+
+def test_backoff_jitter_defaults_off_and_bit_stable():
+    policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0)
+    # jitter_seed=None: salt has no effect and the exact pre-jitter
+    # exponential delays are returned (existing campaigns bit-stable).
+    assert policy.backoff_delay(1, salt="anything") == pytest.approx(0.1)
+    assert policy.backoff_delay(3, salt="other") == pytest.approx(0.4)
+
+
 # ------------------------------------------------------- result validation
 
 
@@ -352,14 +386,16 @@ def test_journal_round_trip_and_duplicate_detection(fast_config, s0_module, tmp_
     shard = plan.shards[0]
     measurements = list(baseline)[: len(shard.units)]
     journal.record(shard.index, measurements)
+    journal.release()  # hand the append lock to the reader below
 
     loaded = CheckpointJournal(journal.path).load(fingerprint)
     assert loaded == {shard.index: measurements}
-    # No temp droppings from the atomic rewrite.
+    # No temp droppings from the atomic rewrite (or the advisory lock).
     assert [p.name for p in tmp_path.iterdir()] == ["j.jsonl"]
 
     # A duplicated shard entry is corruption, not data.
     journal.record(shard.index, measurements)
+    journal.release()
     with pytest.raises(CheckpointError, match="twice"):
         CheckpointJournal(journal.path).load(fingerprint)
 
@@ -410,6 +446,7 @@ def test_fingerprint_mismatch_message_names_both(fast_config, s0_module, tmp_pat
     plan = SweepPlan.build([s0_module], T_VALUES, ALL_PATTERNS, trials=1)
     journal = CheckpointJournal(tmp_path / "j.jsonl")
     journal.start("aaaa1111aaaa1111", len(plan.shards))
+    journal.release()
     with pytest.raises(CheckpointError) as excinfo:
         CheckpointJournal(journal.path).load("bbbb2222bbbb2222")
     message = str(excinfo.value)

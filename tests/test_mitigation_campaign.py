@@ -197,6 +197,7 @@ def test_journal_codec_kinds_do_not_cross(tmp_path):
     writer = CheckpointJournal(path, codec=MITIGATION_CODEC)
     writer.start("f" * 16, 1)
     writer.record(0, [make_point()])
+    writer.release()
     with pytest.raises(CheckpointError, match="repro-mitigation-point-v1"):
         CheckpointJournal(path).load("f" * 16)
 
@@ -555,6 +556,7 @@ def test_campaign_rejects_foreign_journal(tmp_path):
     journal = tmp_path / "foreign.ckpt"
     writer = CheckpointJournal(journal, codec=MITIGATION_CODEC)
     writer.start("0" * 16, 4)  # fingerprint of some other campaign
+    writer.release()
     with pytest.raises(CheckpointError, match="fingerprint"):
         run_small(checkpoint=str(journal), resume=True)
 

@@ -301,6 +301,33 @@ def test_stderr_progress_lines(fast_config, s0_module):
     assert lines[-1].startswith("campaign done in ")
 
 
+def test_campaign_id_tags_progress_and_trace(fast_config, s0_module, tmp_path):
+    """Observability(campaign_id=...) attributes interleaved output."""
+    stream = io.StringIO()
+    trace_path = tmp_path / "trace.jsonl"
+    obs = Observability(
+        reporters=[StderrProgress(stream), JsonlTrace(trace_path)],
+        campaign_id="job-0042",
+    )
+    _characterize(fast_config, s0_module, obs=obs)
+    obs.close()
+    lines = stream.getvalue().splitlines()
+    assert lines and all(line.startswith("[job-0042] ") for line in lines)
+    events = [_strict_loads(l) for l in trace_path.read_text().splitlines()]
+    assert events and all(e["campaign_id"] == "job-0042" for e in events)
+
+    # The schema tolerates both tagged events and untagged (old) traces,
+    # and rejects a non-string tag.
+    from repro.errors import ArtifactInvalidError
+    from repro.validate.schema import validate_trace_event
+
+    validate_trace_event(events[0], 2, "trace.jsonl")
+    untagged = {k: v for k, v in events[0].items() if k != "campaign_id"}
+    validate_trace_event(untagged, 2, "trace.jsonl")
+    with pytest.raises(ArtifactInvalidError, match="campaign_id"):
+        validate_trace_event(dict(events[0], campaign_id=7), 2, "t.jsonl")
+
+
 def test_jsonl_trace_is_strict_json(fast_config, s0_module, tmp_path):
     trace_path = tmp_path / "trace.jsonl"
     obs = Observability(reporters=[JsonlTrace(trace_path)])
@@ -403,6 +430,7 @@ def test_journal_record_appends_o1_bytes(tmp_path, monkeypatch):
     # encoded line, independent of how many records precede it.
     assert deltas == expected_line_bytes
     # And the journal still loads (no fingerprint check here: raw parse).
+    journal.release()
     loaded = CheckpointJournal(path).load("fp")
     assert sorted(loaded) == list(range(8))
 
@@ -427,8 +455,13 @@ def test_journal_tolerates_torn_trailing_line(tmp_path, caplog):
     with open(path, "ab") as handle:
         handle.write(full_line[: len(full_line) // 2].encode("utf-8"))
 
+    journal.release()
+    # The reader is released explicitly: caplog pins its torn-line
+    # warning record (whose exception traceback references the reader),
+    # so the usual end-of-expression collection cannot drop the lock.
     with caplog.at_level(logging.WARNING, logger="repro.checkpoint"):
-        loaded = CheckpointJournal(path).load("fp")
+        with CheckpointJournal(path) as reader:
+            loaded = reader.load("fp")
     assert sorted(loaded) == [0, 1]
     assert any("torn trailing line" in r.message for r in caplog.records)
     # The torn tail was truncated away, so the journal is whole again...
@@ -437,6 +470,7 @@ def test_journal_tolerates_torn_trailing_line(tmp_path, caplog):
     repaired = CheckpointJournal(path)
     repaired.load("fp")
     repaired.record(2, [_fake_measurement(2)])
+    repaired.release()
     assert sorted(CheckpointJournal(path).load("fp")) == [0, 1, 2]
 
 
@@ -449,6 +483,7 @@ def test_journal_mid_file_corruption_still_raises(tmp_path):
     journal_text = json.dumps({"shard": 1, "measurements": []}) + "\n"
     with open(path, "ab") as handle:
         handle.write(journal_text.encode("utf-8"))
+    journal.release()
     with pytest.raises(CheckpointError, match="malformed"):
         CheckpointJournal(path).load("fp")
 
@@ -510,6 +545,7 @@ def test_journal_encodes_nan_as_null(tmp_path):
     journal.record(0, [nan_measurement])
     for line in path.read_text().splitlines():
         _strict_loads(line)
+    journal.release()
     loaded = CheckpointJournal(path).load("fp")
     assert loaded[0][0].time_to_first_ns is None
 

@@ -213,6 +213,7 @@ def artifact_corpus(tmp_path_factory):
     writer.start("fuzzfp0123456789", 2)
     writer.record(0, measurements[:3])
     writer.record(1, measurements[3:])
+    writer.release()  # drop the advisory lockfile: the dir must stay pristine
 
     registry = MetricsRegistry()
     registry.inc("shards.completed", 2)
