@@ -13,11 +13,20 @@ requested artifact:
 * ``export`` -- run the sweep through the streaming flip sink and seal
   the population into per-module shards + a digest manifest;
 * ``query``  -- streaming rollups (and repeatability) over a previously
-  exported or sunk population, without materializing it.
+  exported or sunk population, without materializing it;
+* ``patterns`` -- the pattern-DSL toolbox: ``patterns list`` prints the
+  registry, ``patterns compile NAME|FILE ...`` lowers specs to DRAM
+  Bender hammer-loop programs (disassembly + sha256), and ``patterns
+  lint NAME|FILE ...`` prints each spec's derived schedule facts.
+
+Campaign modes accept ``--patterns`` to sweep DSL patterns (registry
+names like ``half-double`` or ``4-sided-combined``) alongside or
+instead of the paper's three.
 
 Example::
 
     repro-characterize fig4 --modules S0 H0 M0 --points 7 --trials 1
+    repro-characterize patterns compile combined half-double --t-on 636
 """
 
 from __future__ import annotations
@@ -75,23 +84,26 @@ def _build_parser() -> argparse.ArgumentParser:
         "artifact",
         choices=(
             "table1", "table2", "fig4", "fig5", "fig6", "report", "campaign",
-            "mitigate", "validate", "export", "query", "serve",
+            "mitigate", "validate", "export", "query", "serve", "patterns",
         ),
         help="which paper artifact to regenerate, 'mitigate' to run the "
         "mitigation stress-evaluation campaign, 'validate' to check "
         "previously written artifacts, 'export' to stream a campaign "
         "into a sharded out-of-core population, 'query' to compute "
-        "streaming rollups over a stored population, or 'serve' to run "
+        "streaming rollups over a stored population, 'serve' to run "
         "the multi-tenant campaign service (line-JSON socket API, "
-        "crash-safe job queue, graceful drain on SIGTERM)",
+        "crash-safe job queue, graceful drain on SIGTERM), or "
+        "'patterns' to list/compile/lint pattern-DSL specs",
     )
     parser.add_argument(
         "paths",
         nargs="*",
         metavar="PATH",
-        help="artifacts to check (validate mode only): result dumps, "
-        "checkpoint journals, metrics reports, JSONL traces, benchmark "
-        "records, or their .sha256 sidecars; exits 2 if any fails",
+        help="validate mode: artifacts to check (result dumps, checkpoint "
+        "journals, metrics reports, JSONL traces, benchmark records, "
+        "pattern-spec bundles, or their .sha256 sidecars; exits 2 if "
+        "any fails).  patterns mode: an action (list, compile, lint) "
+        "followed by registry names and/or spec JSON files",
     )
     parser.add_argument(
         "--modules",
@@ -119,6 +131,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--csv", action="store_true", help="print CSV instead of ASCII plots"
+    )
+    parser.add_argument(
+        "--patterns",
+        nargs="+",
+        metavar="NAME",
+        default=None,
+        help="access patterns the campaign sweeps: paper names "
+        "(single-sided, double-sided, combined) and/or DSL registry "
+        "names (half-double, decoy-flood, hammer-press-hybrid, "
+        "retention-assisted, N-sided-pressed, N-sided-combined); "
+        "default: the paper's three",
+    )
+    parser.add_argument(
+        "--base-row",
+        type=int,
+        metavar="ROW",
+        default=None,
+        help="patterns compile mode: physical base row the spec is "
+        "placed on (default: the smallest row that keeps the whole "
+        "footprint on the bank)",
     )
     parser.add_argument(
         "--backend",
@@ -274,9 +306,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--pattern",
-        choices=("single-sided", "double-sided", "combined"),
+        metavar="NAME",
         default=None,
-        help="query mode: restrict to one access pattern",
+        help="query mode: restrict to one access pattern (paper or DSL "
+        "name)",
     )
     parser.add_argument(
         "--t-on",
@@ -462,12 +495,14 @@ def _run(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.log_level is not None:
         logging.basicConfig(level=getattr(logging, args.log_level.upper()))
-    if args.paths and args.artifact != "validate":
+    if args.paths and args.artifact not in ("validate", "patterns"):
         sys.stderr.write(
-            f"error: artifact paths only apply to the validate mode, not "
-            f"{args.artifact!r}\n"
+            f"error: artifact paths only apply to the validate and "
+            f"patterns modes, not {args.artifact!r}\n"
         )
         return 2
+    if args.artifact == "patterns":
+        return _run_patterns(args)
     if args.artifact == "serve":
         # The service owns its queue journal under --root; the campaign
         # flags (--checkpoint and friends) do not apply, and --resume
@@ -500,6 +535,130 @@ def _run(argv: Optional[List[str]] = None) -> int:
                     args.metrics, digest=args.validate
                 )
             obs.close()
+
+
+def _campaign_patterns(args):
+    """The pattern set ``--patterns`` selects (paper's three by default).
+
+    Names resolve through the DSL registry
+    (:func:`repro.patterns.dsl.resolve_patterns`), so paper names map to
+    the canonical singletons and family/N-sided names to their specs; a
+    typo surfaces as a :class:`~repro.errors.PatternSpecError` listing
+    the registry.
+    """
+    if not args.patterns:
+        return ALL_PATTERNS
+    from repro.patterns.dsl import resolve_patterns
+
+    return resolve_patterns(args.patterns)
+
+
+def _load_pattern_operand(operand: str):
+    """One ``patterns`` mode operand: a spec JSON file or a registry name.
+
+    A path that exists on disk is parsed as JSON -- either a single
+    serialized spec or a ``repro-patternspec-v1`` bundle (contributing
+    every spec it carries); anything else resolves through the DSL
+    registry.  Returns a list of patterns.
+    """
+    import json
+    import os
+
+    from repro.errors import ArtifactInvalidError
+    from repro.patterns.dsl import PatternSpec, resolve_pattern
+
+    if os.path.exists(operand):
+        with open(operand, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ArtifactInvalidError(
+                    f"{operand}: spec file is not parseable JSON ({exc})"
+                ) from exc
+        if isinstance(payload, dict) and "specs" in payload:
+            from repro.validate.schema import validate_patternspec_payload
+
+            validate_patternspec_payload(payload, source=operand)
+            return [PatternSpec.from_dict(spec) for spec in payload["specs"]]
+        return [PatternSpec.from_dict(payload)]
+    return [resolve_pattern(operand)]
+
+
+def _run_patterns(args) -> int:
+    """The ``patterns`` mode: list / compile / lint DSL specs.
+
+    * ``list``: every registry name with its derived schedule facts;
+    * ``compile``: lower each operand to its DRAM Bender hammer-loop
+      program (one iteration), print the disassembly and its sha256 --
+      the same digests the golden-program snapshot tests pin;
+    * ``lint``: print each operand's derived facts (victim footprint,
+      activations and latency per iteration, solo flag) as JSON.
+    """
+    import hashlib
+    import json
+
+    from repro.bender.assembler import disassemble
+    from repro.constants import DEFAULT_TIMINGS
+    from repro.patterns import compile_hammer_loop
+    from repro.patterns.dsl import (
+        describe_pattern,
+        registry_names,
+        resolve_pattern,
+    )
+
+    actions = ("list", "compile", "lint")
+    if not args.paths or args.paths[0] not in actions:
+        sys.stderr.write(
+            "error: patterns requires an action: patterns "
+            "list | compile NAME|FILE ... | lint NAME|FILE ...\n"
+        )
+        return 2
+    action, operands = args.paths[0], args.paths[1:]
+    t_on = args.t_on if args.t_on is not None else DEFAULT_TIMINGS.tRAS
+
+    if action == "list":
+        if operands:
+            sys.stderr.write("error: patterns list takes no operands\n")
+            return 2
+        for name in registry_names():
+            facts = describe_pattern(resolve_pattern(name), t_on=t_on)
+            sys.stdout.write(
+                f"{name}: {facts['acts_per_iteration']} act(s)/iteration, "
+                f"victims at {list(facts['victim_offsets'])}, "
+                f"{facts['iteration_latency_ns']:g} ns/iteration at "
+                f"tAggON={t_on:g} ns\n"
+            )
+        return 0
+
+    if not operands:
+        sys.stderr.write(
+            f"error: patterns {action} requires at least one registry "
+            f"name or spec JSON file\n"
+        )
+        return 2
+    patterns = [p for operand in operands for p in _load_pattern_operand(operand)]
+    geometry_rows = CharacterizationConfig().geometry.rows
+    for pattern in patterns:
+        facts = describe_pattern(pattern, t_on=t_on)
+        if action == "lint":
+            sys.stdout.write(json.dumps(facts, sort_keys=True) + "\n")
+            continue
+        base = args.base_row if args.base_row is not None else facts["base_row"]
+        placement = pattern.place(
+            base, t_on, rows_in_bank=geometry_rows, timings=DEFAULT_TIMINGS
+        )
+        program = compile_hammer_loop(placement, iterations=1)
+        text = disassemble(program)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        sys.stdout.write(
+            f"# {pattern.name} @ base row {base}, tAggON={t_on:g} ns, "
+            f"1 iteration\n"
+            f"# aggressors: {list(placement.aggressors)}\n"
+            f"# victims: {list(placement.victims)}\n"
+            f"# sha256: {digest}\n"
+            f"{text}\n"
+        )
+    return 0
 
 
 def _run_serve(args) -> int:
@@ -548,6 +707,7 @@ def _run_mitigate(args, obs: Optional[Observability]) -> int:
     results = campaign.run(
         chips=args.chips,
         mitigations=args.mitigations,
+        patterns=_campaign_patterns(args),
         policy=policy,
         checkpoint=args.checkpoint,
         resume=args.resume,
@@ -610,7 +770,7 @@ def _run_export(args, obs: Optional[Observability]) -> int:
     t_values = sweep_points(args.points, args.t_max)
     with FlipSink(store, metrics=metrics) as sink:
         results = runner.characterize(
-            modules, t_values, ALL_PATTERNS, trials=args.trials,
+            modules, t_values, _campaign_patterns(args), trials=args.trials,
             workers=args.workers, sink=sink, **_resilience(args, runner),
         )
         _report_summary(runner)
@@ -713,7 +873,8 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
 
     if args.artifact == "table2":
         results = runner.characterize(
-            modules, [36.0, 7_800.0, 70_200.0], trials=args.trials,
+            modules, [36.0, 7_800.0, 70_200.0], _campaign_patterns(args),
+            trials=args.trials,
             workers=args.workers, **_resilience(args, runner),
         )
         _report_summary(runner)
@@ -725,7 +886,8 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
         from repro.analysis.report import full_report
 
         results = runner.characterize(
-            modules, [36.0, 636.0, 7_800.0, 70_200.0], trials=args.trials,
+            modules, [36.0, 636.0, 7_800.0, 70_200.0],
+            _campaign_patterns(args), trials=args.trials,
             workers=args.workers, **_resilience(args, runner),
         )
         _report_summary(runner)
@@ -756,7 +918,7 @@ def _run_campaign(args, obs: Optional[Observability]) -> int:
 
     t_values = sweep_points(args.points, args.t_max)
     results = runner.characterize(
-        modules, t_values, ALL_PATTERNS, trials=args.trials,
+        modules, t_values, _campaign_patterns(args), trials=args.trials,
         workers=args.workers, **_resilience(args, runner),
     )
     _report_summary(runner)

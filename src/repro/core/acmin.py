@@ -50,13 +50,19 @@ from repro.constants import (
     ITERATION_RUNTIME_BOUND,
 )
 from repro.core.bitflips import BitflipCensus
-from repro.core.stacked import ROLE_OFFSETS, ROLE_ORDER, StackedDie
+from repro.core.stacked import DEFAULT_OFFSETS, StackedDie, role_name
 from repro.disturb.model import DisturbanceModel
+from repro.errors import ExperimentError
 from repro.patterns.base import AccessPattern
 
 #: Base row used to evaluate role weights (any legal base works: the
-#: contribution weights depend only on the victim's role, not its address).
+#: contribution weights depend only on the victim's role offset, not its
+#: address).  Probes place against a deliberately huge bank so patterns
+#: of any width fit; only the low rows might be constrained (offset -1
+#: with base 1 lands on row 0, which every placement accepts).
 _PROBE_BASE = 1
+
+_PROBE_ROWS = 1 << 30
 
 
 def _role_weights(
@@ -66,20 +72,51 @@ def _role_weights(
     temperature_c: float,
     timings: DDR4Timings,
 ):
-    """Per-role (w_gh_lo, w_gh_hi, v_gp_lo, v_gp_hi) for one iteration."""
-    placement = pattern.place(_PROBE_BASE, t_on, rows_in_bank=16, timings=timings)
+    """Per-offset (w_gh_lo, w_gh_hi, v_gp_lo, v_gp_hi) for one iteration.
+
+    Weights are keyed by the victim's row offset from the base -- the
+    footprint vocabulary of :class:`~repro.core.stacked.StackedDie` --
+    so any pattern geometry the DSL can express analyzes through the
+    same table, not just the paper's canonical triple.
+    """
+    placement = pattern.place(
+        _PROBE_BASE, t_on, rows_in_bank=_PROBE_ROWS, timings=timings
+    )
     contribs = pattern.iteration_contributions(placement, model, temperature_c)
-    offset_to_role = {offset: role for role, offset in ROLE_OFFSETS.items()}
     weights = {}
     for contrib in contribs:
-        role = offset_to_role[contrib.row - _PROBE_BASE]
-        weights[role] = (
+        weights[contrib.row - _PROBE_BASE] = (
             contrib.w_gh_lo,
             contrib.w_gh_hi,
             contrib.v_gp_lo,
             contrib.v_gp_hi,
         )
     return placement, weights
+
+
+def pattern_footprint(
+    pattern: AccessPattern, timings: DDR4Timings = DEFAULT_TIMINGS
+) -> tuple:
+    """The victim-offset footprint a pattern needs its stacks built over.
+
+    Patterns exposing ``victim_offsets`` (DSL specs) answer directly;
+    anything else is probed with one placement at ``tAggON = tRAS``
+    (victim geometry never depends on the on-time).  Footprints contained
+    in the canonical triple are normalized to
+    :data:`~repro.core.stacked.DEFAULT_OFFSETS` so the paper's patterns
+    -- and any DSL twin of them -- share one stack, one cache entry, and
+    bit-identical populations.
+    """
+    offsets = getattr(pattern, "victim_offsets", None)
+    if offsets is None:
+        placement = pattern.place(
+            _PROBE_BASE, timings.tRAS, rows_in_bank=_PROBE_ROWS, timings=timings
+        )
+        offsets = tuple(row - _PROBE_BASE for row in placement.victims)
+    offsets = tuple(sorted({int(offset) for offset in offsets}))
+    if set(offsets) <= set(DEFAULT_OFFSETS):
+        return DEFAULT_OFFSETS
+    return offsets
 
 
 @lru_cache(maxsize=8192)
@@ -319,13 +356,24 @@ class DieSweepAnalyzer:
     def _active_rows(self, weights) -> int:
         """Rows of the fused stack covering every role the pattern touches.
 
-        Roles are fused in :data:`ROLE_ORDER`; a pattern that leaves the
-        trailing role(s) undisturbed (single-sided has no ``outer_hi``)
-        only needs the leading prefix of the stack, and every whole-array
-        op below shrinks accordingly.  Trailing absent roles simply never
-        enter the computation -- their n_iters would be uniformly inf.
+        Roles are fused in the stack's own footprint order
+        (``role_offsets``); a pattern that leaves the trailing role(s)
+        undisturbed (single-sided has no ``outer_hi``) only needs the
+        leading prefix of the stack, and every whole-array op below
+        shrinks accordingly.  Trailing absent roles simply never enter
+        the computation -- their n_iters would be uniformly inf.  A
+        pattern disturbing an offset the stack was not built over is a
+        configuration error (its flips would be silently invisible).
         """
-        n_active = 1 + max(ROLE_ORDER.index(role) for role in weights)
+        offsets = self._stacked.role_offsets
+        missing = sorted(set(weights) - set(offsets))
+        if missing:
+            raise ExperimentError(
+                f"pattern disturbs victim offsets {missing} absent from "
+                f"the stack footprint {tuple(offsets)}; build the stack "
+                "over the pattern's footprint (see pattern_footprint())"
+            )
+        n_active = 1 + max(offsets.index(offset) for offset in weights)
         return n_active * self._stacked.n_locations
 
     def _weight_cols(self, weights, n_rows: int):
@@ -335,9 +383,10 @@ class DieSweepAnalyzer:
         get zero weights: their denominator is 0 and their n_iters inf.
         """
         n_loc = self._stacked.n_locations
+        offsets = self._stacked.role_offsets
         per_role = [
-            weights.get(role, (0.0, 0.0, 0.0, 0.0))
-            for role in ROLE_ORDER[: n_rows // n_loc]
+            weights.get(offset, (0.0, 0.0, 0.0, 0.0))
+            for offset in offsets[: n_rows // n_loc]
         ]
         cols = np.repeat(np.array(per_role), n_loc, axis=0)
         return cols[:, 0:1], cols[:, 1:2], cols[:, 2:3], cols[:, 3:4]
@@ -417,9 +466,9 @@ class DieSweepAnalyzer:
     ) -> DieAnalysis:
         n_loc = self._stacked.n_locations
         n_iters = {
-            role: fused_n_iters[k * n_loc : (k + 1) * n_loc]
-            for k, role in enumerate(ROLE_ORDER)
-            if role in weights
+            role_name(offset): fused_n_iters[k * n_loc : (k + 1) * n_loc]
+            for k, offset in enumerate(self._stacked.role_offsets)
+            if offset in weights
         }
         return DieAnalysis(
             stacked=self._stacked,

@@ -87,6 +87,7 @@ from repro.core.acmin import (
     DieAnalysis,
     DieSweepAnalyzer,
     build_role_weight_table,
+    pattern_footprint,
 )
 from repro.core.shm import (
     SharedDieStore,
@@ -108,7 +109,7 @@ from repro.core.faults import (
     validate_shard_result,
 )
 from repro.core.results import DieMeasurement, ResultSet
-from repro.core.stacked import StackedDie, build_stacked_die
+from repro.core.stacked import DEFAULT_OFFSETS, StackedDie, build_stacked_die
 from repro.dram.module import Module
 from repro.obs import Observability
 from repro.errors import (
@@ -365,22 +366,22 @@ class ShmCharacterizationSpec:
 
     config: CharacterizationConfig
     models: Dict[str, object]
-    handles: Dict[Tuple[str, int], StackedDieHandle]
+    handles: Dict[Tuple[str, int, Tuple[int, ...]], StackedDieHandle]
     weights_tables: Dict[str, Dict]
 
     def check_shards(self, shards: Sequence[Shard]) -> None:
-        missing = sorted(
-            {
-                (s.module_key, s.die)
-                for s in shards
-                if (s.module_key, s.die) not in self.handles
-            }
-        )
+        timings = self.config.timings
+        needed = {
+            (u.module_key, u.die, pattern_footprint(u.pattern, timings))
+            for s in shards
+            for u in s.units
+        }
+        missing = sorted(needed - set(self.handles))
         if missing:
             raise ExperimentError(
                 f"shared-memory worker spec has no published segment for "
-                f"dies {missing[:4]}; publish every dispatched die before "
-                f"building the spec"
+                f"(die, footprint) {missing[:4]}; publish every dispatched "
+                f"die at every needed footprint before building the spec"
             )
 
     def build_runner(self) -> "ShardRunner":
@@ -391,8 +392,8 @@ class ShmCharacterizationSpec:
         return ShardRunner(
             self.config,
             modules.__getitem__,
-            stacked_provider=lambda key, die: attached_stacked(
-                self.handles[(key, die)]
+            stacked_provider=lambda key, die, offsets: attached_stacked(
+                self.handles[(key, die, offsets)]
             ),
             weights_tables=self.weights_tables,
         )
@@ -420,13 +421,19 @@ class ShardRunner:
         self,
         config: CharacterizationConfig,
         module_provider: Callable[[str], Module],
-        stacked_cache: Optional[Dict[Tuple[str, int], StackedDie]] = None,
+        stacked_cache: Optional[
+            Dict[Tuple[str, int, Tuple[int, ...]], StackedDie]
+        ] = None,
         measurement_cache: Optional[
             Dict[Tuple[str, int, str, float, int], DieMeasurement]
         ] = None,
-        analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
+        analyzer_cache: Optional[
+            Dict[Tuple[str, int, Tuple[int, ...]], DieSweepAnalyzer]
+        ] = None,
         metrics=None,
-        stacked_provider: Optional[Callable[[str, int], StackedDie]] = None,
+        stacked_provider: Optional[
+            Callable[[str, int, Tuple[int, ...]], StackedDie]
+        ] = None,
         weights_tables: Optional[Dict[str, Dict]] = None,
         session=None,
         backend_spec=None,
@@ -441,6 +448,7 @@ class ShardRunner:
         self._weights_tables = weights_tables
         self._session = session
         self._backend_spec = backend_spec
+        self._footprints: Dict[str, Tuple[int, ...]] = {}
 
     def attach_session(self, session) -> None:
         """Route this runner's measurements through a device session.
@@ -515,7 +523,10 @@ class ShardRunner:
         points: Dict[str, Tuple[Dict[str, AccessPattern], set]] = {}
         for shard in shards:
             module = self._module_provider(shard.module_key)
-            store.publish(self.stacked(module, shard.die))
+            for offsets in sorted(
+                {self.footprint(unit.pattern) for unit in shard.units}
+            ):
+                store.publish(self.stacked(module, shard.die, offsets))
             models.setdefault(module.key, module.model)
             patterns, t_values = points.setdefault(module.key, ({}, set()))
             for unit in shard.units:
@@ -577,8 +588,21 @@ class ShardRunner:
         """Within-shard identity of a measurement (mirrors unit_key)."""
         return (measurement.pattern, measurement.t_on, measurement.trial)
 
-    def stacked(self, module: Module, die: int) -> StackedDie:
-        key = (module.key, die)
+    def footprint(self, pattern: AccessPattern) -> Tuple[int, ...]:
+        """The (memoized) victim-offset footprint of one pattern."""
+        offsets = self._footprints.get(pattern.name)
+        if offsets is None:
+            offsets = pattern_footprint(pattern, self._config.timings)
+            self._footprints[pattern.name] = offsets
+        return offsets
+
+    def stacked(
+        self,
+        module: Module,
+        die: int,
+        offsets: Tuple[int, ...] = DEFAULT_OFFSETS,
+    ) -> StackedDie:
+        key = (module.key, die, offsets)
         stacked = self._stacked_cache.get(key)
         if self._metrics is not None:
             self._metrics.inc(
@@ -589,25 +613,33 @@ class ShardRunner:
             if self._stacked_provider is not None:
                 # Shared-memory workers attach the parent-published
                 # segment instead of regenerating cell arrays.
-                stacked = self._stacked_provider(module.key, die)
+                stacked = self._stacked_provider(module.key, die, offsets)
             else:
                 stacked = build_stacked_die(
                     module.chip(die),
                     self._config.bank,
                     self._config.selection,
                     self._config.data_pattern,
+                    offsets=offsets,
                 )
             self._stacked_cache[key] = stacked
         return stacked
 
-    def analyzer(self, module: Module, die: int) -> DieSweepAnalyzer:
-        """The (cached) sweep analyzer of one die.
+    def analyzer(
+        self,
+        module: Module,
+        die: int,
+        offsets: Tuple[int, ...] = DEFAULT_OFFSETS,
+    ) -> DieSweepAnalyzer:
+        """The (cached) sweep analyzer of one (die, footprint).
 
         Each (module, die) belongs to exactly one shard of a plan, so a
         shared cache is never contended for the same key even under the
-        thread executor.
+        thread executor.  Patterns whose victims fit the canonical
+        triple share one analyzer per die; wide DSL footprints get their
+        own (their stacks differ).
         """
-        key = (module.key, die)
+        key = (module.key, die, offsets)
         analyzer = self._analyzer_cache.get(key)
         if self._metrics is not None:
             self._metrics.inc(
@@ -616,7 +648,7 @@ class ShardRunner:
             )
         if analyzer is None:
             analyzer = DieSweepAnalyzer(
-                self.stacked(module, die),
+                self.stacked(module, die, offsets),
                 module.model,
                 temperature_c=self._config.temperature_c,
                 timings=self._config.timings,
@@ -641,7 +673,8 @@ class ShardRunner:
         cfg = self._config
         cache = self._measurement_cache
         metrics = self._metrics
-        analyzer: Optional[DieSweepAnalyzer] = None
+        module: Optional[Module] = None
+        analyzers: Dict[Tuple[int, ...], DieSweepAnalyzer] = {}
         out: List[DieMeasurement] = []
         for pattern, t_on, trials in _grouped_points(shard.units):
             measured: Dict[int, DieMeasurement] = {}
@@ -657,9 +690,13 @@ class ShardRunner:
                     metrics.inc("cache.measurement.hits", len(measured))
                     metrics.inc("cache.measurement.misses", len(missing))
             if missing:
+                offsets = self.footprint(pattern)
+                analyzer = analyzers.get(offsets)
                 if analyzer is None:  # lazily: fully cached shards skip it
-                    module = self._module_provider(shard.module_key)
-                    analyzer = self.analyzer(module, shard.die)
+                    if module is None:
+                        module = self._module_provider(shard.module_key)
+                    analyzer = self.analyzer(module, shard.die, offsets)
+                    analyzers[offsets] = analyzer
                 analyses = self._measure_point(
                     shard, analyzer, pattern, t_on, missing
                 )
@@ -2017,11 +2054,15 @@ class SweepEngine:
         patterns: Sequence[AccessPattern] = ALL_PATTERNS,
         dies: Optional[Sequence[int]] = None,
         trials: Optional[int] = None,
-        stacked_cache: Optional[Dict[Tuple[str, int], StackedDie]] = None,
+        stacked_cache: Optional[
+            Dict[Tuple[str, int, Tuple[int, ...]], StackedDie]
+        ] = None,
         measurement_cache: Optional[
             Dict[Tuple[str, int, str, float, int], DieMeasurement]
         ] = None,
-        analyzer_cache: Optional[Dict[Tuple[str, int], DieSweepAnalyzer]] = None,
+        analyzer_cache: Optional[
+            Dict[Tuple[str, int, Tuple[int, ...]], DieSweepAnalyzer]
+        ] = None,
         policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
         resume: bool = False,

@@ -15,12 +15,12 @@ import os
 from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
 
 from repro.backend.base import build_session
-from repro.core.acmin import DieSweepAnalyzer, analyze_die
+from repro.core.acmin import DieSweepAnalyzer, analyze_die, pattern_footprint
 from repro.core.engine import SweepEngine, make_executor, measurement_from_analysis
 from repro.core.experiment import CharacterizationConfig
 from repro.core.faults import FaultPlan, RetryPolicy, RunReport
 from repro.core.results import DieMeasurement, ResultSet
-from repro.core.stacked import StackedDie, build_stacked_die
+from repro.core.stacked import DEFAULT_OFFSETS, StackedDie, build_stacked_die
 from repro.dram.module import Module
 from repro.obs import Observability
 from repro.patterns.base import ALL_PATTERNS, AccessPattern
@@ -55,11 +55,15 @@ class CharacterizationRunner:
     ) -> None:
         self._config = config
         self._obs = obs
-        self._stacked_cache: Dict[Tuple[str, int], StackedDie] = {}
+        self._stacked_cache: Dict[
+            Tuple[str, int, Tuple[int, ...]], StackedDie
+        ] = {}
         self._measurement_cache: Dict[
             Tuple[str, int, str, float, int], DieMeasurement
         ] = {}
-        self._analyzer_cache: Dict[Tuple[str, int], DieSweepAnalyzer] = {}
+        self._analyzer_cache: Dict[
+            Tuple[str, int, Tuple[int, ...]], DieSweepAnalyzer
+        ] = {}
         self._last_engine: Optional[SweepEngine] = None
         self._session = build_session(backend)
 
@@ -86,9 +90,14 @@ class CharacterizationRunner:
 
     # ------------------------------------------------------------ measurement
 
-    def stacked_die(self, module: Module, die: int) -> StackedDie:
-        """The (cached) stacked victim population of one die."""
-        key = (module.key, die)
+    def stacked_die(
+        self,
+        module: Module,
+        die: int,
+        offsets: Tuple[int, ...] = DEFAULT_OFFSETS,
+    ) -> StackedDie:
+        """The (cached) stacked victim population of one (die, footprint)."""
+        key = (module.key, die, offsets)
         stacked = self._stacked_cache.get(key)
         if stacked is None:
             stacked = build_stacked_die(
@@ -96,6 +105,7 @@ class CharacterizationRunner:
                 self._config.bank,
                 self._config.selection,
                 self._config.data_pattern,
+                offsets=offsets,
             )
             self._stacked_cache[key] = stacked
         return stacked
@@ -111,7 +121,9 @@ class CharacterizationRunner:
         """One (die, pattern, tAggON, trial) measurement."""
         cfg = self._config
         analysis = analyze_die(
-            self.stacked_die(module, die),
+            self.stacked_die(
+                module, die, pattern_footprint(pattern, cfg.timings)
+            ),
             pattern,
             t_on,
             module.model,

@@ -60,6 +60,7 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 import numpy as np
 
 from repro.core.stacked import (
+    DEFAULT_OFFSETS,
     FUSED_FIELDS,
     RoleArrays,
     StackedDie,
@@ -116,6 +117,7 @@ class StackedDieHandle:
     base_rows: Tuple[int, ...]
     arrays: Tuple[ArraySpec, ...]
     nbytes: int
+    role_offsets: Tuple[int, ...] = DEFAULT_OFFSETS
 
 
 def publish_stacked_die(
@@ -154,6 +156,7 @@ def publish_stacked_die(
         base_rows=tuple(stacked.base_rows),
         arrays=tuple(specs),
         nbytes=offset,
+        role_offsets=tuple(stacked.role_offsets),
     )
     return segment, handle
 
@@ -203,6 +206,7 @@ def attach_stacked_die(
         handle.bank,
         handle.base_rows,
         fused,
+        offsets=handle.role_offsets,
     )
 
 
@@ -242,20 +246,28 @@ def live_segment_names() -> FrozenSet[str]:
 class SharedDieStore:
     """Owns the shared-memory segments of one campaign.
 
-    ``publish`` is idempotent per (module, die); ``close`` unlinks every
+    ``publish`` is idempotent per (module, die, footprint) -- dies
+    stacked over different victim footprints (DSL patterns with wide
+    layouts) publish one segment per footprint; ``close`` unlinks every
     segment and is itself idempotent, so it is safe (and required) to
     call from a ``finally`` regardless of how the campaign ended.
     """
 
     def __init__(self) -> None:
         self._segments: List[shared_memory.SharedMemory] = []
-        self._handles: Dict[Tuple[str, int], StackedDieHandle] = {}
+        self._handles: Dict[
+            Tuple[str, int, Tuple[int, ...]], StackedDieHandle
+        ] = {}
         self._closed = False
 
     def publish(self, stacked: StackedDie) -> StackedDieHandle:
         if self._closed:
             raise ExperimentError("SharedDieStore is closed")
-        key = (stacked.module_key, stacked.die_index)
+        key = (
+            stacked.module_key,
+            stacked.die_index,
+            tuple(stacked.role_offsets),
+        )
         handle = self._handles.get(key)
         if handle is None:
             segment, handle = publish_stacked_die(stacked)
@@ -266,7 +278,7 @@ class SharedDieStore:
         return handle
 
     @property
-    def handles(self) -> Dict[Tuple[str, int], StackedDieHandle]:
+    def handles(self) -> Dict[Tuple[str, int, Tuple[int, ...]], StackedDieHandle]:
         return dict(self._handles)
 
     @property

@@ -1,28 +1,37 @@
 """Stacked per-die victim populations (the vectorized fast path).
 
-A pattern location at base physical row ``b`` has three victim *roles*:
+A pattern location at base physical row ``b`` disturbs a set of victim
+*roles*, each identified by its row offset from the base.  The paper's
+patterns share the canonical three-role footprint
+(:data:`DEFAULT_OFFSETS`):
 
-* ``inner``     -- row ``b + 1`` (between the two aggressors),
 * ``outer_lo``  -- row ``b - 1`` (below aggressor R0),
-* ``outer_hi``  -- row ``b + 3`` (above aggressor R2).
+* ``inner``     -- row ``b + 1`` (between the two aggressors),
+* ``outer_hi``  -- row ``b + 3`` (above aggressor R2),
 
-For one die and one row selection, all locations' cells of a role are
-stacked into ``(n_locations, n_cells)`` arrays, so the per-measurement
-analysis (for any pattern / tAggON / trial) is a handful of whole-array
-numpy operations instead of a Python loop over locations.
+but the footprint is a *parameter* of the stack: DSL patterns
+(:mod:`repro.patterns.dsl`) with wider layouts -- n-sided, half-double --
+build stacks over their own offset tuples through the same constructors.
 
-All three roles additionally live in one contiguous *fused* stack of
-shape ``(3 * n_locations, n_cells)`` (role-major: the rows of a role are
-a contiguous slice); the per-role :class:`RoleArrays` are views into it.
-The closed-form analysis operates on the fused stack -- one numpy
-dispatch per step instead of one per role -- while per-role consumers
-(tests, the honest-path comparisons) keep their familiar view.
+For one die, one row selection, and one footprint, all locations' cells
+of a role are stacked into ``(n_locations, n_cells)`` arrays, so the
+per-measurement analysis (for any pattern / tAggON / trial) is a handful
+of whole-array numpy operations instead of a Python loop over locations.
+
+All roles additionally live in one contiguous *fused* stack of shape
+``(n_roles * n_locations, n_cells)`` (role-major, in offset order: the
+rows of a role are a contiguous slice); the per-role :class:`RoleArrays`
+are views into it.  The closed-form analysis operates on the fused stack
+-- one numpy dispatch per step instead of one per role -- while per-role
+consumers (tests, the honest-path comparisons) keep their familiar view.
 
 The arrays are byte-for-byte the same cell populations the command-level
 :class:`~repro.disturb.tracker.DisturbanceTracker` sees (both derive from
-:func:`repro.disturb.population.victim_row_cells` with the same seeds),
-which is what lets the test suite assert exact agreement between the two
-execution paths.
+:func:`repro.disturb.population.victim_row_cells` with the same seeds,
+keyed purely by (bank, physical row)), which is what lets the test suite
+assert exact agreement between the two execution paths -- and what makes
+a canonical-footprint stack bit-identical regardless of which patterns
+ride on it.
 """
 
 from __future__ import annotations
@@ -36,13 +45,38 @@ from repro.dram.chip import Chip, _row_key
 from repro.dram.datapattern import DataPattern
 from repro.dram.rowselect import RowSelection
 from repro.disturb.population import trial_jitter, victim_rows_block
+from repro.errors import ExperimentError
 
-#: Victim roles and their row offset from a location's base row.
+#: The canonical victim-role footprint shared by the paper's three
+#: patterns (and by every DSL pattern whose victims fit inside it).
+DEFAULT_OFFSETS: Tuple[int, ...] = (-1, 1, 3)
+
+#: Canonical role names of the default footprint.
+_CANONICAL_NAMES: Dict[int, str] = {-1: "outer_lo", 1: "inner", 3: "outer_hi"}
+
+#: Victim roles and their row offset from a location's base row
+#: (the canonical footprint, kept for its established name->offset map).
 ROLE_OFFSETS: Dict[str, int] = {"outer_lo": -1, "inner": 1, "outer_hi": 3}
 
-#: Fixed role order of the fused stack (the iteration order of
-#: :data:`ROLE_OFFSETS`).
+#: Fixed role order of the *canonical* fused stack (the iteration order
+#: of :data:`ROLE_OFFSETS`); wide-footprint stacks order roles by their
+#: own offset tuple instead.
 ROLE_ORDER: Tuple[str, ...] = tuple(ROLE_OFFSETS)
+
+
+def role_name(offset: int) -> str:
+    """The display name of a victim role at ``offset``.
+
+    Canonical offsets keep their established names (``outer_lo`` /
+    ``inner`` / ``outer_hi``); any other offset is named by its signed
+    distance from the base row (``off+5``, ``off-2``).
+    """
+    return _CANONICAL_NAMES.get(offset, f"off{offset:+d}")
+
+
+def role_names(offsets: Tuple[int, ...]) -> Tuple[str, ...]:
+    """Role names of a footprint, in stack (offset-tuple) order."""
+    return tuple(role_name(offset) for offset in offsets)
 
 #: Array fields of :class:`RoleArrays`, in the order they are packed
 #: when a fused stack is serialized (e.g. into a shared-memory segment
@@ -103,11 +137,12 @@ class RoleArrays:
 
 @dataclass(frozen=True)
 class StackedDie:
-    """All victim roles of one die under one row selection.
+    """All victim roles of one die under one row selection and footprint.
 
-    ``fused`` stacks the three roles (in :data:`ROLE_ORDER`) into single
-    ``(3 * n_locations, n_cells)`` arrays; ``roles`` holds per-role views
-    into it.
+    ``role_offsets`` is the stack's victim footprint (row offsets from
+    each location's base, ascending); ``fused`` stacks the roles in that
+    order into single ``(n_roles * n_locations, n_cells)`` arrays and
+    ``roles`` holds per-role views into it, keyed by :func:`role_name`.
     """
 
     module_key: str
@@ -116,6 +151,7 @@ class StackedDie:
     base_rows: Tuple[int, ...]
     roles: Dict[str, RoleArrays]
     fused: RoleArrays = None
+    role_offsets: Tuple[int, ...] = DEFAULT_OFFSETS
     _jitter_cache: Dict[Tuple, np.ndarray] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -124,21 +160,28 @@ class StackedDie:
     def n_locations(self) -> int:
         return len(self.base_rows)
 
+    @property
+    def role_order(self) -> Tuple[str, ...]:
+        """Role names in stack order (the footprint's offset order)."""
+        return role_names(self.role_offsets)
+
     def jitter(self, role: str, trial: int, sigma: float = 0.02) -> np.ndarray:
         """Per-trial multiplicative threshold jitter for one role.
 
-        The jitter depends only on (role, trial, sigma) -- not on the
-        pattern or tAggON -- so it is cached for the die's lifetime and
-        reused across every point of a sweep.
+        The jitter depends only on (role offset, trial, sigma) -- not on
+        the pattern, the footprint, or tAggON -- so it is cached for the
+        die's lifetime, reused across every point of a sweep, and
+        identical for the same role across stacks of different widths.
         """
         key = (role, trial, sigma)
         cached = self._jitter_cache.get(key)
         if cached is None:
             arrays = self.roles[role]
+            offset = self.role_offsets[self.role_order.index(role)]
             flat = trial_jitter(
                 self.module_key,
                 self.die_index,
-                _jitter_key(self.bank, role),
+                _jitter_key(self.bank, offset),
                 arrays.theta.size,
                 trial,
                 sigma=sigma,
@@ -153,7 +196,7 @@ class StackedDie:
         cached = self._jitter_cache.get(key)
         if cached is None:
             cached = np.concatenate(
-                [self.jitter(role, trial, sigma) for role in ROLE_ORDER]
+                [self.jitter(role, trial, sigma) for role in self.role_order]
             )
             self._jitter_cache[key] = cached
         return cached
@@ -164,18 +207,30 @@ def build_stacked_die(
     bank: int,
     selection: RowSelection,
     data_pattern: DataPattern,
+    offsets: Tuple[int, ...] = DEFAULT_OFFSETS,
 ) -> StackedDie:
     """Materialize the stacked victim populations of one die.
 
-    All ``3 * n_locations`` victim rows are generated in one bulk draw
-    (:func:`~repro.disturb.population.victim_rows_block`) directly into
-    the fused stack; the per-role arrays are views into it.
+    All ``n_roles * n_locations`` victim rows are generated in one bulk
+    draw (:func:`~repro.disturb.population.victim_rows_block`) directly
+    into the fused stack; the per-role arrays are views into it.
+    ``offsets`` is the victim footprint (default: the paper patterns'
+    canonical triple); every ``base + offset`` row must fit in the bank.
     """
+    offsets = tuple(offsets)
     base_rows = selection.base_rows(chip.geometry)
     n_cells = chip.geometry.cols_simulated
     n_loc = len(base_rows)
+    lo = min(base_rows) + min(offsets)
+    hi = max(base_rows) + max(offsets)
+    if lo < 0 or hi >= chip.geometry.rows:
+        raise ExperimentError(
+            f"victim footprint {offsets} over base rows "
+            f"{min(base_rows)}..{max(base_rows)} needs rows {lo}..{hi}, "
+            f"outside a bank of {chip.geometry.rows} rows"
+        )
     rows_per_role = [
-        np.array([b + offset for b in base_rows]) for offset in ROLE_OFFSETS.values()
+        np.array([b + offset for b in base_rows]) for offset in offsets
     ]
     all_rows = np.concatenate(rows_per_role)
     block = victim_rows_block(
@@ -211,7 +266,8 @@ def build_stacked_die(
         stored_bool=stored_bool,
     )
     return stacked_from_fused(
-        chip.module_key, chip.die_index, bank, tuple(base_rows), fused
+        chip.module_key, chip.die_index, bank, tuple(base_rows), fused,
+        offsets=offsets,
     )
 
 
@@ -221,18 +277,20 @@ def stacked_from_fused(
     bank: int,
     base_rows: Tuple[int, ...],
     fused: RoleArrays,
+    offsets: Tuple[int, ...] = DEFAULT_OFFSETS,
 ) -> StackedDie:
     """Assemble a :class:`StackedDie` around an existing fused stack.
 
     The per-role :class:`RoleArrays` are views into ``fused`` (role-major
-    slices in :data:`ROLE_ORDER`).  Both the build path
+    slices in the footprint's offset order).  Both the build path
     (:func:`build_stacked_die`) and the shared-memory attach path
     (:mod:`repro.core.shm`) go through this constructor, so the two can
     never disagree about the stack layout.
     """
+    offsets = tuple(offsets)
     n_loc = len(base_rows)
     roles: Dict[str, RoleArrays] = {}
-    for k, role in enumerate(ROLE_ORDER):
+    for k, role in enumerate(role_names(offsets)):
         sl = slice(k * n_loc, (k + 1) * n_loc)
         roles[role] = RoleArrays(
             role=role,
@@ -245,9 +303,12 @@ def stacked_from_fused(
         base_rows=base_rows,
         roles=roles,
         fused=fused,
+        role_offsets=offsets,
     )
 
 
-def _jitter_key(bank: int, role: str) -> int:
-    """Stable integer key distinguishing jitter streams per (bank, role)."""
-    return _row_key(bank, ROLE_OFFSETS[role] & 0xFFFF)
+def _jitter_key(bank: int, offset: int) -> int:
+    """Stable integer key distinguishing jitter streams per (bank, role
+    offset) -- footprint-independent, so a role draws the same jitter
+    stream in a canonical stack and in any wider stack containing it."""
+    return _row_key(bank, offset & 0xFFFF)

@@ -49,6 +49,15 @@ class ExperimentError(ReproError):
     (e.g. victim rows outside the bank, iteration budget of zero)."""
 
 
+class PatternSpecError(ExperimentError):
+    """A declarative pattern spec (:mod:`repro.patterns.dsl`) is invalid:
+    no non-decoy aggressor, duplicate aggressor offsets, an on-time below
+    ``tRAS``, a decoy adjacent to a victim, victims overlapping
+    aggressors, a refresh-gap that blows the iteration-runtime bound, or
+    a malformed name.  Subclasses :class:`ExperimentError` so every
+    placement-error handler in the engine keeps working."""
+
+
 class MitigationError(ReproError):
     """A read-disturbance mitigation mechanism was configured incorrectly."""
 

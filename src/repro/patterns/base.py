@@ -1,15 +1,23 @@
 """Pattern definitions and their disturbance semantics.
 
-A pattern placed at base physical row ``r0`` involves the row triple
-``(r0, r0+1, r0+2)``: aggressors at ``r0`` (and ``r0+2`` for two-sided
-patterns), the inner victim at ``r0+1``, and outer victims at ``r0-1`` and
-``r0+3``.
+A pattern placed at a base physical row binds a set of aggressor rows
+(each with its own row-open time) and the victim rows their activations
+disturb.  The paper's three fixed patterns occupy the row triple
+``(r0, r0+1, r0+2)`` -- aggressors at ``r0`` (and ``r0+2`` for two-sided
+patterns), the inner victim at ``r0+1``, outer victims at ``r0-1`` and
+``r0+3`` -- but a placement is not limited to that triple: the
+declarative pattern DSL (:mod:`repro.patterns.dsl`, the canonical entry
+point for every pattern beyond the paper's three) places arbitrary
+aggressor layouts, per-aggressor on-time schedules, decoy rows, and
+inter-iteration idle gaps through exactly the same
+:class:`PatternPlacement` surface.
 
 Per-iteration disturbance contributions are expressed as scalar weights on
 the four per-cell coupling arrays (hammer/press from the aggressor
 below/above the victim); the closed-form ACmin analysis and the
-command-level tracker consume exactly the same model quantities, so the
-two execution paths agree by construction.
+command-level tracker consume exactly the same model quantities
+(:func:`placement_contributions` is shared by the fixed patterns and the
+DSL), so the two execution paths agree by construction.
 """
 
 from __future__ import annotations
@@ -45,19 +53,28 @@ class PatternPlacement:
         victims: physical rows whose cells can be disturbed.
         inner_victim: the victim between the aggressors (equals the only
             direct neighbor pair for single-sided patterns).
+        extra_wait_ns: idle time appended to every iteration after the
+            last precharge (the DSL's interleaved refresh-gap feature);
+            zero for the paper's patterns, so their compiled programs
+            carry no trailing WAIT.
     """
 
     aggressors: Tuple[Tuple[int, float], ...]
     victims: Tuple[int, ...]
     inner_victim: int
+    extra_wait_ns: float = 0.0
 
     @property
     def acts_per_iteration(self) -> int:
         return len(self.aggressors)
 
     def iteration_latency(self, timings: DDR4Timings = DEFAULT_TIMINGS) -> float:
-        """Simulated time of one iteration (each aggressor: open + tRP)."""
-        return sum(t_on + timings.tRP for _, t_on in self.aggressors)
+        """Simulated time of one iteration (each aggressor: open + tRP,
+        plus any trailing idle gap)."""
+        return (
+            sum(t_on + timings.tRP for _, t_on in self.aggressors)
+            + self.extra_wait_ns
+        )
 
     def per_activation_latency(self, timings: DDR4Timings = DEFAULT_TIMINGS) -> float:
         return self.iteration_latency(timings) / self.acts_per_iteration
@@ -157,25 +174,47 @@ class AccessPattern:
         additionally applies the per-cell solo modulations -- see
         :attr:`solo` and :mod:`repro.disturb.model`.
         """
-        h = model.hammer_kick(temperature_c)
-        weights = {
-            row: [0.0, 0.0, 0.0, 0.0] for row in placement.victims
-        }  # w_gh_lo, w_gh_hi, v_gp_lo, v_gp_hi
-        for agg_row, t_on in placement.aggressors:
-            p = model.press_loss(t_on, temperature_c)
-            alpha = model.alpha(t_on)
-            below, above = agg_row - 1, agg_row + 1
-            if below in weights:
-                # Aggressor above the victim: weak press coupling.
-                weights[below][1] += h
-                weights[below][3] += alpha * p
-            if above in weights:
-                # Aggressor below the victim: dominant press coupling.
-                weights[above][0] += h
-                weights[above][2] += p
-        return [
-            VictimContribution(row, *weights[row]) for row in placement.victims
-        ]
+        return placement_contributions(placement, model, temperature_c)
+
+
+def placement_contributions(
+    placement: PatternPlacement,
+    model: DisturbanceModel,
+    temperature_c: float = CHARACTERIZATION_TEMPERATURE_C,
+) -> List[VictimContribution]:
+    """Per-iteration disturbance weights of any placed pattern.
+
+    The single shared closed-form contribution function: the fixed paper
+    patterns (:meth:`AccessPattern.iteration_contributions`) and every
+    DSL spec (:meth:`repro.patterns.dsl.PatternSpec.iteration_contributions`)
+    delegate here, mirroring
+    :meth:`repro.disturb.tracker.DisturbanceTracker.on_activation` --
+    each aggressor activation disturbs its two neighbors; press coupling
+    from the aggressor *above* a victim is attenuated by ``alpha``.
+    Aggressor activations whose neighbors are not victims (decoy rows,
+    which by DSL validation are never adjacent to a victim) deposit
+    nothing here, exactly as their honest-path disturbance lands on rows
+    that are never read back.
+    """
+    h = model.hammer_kick(temperature_c)
+    weights = {
+        row: [0.0, 0.0, 0.0, 0.0] for row in placement.victims
+    }  # w_gh_lo, w_gh_hi, v_gp_lo, v_gp_hi
+    for agg_row, t_on in placement.aggressors:
+        p = model.press_loss(t_on, temperature_c)
+        alpha = model.alpha(t_on)
+        below, above = agg_row - 1, agg_row + 1
+        if below in weights:
+            # Aggressor above the victim: weak press coupling.
+            weights[below][1] += h
+            weights[below][3] += alpha * p
+        if above in weights:
+            # Aggressor below the victim: dominant press coupling.
+            weights[above][0] += h
+            weights[above][2] += p
+    return [
+        VictimContribution(row, *weights[row]) for row in placement.victims
+    ]
 
 
 #: Fig. 3a -- conventional single-sided RowPress (RowHammer at tRAS).

@@ -39,7 +39,13 @@ def compile_hammer_loop(
     to_logical: Callable[[int], int] = _identity,
 ) -> Program:
     """The timed hammer loop: ``iterations`` x (ACT, open t_on, PRE, tRP)
-    per aggressor, in issue order."""
+    per aggressor, in issue order.
+
+    A placement with a non-zero ``extra_wait_ns`` (a DSL refresh-gap
+    spec) gets one trailing WAIT per iteration; the paper's patterns
+    carry none, so their programs are byte-identical to the pre-DSL
+    compiler output.
+    """
     builder = ProgramBuilder()
     with builder.loop(iterations):
         for row, t_on in placement.aggressors:
@@ -47,6 +53,8 @@ def compile_hammer_loop(
             builder.wait(t_on)
             builder.pre(bank)
             builder.wait(timings.tRP)
+        if placement.extra_wait_ns > 0.0:
+            builder.wait(placement.extra_wait_ns)
     return builder.build()
 
 

@@ -47,7 +47,7 @@ __all__ = [
 #: tests and demos can run small campaigns quickly.
 _COMMON_KEYS = frozenset(
     ("validate", "rows", "cols", "locations_per_region", "n_regions",
-     "stride", "trials", "backend", "fault_seed")
+     "stride", "trials", "backend", "fault_seed", "patterns")
 )
 _KIND_KEYS = {
     "characterize": _COMMON_KEYS | {"modules", "points", "t_max"},
@@ -110,6 +110,19 @@ def validate_spec(kind: str, spec: Dict) -> Dict:
             f"spec.backend must be 'sim' or 'noisy', got "
             f"{spec['backend']!r}"
         )
+    if "patterns" in spec:
+        _require_type(
+            spec, "patterns", list, "an array of pattern names"
+        )
+        # Admission-time resolution: a typo'd or malformed pattern name
+        # fails the *submission*, not the job minutes later.
+        from repro.errors import PatternSpecError
+        from repro.patterns.dsl import resolve_patterns
+
+        try:
+            resolve_patterns(spec["patterns"])
+        except PatternSpecError as exc:
+            raise ServiceProtocolError(f"spec.patterns: {exc}") from exc
     return spec
 
 
@@ -158,6 +171,15 @@ def _config(spec: Dict):
     if "trials" in spec:
         kwargs["trials"] = spec["trials"]
     return CharacterizationConfig(**kwargs)
+
+
+def _patterns(spec: Dict):
+    """The pattern set a spec sweeps (paper's three by default)."""
+    if "patterns" not in spec:
+        return ALL_PATTERNS
+    from repro.patterns.dsl import resolve_patterns
+
+    return resolve_patterns(spec["patterns"])
 
 
 def _backend_spec(spec: Dict):
@@ -260,7 +282,7 @@ def _run_characterize(
         store = directory / "flips.sqlite"
         with FlipSink(str(store), metrics=obs.metrics) as sink:
             results = runner.characterize(
-                modules, t_values, ALL_PATTERNS, sink=sink, **kwargs
+                modules, t_values, _patterns(spec), sink=sink, **kwargs
             )
             info = sink.db.export_shards(directory, metrics=obs.metrics)
         result["manifest"] = info.manifest_path
@@ -268,7 +290,7 @@ def _run_characterize(
         result["digest"] = info.results_digest
     else:
         results = runner.characterize(
-            modules, t_values, ALL_PATTERNS, **kwargs
+            modules, t_values, _patterns(spec), **kwargs
         )
         result["digest"] = results_digest(results)
     dump = directory / "results.json"
@@ -290,6 +312,7 @@ def _run_mitigate(
     kwargs: Dict = dict(
         chips=spec.get("chips", ["E0"]),
         mitigations=spec.get("mitigations", ["para", "graphene"]),
+        patterns=_patterns(spec),
         checkpoint=str(checkpoint),
         resume=resume,
         validate=validate,

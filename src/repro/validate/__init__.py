@@ -47,6 +47,7 @@ from repro.validate.schema import (
     MANIFEST_FORMAT,
     METRICS_FORMAT,
     MITIGATION_FORMAT,
+    PATTERNSPEC_FORMAT,
     QUEUE_FORMAT,
     RESULTS_FORMAT,
     validate_bench_payload,
@@ -55,6 +56,7 @@ from repro.validate.schema import (
     validate_manifest_payload,
     validate_metrics_payload,
     validate_mitigation_payload,
+    validate_patternspec_payload,
     validate_queue_event,
     validate_queue_header,
     validate_results_payload,
@@ -84,7 +86,7 @@ __all__ = [
 #: Artifact kinds :func:`detect_kind` can identify.
 ARTIFACT_KINDS = (
     "results", "mitigation", "checkpoint", "metrics", "trace", "bench",
-    "manifest", "queue", "sidecar",
+    "manifest", "queue", "patternspec", "sidecar",
 )
 
 #: Names re-exported from the lazily imported invariants module.
@@ -201,11 +203,13 @@ def detect_kind(path: PathLike, raw: Optional[bytes] = None) -> str:
             return "bench"
         if fmt == MANIFEST_FORMAT or "shards" in payload:
             return "manifest"
+        if fmt == PATTERNSPEC_FORMAT or "specs" in payload:
+            return "patternspec"
         raise ArtifactInvalidError(
             f"{path}: $ is a JSON object of no known artifact kind "
             f"(format={fmt!r}; expected one of {RESULTS_FORMAT!r}, "
             f"{MITIGATION_FORMAT!r}, {METRICS_FORMAT!r}, {BENCH_FORMAT!r}, "
-            f"{MANIFEST_FORMAT!r})"
+            f"{MANIFEST_FORMAT!r}, {PATTERNSPEC_FORMAT!r})"
         )
     # Multi-line content that is not one JSON document: JSONL.  Classify
     # by the first line; a first line that does not parse means a torn
@@ -349,6 +353,26 @@ def validate_artifact(
         validate_manifest_payload(payload, source=str(path))
         report.n_records = payload["n_measurements"]
         report.warnings.extend(_verify_manifest_shards(path, payload))
+    elif kind == "patternspec":
+        payload = _parse_json(path, text)
+        validate_patternspec_payload(payload, source=str(path))
+        report.n_records = len(payload["specs"])
+        if "provenance" in payload:
+            report.warnings.extend(check_provenance(payload["provenance"]))
+        if check_invariants:
+            # Semantic layer: every spec must actually compile -- the
+            # DSL's own validation (overlap rules, timing floors, the
+            # iteration runtime bound) is the invariant surface here.
+            from repro.errors import PatternSpecError
+            from repro.patterns.dsl import PatternSpec
+
+            for i, spec in enumerate(payload["specs"]):
+                try:
+                    PatternSpec.from_dict(spec)
+                except PatternSpecError as exc:
+                    raise ArtifactInvalidError(
+                        f"{path}: $.specs[{i}] does not compile: {exc}"
+                    ) from exc
     else:  # bench
         payload = _parse_json(path, text)
         validate_bench_payload(payload, source=str(path))

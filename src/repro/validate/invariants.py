@@ -20,12 +20,18 @@ guard is a direct mechanization of a paper claim:
   guard only applies from the anchor up.
 * **I4 -- timing identity** (Sec. 3.2): ``time_to_first_ns`` must equal
   ``acmin`` x the per-activation latency of its pattern
-  (``(tAggON + tRAS)/2 + tRP`` for combined, ``tAggON + tRP``
-  otherwise) -- a derived field that disagrees with its inputs marks a
-  corrupted or hand-edited record.
-* **I5 -- activation parity**: two-sided patterns activate aggressors in
-  pairs, so ACmin must be a positive multiple of 2 for double-sided and
-  combined, and of 1 for single-sided.
+  (``(tAggON + tRAS)/2 + tRP`` for combined, ``tAggON + tRP`` for the
+  other paper patterns; DSL patterns resolve through the registry and
+  derive the latency from their placement, which reduces to the same
+  formulas for the paper names) -- a derived field that disagrees with
+  its inputs marks a corrupted or hand-edited record.
+* **I5 -- activation parity**: a pattern activates its full aggressor
+  set (decoys included) each iteration, so ACmin must be a positive
+  multiple of the pattern's activations per iteration (2 for
+  double-sided and combined, 1 for single-sided, placement-derived for
+  DSL names).  Records whose pattern name is not in the DSL registry
+  (ad-hoc specs run programmatically) skip I4/I5 -- their schedule is
+  not recoverable from the name alone.
 * **I6 -- Table 2 anchor drift**: per-module censored-mean ACmin at the
   paper's anchor points must stay within calibration tolerance of the
   published :data:`~repro.dram.profiles.MODULE_PROFILES` values
@@ -78,6 +84,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.constants import DDR4Timings
 from repro.core.results import ResultSet, measurement_to_record
 from repro.errors import InvariantViolationError
+from repro.validate.schema import KNOWN_PATTERNS
 
 __all__ = [
     "check_result_invariants",
@@ -109,6 +116,55 @@ def _per_activation_ns(pattern: str, t_on: float, timings: DDR4Timings) -> float
     if pattern == "combined":
         return (t_on + timings.tRAS) / 2.0 + timings.tRP
     return t_on + timings.tRP
+
+
+#: Probe placement geometry for DSL-resolved I4/I5 derivation: a base
+#: row comfortably clear of any legal DSL offset (|offset| <= 512) in a
+#: nominally unbounded bank.
+_PROBE_BASE = 1024
+_PROBE_ROWS = 1 << 30
+
+
+def _pattern_timing(
+    name: str,
+    t_on: float,
+    timings: DDR4Timings,
+    cache: Dict[Tuple[str, float], Optional[Tuple[int, float]]],
+) -> Optional[Tuple[int, float]]:
+    """``(acts_per_iteration, per_activation_ns)`` of a named pattern.
+
+    Paper names use the closed-form Section 3.2 formulas; every other
+    name is resolved through the DSL registry
+    (:func:`repro.patterns.dsl.resolve_pattern`) and derived from its
+    probe placement -- ``iteration_latency / n_aggressors`` covers
+    mixed on-times, decoys, repeats, and refresh gaps in one identity,
+    and reduces to the legacy formulas for the paper patterns.  Returns
+    ``None`` for names the registry cannot resolve (ad-hoc specs):
+    their schedule is not recoverable from the name, so I4/I5 skip.
+    """
+    key = (name, t_on)
+    if key in cache:
+        return cache[key]
+    if name in KNOWN_PATTERNS:
+        result: Optional[Tuple[int, float]] = (
+            _acts_per_iteration(name),
+            _per_activation_ns(name, t_on, timings),
+        )
+    else:
+        from repro.errors import PatternSpecError
+        from repro.patterns.dsl import resolve_pattern
+
+        try:
+            pattern = resolve_pattern(name)
+            placement = pattern.place(
+                _PROBE_BASE, t_on, rows_in_bank=_PROBE_ROWS, timings=timings
+            )
+            acts = len(placement.aggressors)
+            result = (acts, placement.iteration_latency(timings) / acts)
+        except PatternSpecError:
+            result = None
+    cache[key] = result
+    return result
 
 
 def _label(m) -> str:
@@ -143,13 +199,20 @@ def check_result_invariants(
     # One pass to group measurements along every axis the checks need.
     curves: Dict[Tuple, List] = defaultdict(list)  # I1
     by_point: Dict[Tuple, object] = {}  # I2 / I3 pairing
+    timing_cache: Dict[Tuple[str, float], Optional[Tuple[int, float]]] = {}
     for m in results:
         curves[(m.module_key, m.die, m.pattern, m.trial)].append(m)
         by_point[(m.module_key, m.die, m.pattern, m.t_on, m.trial)] = m
 
-        # I4 / I5: record-local identities.
-        if m.acmin is not None:
-            acts = _acts_per_iteration(m.pattern)
+        # I4 / I5: record-local identities (skipped for pattern names
+        # the DSL registry cannot resolve -- see _pattern_timing).
+        timing = (
+            _pattern_timing(m.pattern, m.t_on, timings, timing_cache)
+            if m.acmin is not None
+            else None
+        )
+        if timing is not None:
+            acts, per_activation = timing
             if m.acmin % acts != 0:
                 if not report(
                     f"I5 activation parity: {_label(m)} has acmin={m.acmin}, "
@@ -157,7 +220,7 @@ def check_result_invariants(
                     f"activation(s) per iteration"
                 ):
                     return violations
-            expected = m.acmin * _per_activation_ns(m.pattern, m.t_on, timings)
+            expected = m.acmin * per_activation
             if not math.isclose(
                 m.time_to_first_ns, expected, rel_tol=1e-6, abs_tol=1e-3
             ):
@@ -165,8 +228,7 @@ def check_result_invariants(
                     f"I4 timing identity: {_label(m)} records "
                     f"time_to_first_ns={m.time_to_first_ns!r} but "
                     f"acmin={m.acmin} x per-activation latency "
-                    f"{_per_activation_ns(m.pattern, m.t_on, timings):g}ns "
-                    f"= {expected:g}ns"
+                    f"{per_activation:g}ns = {expected:g}ns"
                 ):
                     return violations
 
@@ -653,6 +715,7 @@ def check_cross_executor(
     workers: int = 2,
     executors: Sequence[str] = ("serial", "thread"),
     backends: Sequence = (None,),
+    patterns: Optional[Sequence] = None,
 ) -> str:
     """Prove cross-executor determinism on a small probe campaign.
 
@@ -675,6 +738,13 @@ def check_cross_executor(
     digest identically -- measurements are pure functions of identity,
     so routing, retries, quarantine, and fault injection must never
     change results.
+
+    ``patterns`` restricts (or extends) the probe's pattern set: each
+    entry is an :class:`~repro.patterns.base.AccessPattern` /
+    :class:`~repro.patterns.dsl.PatternSpec` instance or a DSL registry
+    name (``"half-double"``, ``"4-sided-combined"``, ...) resolved via
+    :func:`repro.patterns.dsl.resolve_pattern`.  The default ``None``
+    sweeps the paper's three patterns, exactly as before the DSL.
     """
     # Local imports: the validation layer must not drag the execution
     # engine in for pure artifact checks.
@@ -713,6 +783,14 @@ def check_cross_executor(
         )
     from repro.backend.base import build_session
 
+    if patterns is None:
+        resolved_patterns = None
+    else:
+        from repro.patterns.dsl import resolve_pattern
+
+        resolved_patterns = tuple(
+            resolve_pattern(p) if isinstance(p, str) else p for p in patterns
+        )
     modules = build_modules(module_keys, config)
     digests: Dict[Tuple[str, str], str] = {}
     for name in executors:
@@ -730,7 +808,12 @@ def check_cross_executor(
                 executor=factories[name](),
                 session=build_session(backend),
             )
-            results = engine.run(modules, t_values, trials=trials)
+            if resolved_patterns is None:
+                results = engine.run(modules, t_values, trials=trials)
+            else:
+                results = engine.run(
+                    modules, t_values, resolved_patterns, trials=trials
+                )
             digests[(name, backend_label)] = results_digest(results)
     permutations = list(digests)
     reference_key = permutations[0]

@@ -11,7 +11,11 @@ payloads (the caller owns file I/O and digest verification):
 * :func:`validate_trace_event`       -- JSONL trace lines;
 * :func:`validate_bench_payload`     -- ``BENCH_sweep.json`` records;
 * :func:`validate_manifest_payload`  -- sharded-population manifests
-  (``repro-flipshards-v1``).
+  (``repro-flipshards-v1``);
+* :func:`validate_patternspec_payload` -- pattern-DSL spec bundles
+  (``repro-patternspec-v1``; shape only -- the semantic compile check
+  lives in :func:`repro.validate.validate_artifact`, which re-builds
+  every spec through ``PatternSpec.from_dict``).
 
 Every failure raises :class:`~repro.errors.ArtifactInvalidError` whose
 message starts with ``<source>: $<json-path>`` so the offending field is
@@ -24,6 +28,7 @@ typed artifact-error vocabulary.
 from __future__ import annotations
 
 import math
+import re
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ArtifactInvalidError
@@ -37,7 +42,9 @@ __all__ = [
     "MITIGATION_FORMAT",
     "MITIGATION_POINT_FORMAT",
     "QUEUE_FORMAT",
+    "PATTERNSPEC_FORMAT",
     "KNOWN_PATTERNS",
+    "is_known_pattern_name",
     "KNOWN_MITIGATIONS",
     "KNOWN_JOURNAL_ENTRIES",
     "KNOWN_QUEUE_OPS",
@@ -54,6 +61,7 @@ __all__ = [
     "validate_mitigation_record",
     "validate_mitigation_payload",
     "validate_manifest_payload",
+    "validate_patternspec_payload",
 ]
 
 #: Format identifiers, kept in sync with the writers (results.py,
@@ -68,10 +76,27 @@ MANIFEST_FORMAT = "repro-flipshards-v1"
 MITIGATION_FORMAT = "repro-mitigation-v1"
 MITIGATION_POINT_FORMAT = "repro-mitigation-point-v1"
 QUEUE_FORMAT = "repro-service-queue-v1"
+PATTERNSPEC_FORMAT = "repro-patternspec-v1"
 
-#: The paper's three access patterns (Section 3); every measurement
-#: record must carry one of them.
+#: The paper's three access patterns (Section 3).  Records are no
+#: longer restricted to this menu: the pattern DSL
+#: (:mod:`repro.patterns.dsl`) mints new names, so the gate accepts any
+#: name matching :data:`_PATTERN_NAME_RE` (which covers these three).
 KNOWN_PATTERNS = ("single-sided", "double-sided", "combined")
+
+#: DSL pattern-name grammar, kept in sync with
+#: ``repro.patterns.dsl.PatternSpec`` (schema validation must not
+#: import it: the DSL imports the engine stack, we are its leaf).
+_PATTERN_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9+._-]{0,63}$")
+
+
+def is_known_pattern_name(name: str) -> bool:
+    """Whether a record's pattern name is admissible.
+
+    True for the paper's three patterns and for anything matching the
+    DSL name grammar (lowercase ``[a-z0-9+._-]``, 64 chars max).
+    """
+    return name in KNOWN_PATTERNS or bool(_PATTERN_NAME_RE.match(name))
 
 #: The mechanisms the mitigation campaign evaluates (kept in sync with
 #: ``repro.mitigations.campaign.MITIGATION_KINDS``, which imports *us*).
@@ -154,11 +179,12 @@ def validate_measurement_record(
         _get(rec, "pattern", path, source),
         f"{path}.pattern", str, source, "a string",
     )
-    if pattern not in KNOWN_PATTERNS:
+    if not is_known_pattern_name(pattern):
         _fail(
             source,
             f"{path}.pattern",
-            f"must be one of {list(KNOWN_PATTERNS)}, got {pattern!r}",
+            f"must be one of {list(KNOWN_PATTERNS)} or a DSL pattern name "
+            f"(lowercase [a-z0-9+._-], 64 chars max), got {pattern!r}",
         )
     t_on = _require_finite(
         _get(rec, "t_on", path, source), f"{path}.t_on", source
@@ -295,11 +321,12 @@ def validate_mitigation_record(
         _get(rec, "pattern", path, source),
         f"{path}.pattern", str, source, "a string",
     )
-    if pattern not in KNOWN_PATTERNS:
+    if not is_known_pattern_name(pattern):
         _fail(
             source,
             f"{path}.pattern",
-            f"must be one of {list(KNOWN_PATTERNS)}, got {pattern!r}",
+            f"must be one of {list(KNOWN_PATTERNS)} or a DSL pattern name "
+            f"(lowercase [a-z0-9+._-], 64 chars max), got {pattern!r}",
         )
     t_on = _require_finite(
         _get(rec, "t_on", path, source), f"{path}.t_on", source
@@ -748,6 +775,69 @@ def validate_bench_payload(payload, source: Optional[str] = None) -> Dict:
             _require_list(values, vpath, source)
             for i, value in enumerate(values):
                 _require_finite(value, f"{vpath}[{i}]", source)
+    return payload
+
+
+# ------------------------------------------------------------- patternspec
+
+
+def validate_patternspec_payload(payload, source: Optional[str] = None) -> Dict:
+    """Validate a parsed ``repro-patternspec-v1`` bundle (shape only).
+
+    The envelope carries the serialized DSL specs a campaign was
+    configured with (``{"format": ..., "specs": [spec, ...],
+    "provenance": {...}}``).  This layer checks the envelope and each
+    spec's name/aggressors shape; whether a spec actually *compiles* is
+    the semantic layer's job (:func:`repro.validate.validate_artifact`
+    re-builds every spec through ``PatternSpec.from_dict``), keeping
+    this module dependency-free.
+    """
+    _require_dict(payload, "$", source)
+    fmt = _get(payload, "format", "$", source)
+    if fmt != PATTERNSPEC_FORMAT:
+        _fail(
+            source, "$.format",
+            f"has unknown patternspec format {fmt!r} "
+            f"(this library reads {PATTERNSPEC_FORMAT!r})",
+        )
+    specs = _require_list(
+        _get(payload, "specs", "$", source), "$.specs", source
+    )
+    if not specs:
+        _fail(source, "$.specs", "must carry at least one pattern spec")
+    seen: Dict[str, int] = {}
+    for i, spec in enumerate(specs):
+        spath = f"$.specs[{i}]"
+        _require_dict(spec, spath, source)
+        name = _require(
+            _get(spec, "name", spath, source),
+            f"{spath}.name", str, source, "a string",
+        )
+        if not _PATTERN_NAME_RE.match(name):
+            _fail(
+                source, f"{spath}.name",
+                f"must be a DSL pattern name (lowercase [a-z0-9+._-], "
+                f"64 chars max), got {name!r}",
+            )
+        if name in seen:
+            _fail(
+                source, f"{spath}.name",
+                f"duplicates $.specs[{seen[name]}].name ({name!r})",
+            )
+        seen[name] = i
+        aggressors = _require_list(
+            _get(spec, "aggressors", spath, source),
+            f"{spath}.aggressors", source,
+        )
+        if not aggressors:
+            _fail(
+                source, f"{spath}.aggressors",
+                "must carry at least one aggressor",
+            )
+        for j, agg in enumerate(aggressors):
+            _require_dict(agg, f"{spath}.aggressors[{j}]", source)
+    if "provenance" in payload:
+        _require_dict(payload["provenance"], "$.provenance", source)
     return payload
 
 

@@ -140,7 +140,7 @@ def test_jitter_matches_population_stream(fast_config, s0_module):
     expected = trial_jitter(
         stacked.module_key,
         stacked.die_index,
-        _jitter_key(stacked.bank, "inner"),
+        _jitter_key(stacked.bank, 1),  # "inner" is the offset +1 role
         arrays.theta.size,
         2,
         sigma=0.02,

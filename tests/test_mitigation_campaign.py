@@ -584,8 +584,10 @@ def test_validate_artifact_catches_corruption(tmp_path, small):
 
 
 def test_validate_artifact_catches_bad_fields(tmp_path, small):
+    # "Triple Sided!" fails even the open DSL name grammar (names like
+    # "triple-sided" are admissible DSL pattern names since the DSL).
     payload = json.loads(small[1].to_json())
-    payload["points"][0]["pattern"] = "triple-sided"
+    payload["points"][0]["pattern"] = "Triple Sided!"
     path = tmp_path / "bad-field.json"
     path.write_text(json.dumps(payload))
     with pytest.raises(ArtifactInvalidError, match="pattern"):

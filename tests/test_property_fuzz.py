@@ -294,3 +294,170 @@ def test_any_single_byte_flip_is_detected(
         # validator: a flipped dump can never feed analysis.
         with pytest.raises((ArtifactCorruptError, ArtifactInvalidError)):
             ResultSet.load(target)
+
+
+# ------------------------------------------------------- DSL compiler fuzz
+
+
+from repro.bender.assembler import assemble, disassemble  # noqa: E402
+from repro.errors import PatternSpecError  # noqa: E402
+from repro.patterns.dsl import (  # noqa: E402
+    AggressorSpec,
+    PatternSpec,
+    resolve_pattern,
+)
+from repro.patterns.compiler import compile_hammer_loop  # noqa: E402
+
+
+@st.composite
+def valid_spec_dicts(draw):
+    """Random legal specs: non-decoy aggressors on even offsets (so the
+    derived odd victims never collide), decoys strictly past the core's
+    footprint, any mix of schedules and a bounded refresh gap."""
+    n = draw(st.integers(1, 5))
+    core = sorted(
+        draw(
+            st.sets(
+                st.integers(0, 20).map(lambda k: 2 * k),
+                min_size=n,
+                max_size=n,
+            )
+        )
+    )
+    aggressors = [
+        {
+            "offset": off,
+            "on_time": draw(
+                st.sampled_from(["press", "hammer", 36.0, 120.5, 7_800.0])
+            ),
+        }
+        for off in core
+    ]
+    for i in range(draw(st.integers(0, 4))):
+        aggressors.append(
+            {
+                "offset": max(core) + 4 + 2 * i,
+                "on_time": "hammer",
+                "repeat": draw(st.integers(1, 3)),
+                "decoy": True,
+            }
+        )
+    return {
+        "name": "fuzz-spec",
+        "aggressors": aggressors,
+        "gap_ns": draw(st.floats(0.0, 100_000.0)),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=valid_spec_dicts(), t_on=st.floats(36.0, 70_200.0))
+def test_fuzzed_valid_specs_always_compile_legal_programs(data, t_on):
+    """Any legal spec compiles to a program that (a) survives an
+    assembler round trip byte-for-byte and (b) executes on the
+    interpreter -- which enforces tRAS/tRP -- without a timing fault."""
+    spec = PatternSpec.from_dict(data)
+    placement = spec.place(600, t_on, rows_in_bank=4096)
+    assert len(placement.aggressors) == spec.acts_per_iteration
+    program = compile_hammer_loop(placement, iterations=2)
+    text = disassemble(program)
+    assert disassemble(assemble(text)) == text
+    chip = make_synthetic_chip(theta_scale=1e9, rows=4096, cols=32)
+    result = Interpreter(chip).run(program)
+    assert result.activations == 2 * spec.acts_per_iteration
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=valid_spec_dicts())
+def test_fuzzed_spec_dict_round_trip_is_identity(data):
+    spec = PatternSpec.from_dict(data)
+    assert PatternSpec.from_dict(spec.to_dict()) == spec
+
+
+def _invalid_spec_dicts():
+    """One representative dict per rejection rule of the spec validator."""
+    agg = {"offset": 0, "on_time": "press"}
+
+    def spec(aggressors, **extra):
+        out = {"name": "bad-spec", "aggressors": aggressors}
+        out.update(extra)
+        return out
+
+    return [
+        ("empty aggressors", spec([])),
+        ("duplicate offsets", spec([agg, {"offset": 0, "on_time": "hammer"}])),
+        ("on-time below tRAS", spec([{"offset": 0, "on_time": 10.0}])),
+        ("NaN on-time", spec([{"offset": 0, "on_time": float("nan")}])),
+        ("unknown schedule", spec([{"offset": 0, "on_time": "turbo"}])),
+        ("offset out of range", spec([{"offset": 1_000, "on_time": "press"}])),
+        ("bool offset", spec([{"offset": True, "on_time": "press"}])),
+        ("negative gap", spec([agg], gap_ns=-5.0)),
+        ("infinite gap", spec([agg], gap_ns=float("inf"))),
+        ("gap over runtime bound", spec([agg], gap_ns=1e9)),
+        (
+            "repeat on multi-row non-decoy",
+            spec([{"offset": 0, "repeat": 2}, {"offset": 2}]),
+        ),
+        (
+            "acts over bound",
+            spec([{"offset": 0, "on_time": "press", "repeat": 2_000}]),
+        ),
+        ("all decoys", spec([{"offset": 0, "decoy": True}])),
+        (
+            "decoy neighbors a victim",
+            spec([agg, {"offset": 2, "decoy": True}]),
+        ),
+        ("victim overlaps aggressor", spec([agg], victims=[0])),
+        ("dead victim", spec([agg], victims=[10])),
+        ("duplicate victims", spec([agg], victims=[1, 1])),
+        ("bad name", {"name": "Bad Name!", "aggressors": [agg]}),
+        ("missing aggressors key", {"name": "bad-spec"}),
+        ("non-dict spec", ["not", "a", "dict"]),
+        ("non-list aggressors", spec("press")),
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,data", _invalid_spec_dicts(), ids=[l for l, _ in _invalid_spec_dicts()]
+)
+def test_invalid_spec_dicts_raise_typed_error(label, data):
+    """Every malformed spec fails with the typed PatternSpecError at
+    *construction* -- never a crash, never a silently-wrong program."""
+    with pytest.raises(PatternSpecError):
+        PatternSpec.from_dict(data)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.text(
+        st.characters(
+            whitelist_categories=("Lu", "Ll", "Nd", "P", "Z"), max_codepoint=127
+        ),
+        min_size=1,
+        max_size=12,
+    )
+)
+def test_resolve_pattern_never_crashes_on_fuzzed_names(name):
+    """resolve_pattern either returns a placeable pattern or raises the
+    typed error -- no KeyError/ValueError leaks for arbitrary strings."""
+    try:
+        pattern = resolve_pattern(name)
+    except PatternSpecError:
+        return
+    placement = pattern.place(600, 636.0, rows_in_bank=4096)
+    assert placement.aggressors
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(1, 32), combined=st.booleans())
+def test_fuzzed_nsided_names_resolve_to_twins(n, combined):
+    from repro.patterns import ManySidedPattern
+    from repro.patterns.dsl import n_sided_spec
+
+    kind = "combined" if combined else "pressed"
+    spec = resolve_pattern(f"{n}-sided-{kind}")
+    twin = ManySidedPattern(n, combined=combined)
+    a = spec.place(600, 636.0, rows_in_bank=4096)
+    b = twin.place(600, 636.0, rows_in_bank=4096)
+    assert a.aggressors == b.aggressors
+    assert a.victims == b.victims
+    assert n_sided_spec(n, combined).name == f"{n}-sided-{kind}"

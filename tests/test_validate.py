@@ -184,7 +184,9 @@ def test_results_duplicate_identity_names_both_indices():
         (lambda r: r.pop("t_on"), "$.measurements[0].t_on"),
         (lambda r: r.update(die="zero"), "$.measurements[0].die"),
         (lambda r: r.update(die=True), "$.measurements[0].die"),
-        (lambda r: r.update(pattern="sideways"), "$.measurements[0].pattern"),
+        # Must fail even the open DSL name grammar ("sideways" would be
+        # an admissible DSL pattern name).
+        (lambda r: r.update(pattern="Side Ways!"), "$.measurements[0].pattern"),
         (lambda r: r.update(t_on=-1.0), "$.measurements[0].t_on"),
         (lambda r: r.update(acmin=0), "$.measurements[0].acmin"),
         (lambda r: r.update(acmin=None), "$.measurements[0].time_to_first_ns"),
